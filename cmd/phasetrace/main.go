@@ -1,0 +1,95 @@
+// Command phasetrace renders the message anatomy of one protocol batch:
+// for every round it counts delivered messages by type, making the
+// paper's phases visible — Skeap's aggregate→assign→decompose→DHT pipeline
+// (§3.2) and Seap's insert/select/extract/fetch cycle (§5).
+//
+// Usage:
+//
+//	phasetrace [-proto skeap|seap] [-n 16] [-ops 3] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/mathx"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/skeap"
+	"dpq/internal/viz"
+)
+
+func main() {
+	proto := flag.String("proto", "skeap", "protocol to trace: skeap or seap")
+	n := flag.Int("n", 16, "number of processes")
+	ops := flag.Int("ops", 3, "operations buffered per process")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	tl := viz.NewTimeline()
+	budget := 100000 * (mathx.Log2Ceil(*n) + 3)
+	var rounds int
+
+	switch *proto {
+	case "skeap":
+		h := skeap.New(skeap.Config{N: *n, P: 4, Seed: *seed})
+		h.SetAutoRepeat(false)
+		inject(*n, *ops, *seed+1, func(host int, id prio.ElemID, p uint64, ins bool) {
+			if ins {
+				h.InjectInsert(host, id, int(p%4), "")
+			} else {
+				h.InjectDelete(host)
+			}
+		})
+		eng := h.NewSyncEngine()
+		eng.SetObserver(tl.Observer())
+		h.StartIteration(eng.Context(h.Overlay().Anchor))
+		if !eng.RunQuiescent(h.Done, budget) {
+			fmt.Fprintln(os.Stderr, "phasetrace: batch did not complete")
+			os.Exit(1)
+		}
+		rounds = eng.Metrics().Rounds
+	case "seap":
+		h := seap.New(seap.Config{N: *n, PrioBound: 1 << 20, Seed: *seed})
+		h.SetAutoRepeat(false)
+		inject(*n, *ops, *seed+1, func(host int, id prio.ElemID, p uint64, ins bool) {
+			if ins {
+				h.InjectInsert(host, id, p%(1<<20)+1, "")
+			} else {
+				h.InjectDelete(host)
+			}
+		})
+		eng := h.NewSyncEngine()
+		eng.SetObserver(tl.Observer())
+		h.StartCycle(eng.Context(h.Overlay().Anchor))
+		if !eng.RunQuiescent(h.Done, budget) {
+			fmt.Fprintln(os.Stderr, "phasetrace: cycle did not complete")
+			os.Exit(1)
+		}
+		rounds = eng.Metrics().Rounds
+	default:
+		fmt.Fprintln(os.Stderr, "phasetrace: unknown -proto (want skeap or seap)")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s batch anatomy: n=%d, %d ops/node, %d rounds\n\n", *proto, *n, *ops, rounds)
+	tl.Render(os.Stdout)
+}
+
+// inject buffers ops per node with a deterministic mix.
+func inject(n, ops int, seed uint64, do func(host int, id prio.ElemID, p uint64, ins bool)) {
+	rnd := hashutil.NewRand(seed)
+	id := prio.ElemID(1)
+	for host := 0; host < n; host++ {
+		for i := 0; i < ops; i++ {
+			if rnd.Bool(0.6) {
+				do(host, id, rnd.Uint64(), true)
+				id++
+			} else {
+				do(host, 0, 0, false)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command seapsim runs a Seap network under a configurable workload and
+// prints the protocol metrics plus a semantics verdict.
+//
+// Usage:
+//
+//	seapsim [-n 64] [-prios 1048576] [-lambda 4] [-rounds 50] [-mix 0.6] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpq/internal/mathx"
+	"dpq/internal/seap"
+	"dpq/internal/semantics"
+	"dpq/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 64, "number of processes")
+	prios := flag.Uint64("prios", 1<<20, "priority universe size |𝒫| (poly(n))")
+	lambda := flag.Int("lambda", 4, "injection rate λ per node per round")
+	rounds := flag.Int("rounds", 50, "injection horizon in rounds")
+	mix := flag.Float64("mix", 0.6, "fraction of inserts")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "print every DeleteMin outcome")
+	record := flag.String("record", "", "write the generated workload to FILE")
+	replay := flag.String("replay", "", "replay a recorded workload from FILE (overrides generation)")
+	seqCons := flag.Bool("seqconsistent", false, "run the §6 sequentially consistent variant (one op per node per phase)")
+	flag.Parse()
+
+	h := seap.New(seap.Config{N: *n, PrioBound: *prios, Seed: *seed, SeqConsistent: *seqCons})
+	eng := h.NewSyncEngine()
+	stream := loadOrGenerate(*replay, *record, *rounds, workload.Config{
+		N: *n, Rate: *lambda, InsertFrac: *mix,
+		Dist: workload.Uniform, Bound: *prios, Seed: *seed + 1,
+	})
+	for _, ops := range stream {
+		for _, op := range ops {
+			if op.Kind == workload.OpInsert {
+				h.InjectInsert(op.Host, op.ID, op.Prio, "")
+			} else {
+				h.InjectDelete(op.Host)
+			}
+		}
+		eng.Step()
+	}
+	if !eng.RunUntil(h.Done, 200000*(mathx.Log2Ceil(*n)+3)) {
+		fmt.Fprintln(os.Stderr, "seapsim: protocol did not drain the workload")
+		os.Exit(1)
+	}
+
+	m := eng.Metrics()
+	fmt.Printf("Seap   n=%d |𝒫|=%d Λ=%d horizon=%d\n", *n, *prios, *lambda, *rounds)
+	fmt.Printf("  operations     %d (%d cycles, %d elements left)\n", h.Trace().Len(), h.Cycles(), h.Size())
+	fmt.Printf("  rounds         %d\n", m.Rounds)
+	fmt.Printf("  messages       %d (max %d bits, congestion %d)\n", m.Messages, m.MaxMessageBit, m.Congestion)
+
+	if *verbose {
+		for _, op := range h.Trace().Ops() {
+			if op.Kind == semantics.DeleteMin {
+				fmt.Printf("  node %2d DeleteMin → %v\n", op.Node, op.Result)
+			}
+		}
+	}
+
+	if *seqCons {
+		rep := semantics.CheckAll(h.Trace(), semantics.ByID)
+		if rep.Ok() {
+			fmt.Println("  semantics      sequentially consistent + heap consistent ✓ (§6 variant)")
+		} else {
+			fmt.Printf("  semantics      VIOLATED:\n%s", rep.Error())
+			os.Exit(1)
+		}
+	} else {
+		rep := semantics.CheckSerializable(h.Trace(), semantics.ByID)
+		if rep.Ok() {
+			fmt.Println("  semantics      serializable + heap consistent ✓")
+		} else {
+			fmt.Printf("  semantics      VIOLATED:\n%s", rep.Error())
+			os.Exit(1)
+		}
+	}
+}
+
+// loadOrGenerate returns the per-round operation stream: replayed from a
+// recording when replayPath is set, otherwise generated (and optionally
+// recorded to recordPath).
+func loadOrGenerate(replayPath, recordPath string, rounds int, cfg workload.Config) [][]workload.Op {
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		stream, err := workload.ReadRounds(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		return stream
+	}
+	gen := workload.New(cfg)
+	stream := make([][]workload.Op, rounds)
+	for r := range stream {
+		stream[r] = gen.Round()
+	}
+	if recordPath != "" {
+		f, err := os.Create(recordPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "record:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := workload.WriteRounds(f, stream); err != nil {
+			fmt.Fprintln(os.Stderr, "record:", err)
+			os.Exit(1)
+		}
+	}
+	return stream
+}

@@ -1,0 +1,135 @@
+// Command skeapsim runs a Skeap network under a configurable workload and
+// prints the protocol metrics plus a semantics verdict.
+//
+// Usage:
+//
+//	skeapsim [-n 64] [-p 4] [-lambda 4] [-rounds 50] [-mix 0.6] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpq/internal/mathx"
+	"dpq/internal/semantics"
+	"dpq/internal/skeap"
+	"dpq/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 64, "number of processes")
+	p := flag.Int("p", 4, "number of priorities |𝒫| (constant)")
+	lambda := flag.Int("lambda", 4, "injection rate λ per node per round")
+	rounds := flag.Int("rounds", 50, "injection horizon in rounds")
+	mix := flag.Float64("mix", 0.6, "fraction of inserts")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "print every DeleteMin outcome")
+	record := flag.String("record", "", "write the generated workload to FILE")
+	replay := flag.String("replay", "", "replay a recorded workload from FILE (overrides generation)")
+	maxHeap := flag.Bool("maxheap", false, "invert the delete preference (DeleteMax, §1.2)")
+	lifo := flag.Bool("lifo", false, "pop the newest element per priority (stack variant)")
+	flag.Parse()
+
+	h := skeap.New(skeap.Config{N: *n, P: *p, Seed: *seed, MaxHeap: *maxHeap, LIFO: *lifo})
+	eng := h.NewSyncEngine()
+	stream := loadOrGenerate(*replay, *record, *rounds, workload.Config{
+		N: *n, Rate: *lambda, InsertFrac: *mix,
+		Dist: workload.Uniform, Bound: uint64(*p), Seed: *seed + 1,
+	})
+	for _, ops := range stream {
+		for _, op := range ops {
+			if op.Kind == workload.OpInsert {
+				h.InjectInsert(op.Host, op.ID, int(op.Prio-1), "")
+			} else {
+				h.InjectDelete(op.Host)
+			}
+		}
+		eng.Step()
+	}
+	if !eng.RunUntil(h.Done, 100000*(mathx.Log2Ceil(*n)+3)) {
+		fmt.Fprintln(os.Stderr, "skeapsim: protocol did not drain the workload")
+		os.Exit(1)
+	}
+
+	m := eng.Metrics()
+	fmt.Printf("Skeap  n=%d |𝒫|=%d Λ=%d horizon=%d\n", *n, *p, *lambda, *rounds)
+	fmt.Printf("  operations     %d (%d iterations)\n", h.Trace().Len(), h.Iterations())
+	fmt.Printf("  rounds         %d\n", m.Rounds)
+	fmt.Printf("  messages       %d (max %d bits, congestion %d)\n", m.Messages, m.MaxMessageBit, m.Congestion)
+
+	if *verbose {
+		for _, op := range h.Trace().Ops() {
+			if op.Kind == semantics.DeleteMin {
+				fmt.Printf("  node %2d DeleteMin → %v\n", op.Node, op.Result)
+			}
+		}
+	}
+
+	switch {
+	case *lifo:
+		// LIFO order is not heap order: the oracle replay does not apply;
+		// local consistency still must hold.
+		rep := semantics.CheckLocalConsistency(h.Trace())
+		if rep.Ok() {
+			fmt.Println("  semantics      locally consistent ✓ (stack order; see internal/queue.CheckStack)")
+		} else {
+			fmt.Printf("  semantics      VIOLATED:\n%s", rep.Error())
+			os.Exit(1)
+		}
+	case *maxHeap:
+		rep := semantics.CheckAllMax(h.Trace(), semantics.FIFO)
+		if rep.Ok() {
+			fmt.Println("  semantics      sequentially consistent + heap consistent ✓ (max-heap)")
+		} else {
+			fmt.Printf("  semantics      VIOLATED:\n%s", rep.Error())
+			os.Exit(1)
+		}
+	default:
+		rep := semantics.CheckAll(h.Trace(), semantics.FIFO)
+		if rep.Ok() {
+			fmt.Println("  semantics      sequentially consistent + heap consistent ✓")
+		} else {
+			fmt.Printf("  semantics      VIOLATED:\n%s", rep.Error())
+			os.Exit(1)
+		}
+	}
+}
+
+// loadOrGenerate returns the per-round operation stream: replayed from a
+// recording when replayPath is set, otherwise generated (and optionally
+// recorded to recordPath).
+func loadOrGenerate(replayPath, recordPath string, rounds int, cfg workload.Config) [][]workload.Op {
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		stream, err := workload.ReadRounds(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		return stream
+	}
+	gen := workload.New(cfg)
+	stream := make([][]workload.Op, rounds)
+	for r := range stream {
+		stream[r] = gen.Round()
+	}
+	if recordPath != "" {
+		f, err := os.Create(recordPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "record:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := workload.WriteRounds(f, stream); err != nil {
+			fmt.Fprintln(os.Stderr, "record:", err)
+			os.Exit(1)
+		}
+	}
+	return stream
+}

@@ -1,0 +1,89 @@
+package dpq
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the command-line tools: each binary must run a small
+// configuration to completion and report verified semantics.
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI smoke test in -short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdSkeapsim(t *testing.T) {
+	out := runCmd(t, "./cmd/skeapsim", "-n", "8", "-rounds", "8", "-lambda", "2")
+	if !strings.Contains(out, "sequentially consistent") {
+		t.Fatalf("skeapsim output:\n%s", out)
+	}
+}
+
+func TestCmdSeapsim(t *testing.T) {
+	out := runCmd(t, "./cmd/seapsim", "-n", "8", "-rounds", "8", "-lambda", "2")
+	if !strings.Contains(out, "serializable") {
+		t.Fatalf("seapsim output:\n%s", out)
+	}
+}
+
+func TestCmdKselectsim(t *testing.T) {
+	out := runCmd(t, "./cmd/kselectsim", "-n", "8", "-m", "256")
+	if !strings.Contains(out, "matches the local sort") {
+		t.Fatalf("kselectsim output:\n%s", out)
+	}
+}
+
+func TestCmdPhasetrace(t *testing.T) {
+	out := runCmd(t, "./cmd/phasetrace", "-n", "8", "-ops", "1")
+	if !strings.Contains(out, "batch anatomy") || !strings.Contains(out, "tree/up") {
+		t.Fatalf("phasetrace output:\n%s", out)
+	}
+}
+
+func TestCmdChurnsim(t *testing.T) {
+	out := runCmd(t, "./cmd/churnsim", "-proto", "skeap", "-waves", "3", "-ops", "8")
+	if !strings.Contains(out, "churn complete") {
+		t.Fatalf("churnsim output:\n%s", out)
+	}
+}
+
+func TestCmdBenchallQuickSubset(t *testing.T) {
+	// benchall -quick takes several seconds; make sure it at least starts
+	// and emits a table when run to completion.
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	out := runCmd(t, "./cmd/benchall", "-quick")
+	if !strings.Contains(out, "### E-F2") || !strings.Contains(out, "### E21") {
+		t.Fatalf("benchall output truncated:\n%.600s", out)
+	}
+}
+
+func TestCmdRecordReplayIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	dir := t.TempDir()
+	rec := filepath.Join(dir, "wl.txt")
+	out1 := runCmd(t, "./cmd/seapsim", "-n", "6", "-rounds", "6", "-record", rec)
+	out2 := runCmd(t, "./cmd/seapsim", "-n", "6", "-rounds", "6", "-replay", rec)
+	if out1 != out2 {
+		t.Fatalf("replay differs from recording:\n--- record\n%s\n--- replay\n%s", out1, out2)
+	}
+	if _, err := os.Stat(rec); err != nil {
+		t.Fatal("recording not written")
+	}
+}

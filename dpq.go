@@ -1,0 +1,105 @@
+// Package dpq provides scalable distributed priority queues — a
+// reproduction of "Skeap & Seap: Scalable Distributed Priority Queues for
+// Constant and Arbitrary Priorities" (Feldmann & Scheideler, SPAA 2019).
+//
+// Two protocols are provided behind one API:
+//
+//   - Skeap — for a constant number of priorities; sequentially
+//     consistent; O(Λ log² n)-bit messages (Theorem 3.2).
+//   - Seap — for arbitrary poly(n)-sized priority universes; serializable;
+//     O(log n)-bit messages independent of the injection rate
+//     (Theorem 5.1), built on the KSelect distributed k-selection
+//     protocol (Theorem 4.2).
+//
+// Both run the paper's protocols faithfully on a simulated asynchronous
+// message-passing network (the linearized de Bruijn overlay of Appendix A
+// with its embedded aggregation tree and DHT). See the examples/ directory
+// for runnable programs and DESIGN.md for the system inventory.
+//
+// Quickstart:
+//
+//	pq, _ := dpq.New(dpq.Seap, dpq.Options{Nodes: 16, Seed: 1})
+//	pq.Insert(0, 42, "job-a")
+//	pq.Insert(3, 7, "job-b")
+//	pq.DeleteMin(9)
+//	pq.Run(0)
+//	for _, d := range pq.Results() {
+//		fmt.Println(d.Payload) // "job-b" — the most prioritized element
+//	}
+package dpq
+
+import (
+	"dpq/internal/core"
+	"dpq/internal/counter"
+	"dpq/internal/kselect"
+	"dpq/internal/prio"
+	"dpq/internal/queue"
+	"dpq/internal/semantics"
+)
+
+// Protocol selects the heap implementation.
+type Protocol = core.Protocol
+
+// Protocols.
+const (
+	// Skeap supports a constant priority universe and guarantees
+	// sequential consistency.
+	Skeap = core.Skeap
+	// Seap supports arbitrary priorities and guarantees serializability
+	// with rate-independent O(log n)-bit messages.
+	Seap = core.Seap
+)
+
+// Options configures a PQ.
+type Options = core.Options
+
+// PQ is a distributed priority queue running on a simulated network.
+type PQ = core.PQ
+
+// Delivery is the outcome of one DeleteMin.
+type Delivery = core.Delivery
+
+// Element is a heap element (id, priority, payload).
+type Element = prio.Element
+
+// ElemID uniquely identifies an element.
+type ElemID = prio.ElemID
+
+// New creates a distributed priority queue running the given protocol.
+func New(proto Protocol, opts Options) (*PQ, error) { return core.New(proto, opts) }
+
+// Select runs the standalone KSelect protocol over n simulated processes
+// and returns the element of rank k among elems.
+func Select(n int, elems []Element, k int64, seed uint64) (kselect.Result, error) {
+	return core.Select(n, elems, k, seed)
+}
+
+// SelectResult is the outcome of a KSelect run, including the protocol
+// diagnostics the experiments report.
+type SelectResult = kselect.Result
+
+// Queue is the sequentially consistent distributed FIFO queue (Skueue).
+type Queue = queue.Queue
+
+// NewQueue builds a distributed queue over n processes.
+func NewQueue(n int, seed uint64) *Queue { return queue.NewQueue(n, seed) }
+
+// Stack is the sequentially consistent distributed LIFO stack.
+type Stack = queue.Stack
+
+// NewStack builds a distributed stack over n processes.
+func NewStack(n int, seed uint64) *Stack { return queue.NewStack(n, seed) }
+
+// CheckQueue verifies a queue trace against sequential FIFO semantics.
+func CheckQueue(t *semantics.Trace) *semantics.Report { return queue.CheckQueue(t) }
+
+// CheckStack verifies a stack trace against sequential LIFO semantics.
+func CheckStack(t *semantics.Trace) *semantics.Report { return queue.CheckStack(t) }
+
+// Counter is a distributed fetch-and-increment counter (§1's distributed
+// counting application): every increment receives a unique, gap-free,
+// sequentially consistent value via the aggregation tree.
+type Counter = counter.Counter
+
+// NewCounter builds a distributed counter over n processes.
+func NewCounter(n int, seed uint64) *Counter { return counter.New(n, seed) }

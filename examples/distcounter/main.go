@@ -1,0 +1,67 @@
+// Distcounter: the distributed-counting application §1 names for the
+// Skueue machinery. Sixteen processes race to draw ticket numbers from a
+// shared counter; the aggregation tree batches concurrent increments, so
+// every ticket is unique and gap-free without any shared memory cell or
+// coordinator bottleneck.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dpq"
+	"dpq/internal/hashutil"
+)
+
+func main() {
+	const (
+		nodes   = 16
+		tickets = 200
+	)
+	c := dpq.NewCounter(nodes, 31)
+	eng := c.NewSyncEngine(32)
+	rnd := hashutil.NewRand(33)
+
+	type draw struct {
+		host  int
+		value int64
+	}
+	var draws []draw
+	// Processes draw tickets at random times over 120 rounds.
+	issued := 0
+	for round := 0; issued < tickets || !c.Done(); round++ {
+		if issued < tickets && round%2 == 0 {
+			host := rnd.Intn(nodes)
+			c.Increment(host, func(v int64) {
+				draws = append(draws, draw{host: host, value: v})
+			})
+			issued++
+		}
+		eng.Step()
+		if round > 100000 {
+			log.Fatal("counter stuck")
+		}
+	}
+
+	// Every ticket must be unique and the set gap-free 1..tickets.
+	sort.Slice(draws, func(i, j int) bool { return draws[i].value < draws[j].value })
+	for i, d := range draws {
+		if d.value != int64(i+1) {
+			log.Fatalf("ticket sequence broken at %d: %+v", i, d)
+		}
+	}
+	perHost := map[int]int{}
+	for _, d := range draws {
+		perHost[d.host]++
+	}
+	fmt.Printf("%d tickets drawn by %d processes — unique and gap-free ✓\n", tickets, nodes)
+	fmt.Printf("first tickets: ")
+	for _, d := range draws[:6] {
+		fmt.Printf("#%d→host%d ", d.value, d.host)
+	}
+	fmt.Println()
+	m := eng.Metrics()
+	fmt.Printf("cost: %d rounds, %d messages, congestion %d (no coordinator hotspot)\n",
+		m.Rounds, m.Messages, m.Congestion)
+}

@@ -1,0 +1,47 @@
+package dpq
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the runnable examples: each must complete and report
+// its verification line.
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runCmd(t, "./examples/quickstart")
+	for _, want := range []string{"sequentially consistent + heap consistent ✓", "serializable + heap consistent ✓"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleJobscheduler(t *testing.T) {
+	out := runCmd(t, "./examples/jobscheduler")
+	if !strings.Contains(out, "class ordering respected: true") {
+		t.Fatalf("jobscheduler output:\n%s", out)
+	}
+}
+
+func TestExampleDistsort(t *testing.T) {
+	out := runCmd(t, "./examples/distsort")
+	if !strings.Contains(out, "globally sorted order ✓") {
+		t.Fatalf("distsort output:\n%s", out)
+	}
+}
+
+func TestExampleWorkstealing(t *testing.T) {
+	out := runCmd(t, "./examples/workstealing")
+	if !strings.Contains(out, "verified sequentially consistent FIFO ✓") ||
+		!strings.Contains(out, "verified sequentially consistent LIFO ✓") {
+		t.Fatalf("workstealing output:\n%s", out)
+	}
+}
+
+func TestExampleDistcounter(t *testing.T) {
+	out := runCmd(t, "./examples/distcounter")
+	if !strings.Contains(out, "unique and gap-free ✓") {
+		t.Fatalf("distcounter output:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module dpq
+
+go 1.22

@@ -1,0 +1,246 @@
+// Package aggtree implements the aggregation phases of §2.2 on the tree
+// embedded in the LDB (Lemma 2.2): values flow from the leaves to the
+// anchor, being combined at every inner node, and results flow back down,
+// being decomposed at every inner node. One gather–scatter exchange costs
+// O(height) = O(log n) rounds w.h.p.
+//
+// The package provides a single reusable primitive, the Proto/Runner pair:
+// a Proto describes one aggregation protocol (how a node contributes, how
+// contributions combine, what the anchor computes, and how the result is
+// split among children); a Runner multiplexes any number of Protos and
+// sequential instances (Seq) of each over one node's tree links. All of
+// Skeap's phases 1–3, Seap's phases and KSelect's aggregation steps are
+// instances of this primitive, exactly as the paper describes them.
+package aggtree
+
+import (
+	"fmt"
+
+	"dpq/internal/ldb"
+	"dpq/internal/sim"
+)
+
+// Value is a protocol-defined aggregate carried in tree messages. Its Bits
+// method feeds the engines' message-size accounting.
+type Value = sim.Message
+
+// KidValue is a child's contribution, remembered by inner nodes between
+// the gather and the scatter (Skeap Phase 1 "memorizes the sub-batches…
+// as it needs them to perform the correct interval decomposition").
+type KidValue struct {
+	From sim.NodeID
+	V    Value
+}
+
+// Proto describes one gather–scatter protocol. Combine, AtRoot and Split
+// are pure with respect to the tree; all protocol state lives in the
+// closures' owner.
+type Proto struct {
+	// Name is used in diagnostics.
+	Name string
+	// Own returns the node's contribution when the instance starts at
+	// that node (params are the anchor's start parameters).
+	Own func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params Value) Value
+	// Combine merges the node's own contribution with its children's.
+	Combine func(self *ldb.VInfo, seq uint64, params Value, own Value, kids []KidValue) Value
+	// AtRoot consumes the fully combined value at the anchor and returns
+	// the value to scatter down, or nil for a gather-only instance.
+	AtRoot func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params Value, combined Value) Value
+	// Split decomposes a down value into the node's own part and one part
+	// per remembered child (same order as kids). Nil parts are not sent.
+	Split func(self *ldb.VInfo, seq uint64, params Value, down Value, own Value, kids []KidValue) (ownPart Value, kidParts []Value)
+	// OnOwn consumes the node's own part of the scatter.
+	OnOwn func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params Value, ownPart Value)
+	// GatherOnly marks protocols whose AtRoot never scatters.
+	GatherOnly bool
+}
+
+// Tag identifies a registered Proto within a Runner.
+type Tag uint8
+
+// instance key: one protocol may run sequential instances (per iteration).
+type key struct {
+	tag Tag
+	seq uint64
+}
+
+type state struct {
+	params Value
+	begun  bool
+	own    Value
+	kids   []KidValue
+	sentUp bool
+	want   int // children count at begin time
+}
+
+// StartMsg begins instance (Tag, Seq) at the receiving subtree: the node
+// contributes Own, forwards the start to its children and awaits their
+// UpMsgs.
+type StartMsg struct {
+	Tag    Tag
+	Seq    uint64
+	Params Value
+}
+
+// Bits accounts a small header plus the parameters.
+func (m *StartMsg) Bits() int {
+	b := 16 + 64
+	if m.Params != nil {
+		b += m.Params.Bits()
+	}
+	return b
+}
+
+// UpMsg carries a combined contribution from a child to its parent.
+type UpMsg struct {
+	Tag Tag
+	Seq uint64
+	V   Value
+}
+
+// Bits accounts a small header plus the value.
+func (m *UpMsg) Bits() int { return 16 + 64 + m.V.Bits() }
+
+// DownMsg carries a child's share of the scattered result.
+type DownMsg struct {
+	Tag Tag
+	Seq uint64
+	V   Value
+}
+
+// Bits accounts a small header plus the value.
+func (m *DownMsg) Bits() int { return 16 + 64 + m.V.Bits() }
+
+// Runner executes registered Protos at one virtual node. Protocol handlers
+// delegate StartMsg/UpMsg/DownMsg to it.
+type Runner struct {
+	ov     *ldb.Overlay
+	protos map[Tag]*Proto
+	states map[key]*state
+}
+
+// NewRunner creates a Runner for the virtual node whose VInfo the handler
+// passes on every call.
+func NewRunner(ov *ldb.Overlay) *Runner {
+	return &Runner{ov: ov, protos: make(map[Tag]*Proto), states: make(map[key]*state)}
+}
+
+// Register binds tag to proto on this node. All nodes must register the
+// same protos (they are the publicly known protocol description).
+func (r *Runner) Register(tag Tag, p *Proto) {
+	if _, dup := r.protos[tag]; dup {
+		panic(fmt.Sprintf("aggtree: duplicate tag %d", tag))
+	}
+	r.protos[tag] = p
+}
+
+// Start initiates instance (tag, seq) from the anchor. It must be called
+// in the anchor's context.
+func (r *Runner) Start(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq uint64, params Value) {
+	if self.Parent != sim.None {
+		panic("aggtree: Start called at a non-anchor node")
+	}
+	r.begin(ctx, self, tag, seq, params)
+}
+
+// Handle processes one tree message; it reports whether the message was an
+// aggtree message with a tag registered on this Runner (false lets the
+// caller dispatch other message types or other Runners).
+func (r *Runner) Handle(ctx *sim.Context, self *ldb.VInfo, from sim.NodeID, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case *StartMsg:
+		if _, ok := r.protos[m.Tag]; !ok {
+			return false
+		}
+		r.begin(ctx, self, m.Tag, m.Seq, m.Params)
+	case *UpMsg:
+		if _, ok := r.protos[m.Tag]; !ok {
+			return false
+		}
+		st := r.state(m.Tag, m.Seq)
+		st.kids = append(st.kids, KidValue{From: from, V: m.V})
+		r.maybeCombine(ctx, self, m.Tag, m.Seq, st)
+	case *DownMsg:
+		if _, ok := r.protos[m.Tag]; !ok {
+			return false
+		}
+		r.scatter(ctx, self, m.Tag, m.Seq, m.V)
+	default:
+		return false
+	}
+	return true
+}
+
+func (r *Runner) proto(tag Tag) *Proto {
+	p, ok := r.protos[tag]
+	if !ok {
+		panic(fmt.Sprintf("aggtree: unknown tag %d", tag))
+	}
+	return p
+}
+
+func (r *Runner) state(tag Tag, seq uint64) *state {
+	k := key{tag, seq}
+	st, ok := r.states[k]
+	if !ok {
+		st = &state{}
+		r.states[k] = st
+	}
+	return st
+}
+
+func (r *Runner) begin(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq uint64, params Value) {
+	p := r.proto(tag)
+	st := r.state(tag, seq)
+	if st.begun {
+		panic(fmt.Sprintf("aggtree: %s instance %d started twice", p.Name, seq))
+	}
+	st.begun = true
+	st.params = params
+	st.want = len(self.Children)
+	st.own = p.Own(ctx, self, seq, params)
+	for _, c := range self.Children {
+		ctx.Send(c, &StartMsg{Tag: tag, Seq: seq, Params: params})
+	}
+	r.maybeCombine(ctx, self, tag, seq, st)
+}
+
+func (r *Runner) maybeCombine(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq uint64, st *state) {
+	if !st.begun || st.sentUp || len(st.kids) < st.want {
+		return
+	}
+	p := r.proto(tag)
+	combined := p.Combine(self, seq, st.params, st.own, st.kids)
+	st.sentUp = true
+	if self.Parent == sim.None {
+		down := p.AtRoot(ctx, self, seq, st.params, combined)
+		if down == nil {
+			delete(r.states, key{tag, seq})
+			return
+		}
+		r.scatter(ctx, self, tag, seq, down)
+		return
+	}
+	ctx.Send(self.Parent, &UpMsg{Tag: tag, Seq: seq, V: combined})
+	if p.GatherOnly {
+		delete(r.states, key{tag, seq})
+	}
+}
+
+func (r *Runner) scatter(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq uint64, down Value) {
+	p := r.proto(tag)
+	st := r.state(tag, seq)
+	ownPart, kidParts := p.Split(self, seq, st.params, down, st.own, st.kids)
+	if len(kidParts) != len(st.kids) {
+		panic(fmt.Sprintf("aggtree: %s Split returned %d parts for %d children", p.Name, len(kidParts), len(st.kids)))
+	}
+	for i, kv := range st.kids {
+		if kidParts[i] != nil {
+			ctx.Send(kv.From, &DownMsg{Tag: tag, Seq: seq, V: kidParts[i]})
+		}
+	}
+	if p.OnOwn != nil {
+		p.OnOwn(ctx, self, seq, st.params, ownPart)
+	}
+	delete(r.states, key{tag, seq})
+}

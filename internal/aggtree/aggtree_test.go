@@ -1,0 +1,267 @@
+package aggtree
+
+import (
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/ldb"
+	"dpq/internal/mathx"
+	"dpq/internal/sim"
+)
+
+// aggNode hosts a Runner for testing.
+type aggNode struct {
+	ov *ldb.Overlay
+	r  *Runner
+}
+
+func (n *aggNode) HandleMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	if !n.r.Handle(ctx, n.ov.Info(ctx.ID()), from, msg) {
+		panic("unexpected message")
+	}
+}
+
+func (n *aggNode) Activate(*sim.Context) {}
+
+func buildNetwork(n int, seed uint64, register func(r *Runner)) (*ldb.Overlay, *sim.SyncEngine, []*aggNode) {
+	ov := ldb.New(n, hashutil.New(seed))
+	nodes := make([]*aggNode, ov.NumVirtual())
+	handlers := make([]sim.Handler, ov.NumVirtual())
+	for i := range handlers {
+		nodes[i] = &aggNode{ov: ov, r: NewRunner(ov)}
+		register(nodes[i].r)
+		handlers[i] = nodes[i]
+	}
+	groups, group := ov.Group()
+	eng := sim.NewSync(handlers, 1, groups, group)
+	return ov, eng, nodes
+}
+
+// countProto counts participating virtual nodes — the example of §2.2.
+func countProto(result *int64, done *bool) *Proto {
+	return &Proto{
+		Name: "count",
+		Own: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params Value) Value {
+			return IntVal(1)
+		},
+		Combine: func(self *ldb.VInfo, seq uint64, params Value, own Value, kids []KidValue) Value {
+			t := own.(IntVal)
+			for _, kv := range kids {
+				t += kv.V.(IntVal)
+			}
+			return t
+		},
+		AtRoot: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params Value, combined Value) Value {
+			*result = int64(combined.(IntVal))
+			*done = true
+			return nil
+		},
+		GatherOnly: true,
+	}
+}
+
+func TestCountAggregation(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 32} {
+		var result int64
+		var done bool
+		ov, eng, nodes := buildNetwork(n, uint64(n)+100, func(r *Runner) {
+			r.Register(1, countProto(&result, &done))
+		})
+		nodes[ov.Anchor].r.Start(eng.Context(ov.Anchor), ov.Info(ov.Anchor), 1, 0, nil)
+		ok := eng.RunUntil(func() bool { return done }, 100*(mathx.Log2Ceil(n)+2))
+		if !ok {
+			t.Fatalf("n=%d: aggregation never completed", n)
+		}
+		if result != int64(3*n) {
+			t.Fatalf("n=%d: counted %d virtual nodes, want %d", n, result, 3*n)
+		}
+	}
+}
+
+func TestAggregationRounds(t *testing.T) {
+	// One gather costs O(height) rounds.
+	for _, n := range []int{8, 64, 256} {
+		var result int64
+		var done bool
+		ov, eng, nodes := buildNetwork(n, uint64(n)+7, func(r *Runner) {
+			r.Register(1, countProto(&result, &done))
+		})
+		nodes[ov.Anchor].r.Start(eng.Context(ov.Anchor), ov.Info(ov.Anchor), 1, 0, nil)
+		eng.RunUntil(func() bool { return done }, 10000)
+		if result != int64(3*n) {
+			t.Fatalf("count=%d", result)
+		}
+		if eng.Metrics().Rounds > 3*ov.TreeHeight()+4 {
+			t.Fatalf("n=%d: %d rounds for height %d", n, eng.Metrics().Rounds, ov.TreeHeight())
+		}
+	}
+}
+
+// scatterProto gives every node a distinct share [lo,hi) of [0, total):
+// the interval-decomposition pattern of Skeap Phase 3.
+type share struct{ lo, hi int64 }
+
+func TestGatherScatterDecomposition(t *testing.T) {
+	n := 24
+	ov := ldb.New(n, hashutil.New(55))
+	shares := make(map[sim.NodeID]share)
+	received := 0
+
+	proto := &Proto{
+		Name: "alloc",
+		Own: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params Value) Value {
+			// Each virtual node wants (id mod 3) + 1 slots.
+			return IntVal(int64(self.ID)%3 + 1)
+		},
+		Combine: func(self *ldb.VInfo, seq uint64, params Value, own Value, kids []KidValue) Value {
+			t := own.(IntVal)
+			for _, kv := range kids {
+				t += kv.V.(IntVal)
+			}
+			return t
+		},
+		AtRoot: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params Value, combined Value) Value {
+			return IntervalVal{Lo: 0, Hi: int64(combined.(IntVal)) - 1}
+		},
+		Split: func(self *ldb.VInfo, seq uint64, params Value, down Value, own Value, kids []KidValue) (Value, []Value) {
+			iv := down.(IntervalVal)
+			lo := iv.Lo
+			ownPart := IntervalVal{Lo: lo, Hi: lo + int64(own.(IntVal)) - 1}
+			lo = ownPart.Hi + 1
+			parts := make([]Value, len(kids))
+			for i, kv := range kids {
+				parts[i] = IntervalVal{Lo: lo, Hi: lo + int64(kv.V.(IntVal)) - 1}
+				lo = lo + int64(kv.V.(IntVal))
+			}
+			if lo != iv.Hi+1 {
+				panic("split does not cover")
+			}
+			return ownPart, parts
+		},
+		OnOwn: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params Value, ownPart Value) {
+			iv := ownPart.(IntervalVal)
+			shares[self.ID] = share{lo: iv.Lo, hi: iv.Hi + 1}
+			received++
+		},
+	}
+
+	nodes := make([]*aggNode, ov.NumVirtual())
+	handlers := make([]sim.Handler, ov.NumVirtual())
+	for i := range handlers {
+		nodes[i] = &aggNode{ov: ov, r: NewRunner(ov)}
+		nodes[i].r.Register(2, proto)
+		handlers[i] = nodes[i]
+	}
+	groups, group := ov.Group()
+	eng := sim.NewSync(handlers, 1, groups, group)
+	nodes[ov.Anchor].r.Start(eng.Context(ov.Anchor), ov.Info(ov.Anchor), 2, 0, nil)
+	ok := eng.RunUntil(func() bool { return received == 3*n }, 10000)
+	if !ok {
+		t.Fatalf("scatter incomplete: %d/%d", received, 3*n)
+	}
+
+	// Shares must partition [0, total) without gaps or overlaps.
+	var total int64
+	for i := 0; i < 3*n; i++ {
+		total += int64(i)%3 + 1
+	}
+	covered := make([]int, total)
+	for id, s := range shares {
+		want := int64(id)%3 + 1
+		if s.hi-s.lo != want {
+			t.Fatalf("node %d got %d slots, want %d", id, s.hi-s.lo, want)
+		}
+		for p := s.lo; p < s.hi; p++ {
+			covered[p]++
+		}
+	}
+	for p, c := range covered {
+		if c != 1 {
+			t.Fatalf("position %d covered %d times", p, c)
+		}
+	}
+}
+
+func TestSequentialInstances(t *testing.T) {
+	// The same proto must run as independent sequential instances.
+	n := 6
+	ov := ldb.New(n, hashutil.New(77))
+	var result int64
+	var done bool
+	nodes := make([]*aggNode, ov.NumVirtual())
+	handlers := make([]sim.Handler, ov.NumVirtual())
+	for i := range handlers {
+		nodes[i] = &aggNode{ov: ov, r: NewRunner(ov)}
+		nodes[i].r.Register(1, countProto(&result, &done))
+		handlers[i] = nodes[i]
+	}
+	groups, group := ov.Group()
+	eng := sim.NewSync(handlers, 1, groups, group)
+	for seq := uint64(0); seq < 3; seq++ {
+		done = false
+		nodes[ov.Anchor].r.Start(eng.Context(ov.Anchor), ov.Info(ov.Anchor), 1, seq, nil)
+		if !eng.RunUntil(func() bool { return done }, 10000) {
+			t.Fatalf("instance %d stuck", seq)
+		}
+		if result != int64(3*n) {
+			t.Fatalf("instance %d: count=%d", seq, result)
+		}
+	}
+}
+
+func TestDuplicateTagPanics(t *testing.T) {
+	r := NewRunner(nil)
+	r.Register(1, &Proto{Name: "a"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Register(1, &Proto{Name: "b"})
+}
+
+func TestStartAtNonAnchorPanics(t *testing.T) {
+	ov := ldb.New(2, hashutil.New(1))
+	r := NewRunner(ov)
+	r.Register(1, &Proto{Name: "x"})
+	var notAnchor sim.NodeID
+	for i := range ov.V {
+		if sim.NodeID(i) != ov.Anchor {
+			notAnchor = sim.NodeID(i)
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Start(nil, ov.Info(notAnchor), 1, 0, nil)
+}
+
+func TestValueBits(t *testing.T) {
+	if IntVal(0).Bits() < 1 || IntVal(-5).Bits() <= IntVal(0).Bits() {
+		t.Fatal("IntVal bit accounting")
+	}
+	if (Int2Val{A: 3, B: 4}).Bits() != IntVal(3).Bits()+IntVal(4).Bits() {
+		t.Fatal("Int2Val bit accounting")
+	}
+	if (IntervalVal{Lo: 1, Hi: 0}).Size() != 0 || (IntervalVal{Lo: 1, Hi: 3}).Size() != 3 {
+		t.Fatal("IntervalVal size")
+	}
+	if (NilVal{}).Bits() != 1 {
+		t.Fatal("NilVal bits")
+	}
+	up := &UpMsg{Tag: 1, Seq: 0, V: IntVal(1)}
+	if up.Bits() <= IntVal(1).Bits() {
+		t.Fatal("UpMsg header not accounted")
+	}
+	st := &StartMsg{Tag: 1}
+	if st.Bits() <= 0 {
+		t.Fatal("StartMsg bits")
+	}
+	dn := &DownMsg{Tag: 1, V: NilVal{}}
+	if dn.Bits() <= 1 {
+		t.Fatal("DownMsg bits")
+	}
+}

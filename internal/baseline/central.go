@@ -1,0 +1,162 @@
+// Package baseline implements the comparators the paper's scalability
+// claims are measured against:
+//
+//   - CentralHeap: the obvious non-batching design — every operation is
+//     sent to a single coordinator holding a sequential heap. It is
+//     trivially sequentially consistent but its coordinator handles Θ(nΛ)
+//     messages per round (the bottleneck §1 and §1.3 argue against).
+//   - GatherAllSelect: k-selection by aggregating every element to the
+//     anchor — correct in O(log n) rounds but with Θ(m log n)-bit messages
+//     near the root, violating KSelect's O(log n)-bit budget.
+//   - BinarySearchSelect: k-selection by binary search over the priority
+//     domain with count aggregations — O(log n)-bit messages but
+//     Θ(log(n^q)) = Θ(q log n) aggregation phases versus KSelect's O(1)
+//     per phase (the generic-algorithm regime of Kuhn et al. discussed in
+//     §1.3).
+package baseline
+
+import (
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+	"dpq/internal/seqheap"
+	"dpq/internal/sim"
+)
+
+// OpMsg carries one heap operation to the coordinator.
+type OpMsg struct {
+	Kind  semantics.OpKind
+	Elem  prio.Element
+	ReqID uint64
+}
+
+// Bits accounts the element and a request id.
+func (m *OpMsg) Bits() int { return 8 + m.Elem.Bits() + 64 }
+
+// ResultMsg answers a DeleteMin (or acknowledges an Insert), carrying the
+// coordinator-assigned serialization value for the trace.
+type ResultMsg struct {
+	ReqID uint64
+	Elem  prio.Element
+	Value int64
+}
+
+// Bits accounts the element, the request id and the value.
+func (m *ResultMsg) Bits() int { return 64 + m.Elem.Bits() + 64 }
+
+// CentralHeap is a distributed priority queue in which every process
+// forwards each operation, one message per operation, to a fixed
+// coordinator that owns a sequential binary heap.
+type CentralHeap struct {
+	n           int
+	coordinator sim.NodeID
+	trace       *semantics.Trace
+	nodes       []*centralNode
+}
+
+type pendingReq struct {
+	op *semantics.Op
+}
+
+type centralNode struct {
+	h *CentralHeap
+	// coordinator state
+	heap  *seqheap.Heap
+	value int64
+	// requester state
+	pending map[uint64]pendingReq
+	nextReq uint64
+	outbox  []*OpMsg
+}
+
+// NewCentral builds a central-coordinator heap over n processes.
+// Process 0 is the coordinator.
+func NewCentral(n int) *CentralHeap {
+	c := &CentralHeap{n: n, coordinator: 0, trace: semantics.NewTrace()}
+	c.nodes = make([]*centralNode, n)
+	for i := range c.nodes {
+		c.nodes[i] = &centralNode{h: c, pending: make(map[uint64]pendingReq)}
+	}
+	c.nodes[0].heap = seqheap.New(0)
+	return c
+}
+
+// Trace returns the execution trace.
+func (c *CentralHeap) Trace() *semantics.Trace { return c.trace }
+
+// Done reports whether every injected operation completed.
+func (c *CentralHeap) Done() bool { return c.trace.DoneCount() == c.trace.Len() }
+
+// Handlers returns the sim handlers (one per process).
+func (c *CentralHeap) Handlers() []sim.Handler {
+	hs := make([]sim.Handler, c.n)
+	for i, n := range c.nodes {
+		hs[i] = &centralHandler{n: n, id: sim.NodeID(i)}
+	}
+	return hs
+}
+
+// NewSyncEngine wires the heap into a synchronous engine (identity
+// grouping: each process is its own congestion group).
+func (c *CentralHeap) NewSyncEngine(seed uint64) *sim.SyncEngine {
+	return sim.NewSync(c.Handlers(), seed, 0, nil)
+}
+
+// InjectInsert buffers an Insert at the given process.
+func (c *CentralHeap) InjectInsert(host int, id prio.ElemID, p uint64, payload string) {
+	e := prio.Element{ID: id, Prio: prio.Priority(p), Payload: payload}
+	op := c.trace.Issue(host, semantics.Insert, e)
+	c.enqueue(host, &OpMsg{Kind: semantics.Insert, Elem: e}, op)
+}
+
+// InjectDelete buffers a DeleteMin at the given process.
+func (c *CentralHeap) InjectDelete(host int) {
+	op := c.trace.Issue(host, semantics.DeleteMin, prio.Element{})
+	c.enqueue(host, &OpMsg{Kind: semantics.DeleteMin}, op)
+}
+
+func (c *CentralHeap) enqueue(host int, m *OpMsg, op *semantics.Op) {
+	n := c.nodes[host]
+	n.nextReq++
+	m.ReqID = n.nextReq
+	n.pending[m.ReqID] = pendingReq{op: op}
+	n.outbox = append(n.outbox, m)
+}
+
+type centralHandler struct {
+	n  *centralNode
+	id sim.NodeID
+}
+
+func (ch *centralHandler) HandleMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	n := ch.n
+	switch m := msg.(type) {
+	case *OpMsg:
+		// Coordinator: apply in arrival order — that order is ≺.
+		n.value++
+		switch m.Kind {
+		case semantics.Insert:
+			n.heap.Insert(m.Elem)
+			ctx.Send(from, &ResultMsg{ReqID: m.ReqID, Elem: prio.Element{}, Value: n.value})
+		case semantics.DeleteMin:
+			e, _ := n.heap.DeleteMin()
+			ctx.Send(from, &ResultMsg{ReqID: m.ReqID, Elem: e, Value: n.value})
+		}
+	case *ResultMsg:
+		req, ok := n.pending[m.ReqID]
+		if !ok {
+			panic("baseline: reply for unknown request")
+		}
+		delete(n.pending, m.ReqID)
+		n.h.trace.Complete(req.op, m.Elem, m.Value)
+	}
+}
+
+func (ch *centralHandler) Activate(ctx *sim.Context) {
+	// Flush buffered operations to the coordinator, one message each —
+	// precisely the non-batching behaviour whose congestion Skeap avoids.
+	n := ch.n
+	for _, m := range n.outbox {
+		ctx.Send(n.h.coordinator, m)
+	}
+	n.outbox = nil
+}

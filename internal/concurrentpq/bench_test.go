@@ -1,0 +1,52 @@
+package concurrentpq
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/prio"
+)
+
+func BenchmarkSkipInsert(b *testing.B) {
+	q := New(1)
+	rnd := hashutil.NewRand(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Insert(prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(rnd.Uint64())})
+	}
+}
+
+func BenchmarkSkipMix(b *testing.B) {
+	q := New(3)
+	rnd := hashutil.NewRand(4)
+	for i := 0; i < 512; i++ {
+		q.Insert(prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(rnd.Uint64())})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Insert(prio.Element{ID: prio.ElemID(i + 1000), Prio: prio.Priority(rnd.Uint64())})
+		q.DeleteMin()
+	}
+}
+
+func BenchmarkSkipParallelMix(b *testing.B) {
+	// Bounded-size structure: every worker inserts then deletes, so the
+	// list stays ~1k nodes regardless of b.N (a growing pre-fill would
+	// make the periodic sweeps quadratic).
+	q := New(5)
+	rnd := hashutil.NewRand(6)
+	for i := 0; i < 1024; i++ {
+		q.Insert(prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(rnd.Uint64())})
+	}
+	var ctr atomic.Uint64
+	ctr.Store(100000)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := ctr.Add(1)
+			q.Insert(prio.Element{ID: prio.ElemID(id), Prio: prio.Priority(id * 2654435761)})
+			q.DeleteMinAs(int64(id%64 + 1))
+		}
+	})
+}

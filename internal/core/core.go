@@ -1,0 +1,273 @@
+// Package core is the public face of the reproduction: it wraps the Skeap
+// and Seap protocols (the paper's primary contributions), the KSelect
+// primitive and the Skueue-derived queue/stack behind a small API that
+// hides engines, overlays and traces from casual users while keeping them
+// reachable for experiments.
+//
+// A PQ is a simulated distributed priority queue: operations are issued at
+// named processes ("hosts"), Run drives the network until every issued
+// operation completed, Results returns what each DeleteMin got, and Verify
+// replays the execution against the paper's correctness definitions
+// (sequential consistency + heap consistency for Skeap, serializability +
+// heap consistency for Seap).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/kselect"
+	"dpq/internal/ldb"
+	"dpq/internal/mathx"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/semantics"
+	"dpq/internal/sim"
+	"dpq/internal/skeap"
+)
+
+// Protocol selects the heap implementation.
+type Protocol int
+
+// Protocols.
+const (
+	// Skeap supports a constant number of priorities and guarantees
+	// sequential consistency (Theorem 3.2).
+	Skeap Protocol = iota
+	// Seap supports arbitrary (poly(n)-sized) priority universes and
+	// guarantees serializability with O(log n)-bit messages (Theorem 5.1).
+	Seap
+)
+
+func (p Protocol) String() string {
+	if p == Skeap {
+		return "Skeap"
+	}
+	return "Seap"
+}
+
+// Options configures a PQ.
+type Options struct {
+	// Nodes is the number of participating processes (n ≥ 1).
+	Nodes int
+	// Priorities is |𝒫|. For Skeap it must be a small constant; for Seap
+	// any poly(n) value works. Defaults: 4 (Skeap), n² (Seap).
+	Priorities uint64
+	// Seed makes the simulation reproducible.
+	Seed uint64
+	// MaxHeap inverts the delete preference: DeleteMin becomes DeleteMax
+	// (Skeap only; §1.2's inversion).
+	MaxHeap bool
+	// SeqConsistent selects the §6 Seap variant: sequential consistency
+	// at the cost of throughput (Seap only).
+	SeqConsistent bool
+}
+
+// Delivery is the outcome of one DeleteMin.
+type Delivery struct {
+	Host     int    // process that issued the DeleteMin
+	Found    bool   // false: the heap was empty (⊥)
+	Priority uint64 // priority of the returned element
+	ID       prio.ElemID
+	Payload  string
+}
+
+// PQ is a distributed priority queue running on a simulated network.
+type PQ struct {
+	proto   Protocol
+	sk      *skeap.Heap
+	se      *seap.Heap
+	eng     *sim.SyncEngine
+	nodes   int
+	maxHeap bool
+	seqCons bool
+	nextID  uint64
+}
+
+// New creates a distributed priority queue.
+func New(proto Protocol, opts Options) (*PQ, error) {
+	if opts.Nodes < 1 {
+		return nil, errors.New("core: at least one node required")
+	}
+	if opts.SeqConsistent && proto != Seap {
+		return nil, errors.New("core: SeqConsistent mode is Seap-only")
+	}
+	pq := &PQ{proto: proto, nodes: opts.Nodes}
+	switch proto {
+	case Skeap:
+		p := opts.Priorities
+		if p == 0 {
+			p = 4
+		}
+		if p > 64 {
+			return nil, fmt.Errorf("core: Skeap needs a constant priority universe (got %d; use Seap)", p)
+		}
+		pq.sk = skeap.New(skeap.Config{N: opts.Nodes, P: int(p), Seed: opts.Seed, MaxHeap: opts.MaxHeap})
+		pq.maxHeap = opts.MaxHeap
+		pq.eng = pq.sk.NewSyncEngine()
+	case Seap:
+		if opts.MaxHeap {
+			return nil, errors.New("core: MaxHeap mode is Skeap-only")
+		}
+		bound := opts.Priorities
+		if bound == 0 {
+			bound = 1 << 30 // "arbitrary" priorities: a generous poly(n) default
+		}
+		pq.se = seap.New(seap.Config{N: opts.Nodes, PrioBound: bound, Seed: opts.Seed, SeqConsistent: opts.SeqConsistent})
+		pq.seqCons = opts.SeqConsistent
+		pq.eng = pq.se.NewSyncEngine()
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %d", proto)
+	}
+	return pq, nil
+}
+
+// Protocol returns the protocol the PQ runs.
+func (pq *PQ) Protocol() Protocol { return pq.proto }
+
+// Nodes returns the number of processes.
+func (pq *PQ) Nodes() int { return pq.nodes }
+
+// Insert issues Insert(e) at the given host. Priorities are 1-based
+// (1 = most prioritized). It returns the element's unique id.
+func (pq *PQ) Insert(host int, priority uint64, payload string) prio.ElemID {
+	pq.checkHost(host)
+	pq.nextID++
+	id := prio.ElemID(pq.nextID)
+	if pq.sk != nil {
+		pq.sk.InjectInsert(host, id, int(priority-1), payload)
+	} else {
+		pq.se.InjectInsert(host, id, priority, payload)
+	}
+	return id
+}
+
+// DeleteMin issues DeleteMin() at the given host; the outcome appears in
+// Results after Run.
+func (pq *PQ) DeleteMin(host int) {
+	pq.checkHost(host)
+	if pq.sk != nil {
+		pq.sk.InjectDelete(host)
+	} else {
+		pq.se.InjectDelete(host)
+	}
+}
+
+func (pq *PQ) checkHost(host int) {
+	if host < 0 || host >= pq.nodes {
+		panic(fmt.Sprintf("core: host %d out of range [0,%d)", host, pq.nodes))
+	}
+}
+
+// Run drives the simulated network until every issued operation completed
+// or the round budget is exhausted; it reports completion. A zero budget
+// picks a generous default.
+func (pq *PQ) Run(maxRounds int) bool {
+	if maxRounds <= 0 {
+		maxRounds = 20000 * (mathx.Log2Ceil(pq.nodes) + 3)
+	}
+	return pq.eng.RunUntil(pq.done, maxRounds)
+}
+
+func (pq *PQ) done() bool {
+	if pq.sk != nil {
+		return pq.sk.Done()
+	}
+	return pq.se.Done()
+}
+
+// Results returns the outcome of every completed DeleteMin, in
+// serialization order.
+func (pq *PQ) Results() []Delivery {
+	ops := pq.trace().Ops()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Value < ops[j].Value })
+	var out []Delivery
+	for _, op := range ops {
+		if op.Kind != semantics.DeleteMin || !op.Done {
+			continue
+		}
+		d := Delivery{Host: op.Node, Found: !op.Result.Nil()}
+		if d.Found {
+			d.ID = op.Result.ID
+			d.Payload = op.Result.Payload
+			d.Priority = uint64(op.Result.Prio)
+			if pq.sk != nil {
+				d.Priority++ // Skeap stores 0-based priorities internally
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (pq *PQ) trace() *semantics.Trace {
+	if pq.sk != nil {
+		return pq.sk.Trace()
+	}
+	return pq.se.Trace()
+}
+
+// Verify replays the recorded execution against the paper's correctness
+// definitions and returns an error describing the first violations, if
+// any. Skeap is checked for sequential consistency + heap consistency
+// (Definition 1.1 + 1.2), Seap for serializability + heap consistency.
+func (pq *PQ) Verify() error {
+	var rep *semantics.Report
+	switch {
+	case pq.sk != nil && pq.maxHeap:
+		rep = semantics.CheckAllMax(pq.trace(), semantics.FIFO)
+	case pq.sk != nil:
+		rep = semantics.CheckAll(pq.trace(), semantics.FIFO)
+	case pq.seqCons:
+		rep = semantics.CheckAll(pq.trace(), semantics.ByID)
+	default:
+		rep = semantics.CheckSerializable(pq.trace(), semantics.ByID)
+	}
+	if !rep.Ok() {
+		return errors.New(rep.Error())
+	}
+	return nil
+}
+
+// Metrics returns the accumulated network cost of the run.
+func (pq *PQ) Metrics() sim.Metrics { return *pq.eng.Metrics() }
+
+// Trace exposes the raw execution trace for custom analysis.
+func (pq *PQ) Trace() *semantics.Trace { return pq.trace() }
+
+// SkeapHeap / SeapHeap expose the underlying protocol instances for
+// experiments (nil for the other protocol).
+func (pq *PQ) SkeapHeap() *skeap.Heap { return pq.sk }
+
+// SeapHeap exposes the underlying Seap instance (nil when running Skeap).
+func (pq *PQ) SeapHeap() *seap.Heap { return pq.se }
+
+// Engine exposes the synchronous engine driving the PQ.
+func (pq *PQ) Engine() *sim.SyncEngine { return pq.eng }
+
+// Select runs the standalone KSelect protocol: it distributes elems
+// uniformly over a fresh n-process overlay and returns the element of rank
+// k (1-based) in the total order (priority, then id), plus the protocol
+// diagnostics.
+func Select(n int, elems []prio.Element, k int64, seed uint64) (kselect.Result, error) {
+	if n < 1 {
+		return kselect.Result{}, errors.New("core: at least one node required")
+	}
+	if k < 1 || k > int64(len(elems)) {
+		return kselect.Result{}, fmt.Errorf("core: rank %d out of range [1,%d]", k, len(elems))
+	}
+	ov := ldb.New(n, hashutil.New(seed))
+	sel := kselect.New(ov, hashutil.New(seed+1))
+	rnd := hashutil.NewRand(seed + 2)
+	for _, e := range elems {
+		sel.Load(sim.NodeID(rnd.Intn(ov.NumVirtual())), e)
+	}
+	eng := sel.NewSyncEngine(seed + 3)
+	sel.Start(eng.Context(sel.Anchor()), k)
+	if !eng.RunUntil(sel.Done, 20000*(mathx.Log2Ceil(n)+3)) {
+		return kselect.Result{}, errors.New("core: selection did not terminate")
+	}
+	return sel.Result(), nil
+}

@@ -1,0 +1,100 @@
+// Package debruijn implements the classical d-dimensional de Bruijn graph
+// and its bitshift routing (paper §2.1, Definition 2.1). It is the routing
+// blueprint the LDB overlay emulates (Lemma 2.2(v), Lemma A.3) and is used
+// directly by tests and by the emulation experiment.
+package debruijn
+
+// Node is a vertex of the d-dimensional de Bruijn graph: a bitstring
+// (x₁,…,x_d) packed into the low d bits of an integer, x₁ being the most
+// significant of those bits.
+type Node uint64
+
+// Graph is the standard binary de Bruijn graph of dimension d with 2^d
+// nodes.
+type Graph struct {
+	d int
+}
+
+// New returns the d-dimensional de Bruijn graph. d must be in [1,62].
+func New(d int) Graph {
+	if d < 1 || d > 62 {
+		panic("debruijn: dimension out of range")
+	}
+	return Graph{d: d}
+}
+
+// Dim returns the dimension d.
+func (g Graph) Dim() int { return g.d }
+
+// Size returns the number of nodes, 2^d.
+func (g Graph) Size() int { return 1 << g.d }
+
+// Neighbors returns the two out-neighbours of x: (j, x₁, …, x_{d-1}) for
+// j ∈ {0,1}, i.e. a right-shift of the bitstring with j prepended.
+func (g Graph) Neighbors(x Node) [2]Node {
+	shifted := x >> 1
+	hi := Node(1) << (g.d - 1)
+	return [2]Node{shifted, shifted | hi}
+}
+
+// HasEdge reports whether (x,y) is an edge of the graph.
+func (g Graph) HasEdge(x, y Node) bool {
+	n := g.Neighbors(x)
+	return y == n[0] || y == n[1]
+}
+
+// Route returns the bitshift routing path from s to t: exactly d hops, each
+// prepending the next bit of t (from its least-significant position
+// upward), as in the worked d=3 example of §2.1. The returned path includes
+// both endpoints and has length d+1.
+func (g Graph) Route(s, t Node) []Node {
+	path := make([]Node, 0, g.d+1)
+	cur := s
+	path = append(path, cur)
+	hi := Node(1) << (g.d - 1)
+	for i := 0; i < g.d; i++ {
+		bit := (t >> i) & 1
+		cur = cur >> 1
+		if bit == 1 {
+			cur |= hi
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Bits returns the bitstring (x₁,…,x_d) of node x, most significant first.
+func (g Graph) Bits(x Node) []int {
+	bits := make([]int, g.d)
+	for i := 0; i < g.d; i++ {
+		bits[i] = int((x >> (g.d - 1 - i)) & 1)
+	}
+	return bits
+}
+
+// FromBits packs a bitstring (x₁,…,x_d) into a Node.
+func (g Graph) FromBits(bits []int) Node {
+	if len(bits) != g.d {
+		panic("debruijn: wrong bitstring length")
+	}
+	var x Node
+	for _, b := range bits {
+		x = x<<1 | Node(b&1)
+	}
+	return x
+}
+
+// Point maps node x to the point 0.x₁x₂…x_d ∈ [0,1), the continuous
+// embedding used by the continuous–discrete approach (Appendix A): the de
+// Bruijn edges of x are exactly the points x/2 and (x+1)/2.
+func (g Graph) Point(x Node) float64 {
+	return float64(x) / float64(uint64(1)<<g.d)
+}
+
+// FromPoint maps a point in [0,1) to the node whose interval contains it.
+func (g Graph) FromPoint(p float64) Node {
+	if p < 0 || p >= 1 {
+		panic("debruijn: point out of [0,1)")
+	}
+	return Node(p * float64(uint64(1)<<g.d))
+}

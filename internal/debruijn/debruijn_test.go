@@ -1,0 +1,121 @@
+package debruijn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperRoutingExample(t *testing.T) {
+	// §2.1: for d=3, route from s=(s1,s2,s3) to t=(t1,t2,t3) via
+	// ((s1,s2,s3),(t3,s1,s2),(t2,t3,s1),(t1,t2,t3)).
+	g := New(3)
+	s := g.FromBits([]int{1, 0, 1})
+	tt := g.FromBits([]int{0, 1, 1})
+	path := g.Route(s, tt)
+	want := [][]int{
+		{1, 0, 1},
+		{1, 1, 0}, // (t3,s1,s2)
+		{1, 1, 1}, // (t2,t3,s1)
+		{0, 1, 1}, // (t1,t2,t3)
+	}
+	if len(path) != 4 {
+		t.Fatalf("path length %d", len(path))
+	}
+	for i, w := range want {
+		if path[i] != g.FromBits(w) {
+			t.Fatalf("hop %d: got %v want %v", i, g.Bits(path[i]), w)
+		}
+	}
+}
+
+func TestRouteReachesTarget(t *testing.T) {
+	f := func(sRaw, tRaw uint16, dRaw uint8) bool {
+		d := int(dRaw%10) + 1
+		g := New(d)
+		s := Node(uint64(sRaw) % uint64(g.Size()))
+		tt := Node(uint64(tRaw) % uint64(g.Size()))
+		path := g.Route(s, tt)
+		return len(path) == d+1 && path[0] == s && path[len(path)-1] == tt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteFollowsEdges(t *testing.T) {
+	f := func(sRaw, tRaw uint16) bool {
+		g := New(8)
+		s := Node(uint64(sRaw) % uint64(g.Size()))
+		tt := Node(uint64(tRaw) % uint64(g.Size()))
+		path := g.Route(s, tt)
+		for i := 1; i < len(path); i++ {
+			if !g.HasEdge(path[i-1], path[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsAreShifts(t *testing.T) {
+	g := New(3)
+	// (x1,x2,x3) -> (j,x1,x2): node 0b101 -> 0b010 and 0b110.
+	n := g.Neighbors(g.FromBits([]int{1, 0, 1}))
+	if n[0] != g.FromBits([]int{0, 1, 0}) || n[1] != g.FromBits([]int{1, 1, 0}) {
+		t.Fatalf("neighbors wrong: %v %v", g.Bits(n[0]), g.Bits(n[1]))
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(x uint16, dRaw uint8) bool {
+		d := int(dRaw%12) + 1
+		g := New(d)
+		v := Node(uint64(x) % uint64(g.Size()))
+		return g.FromBits(g.Bits(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointRoundTrip(t *testing.T) {
+	g := New(10)
+	for x := 0; x < g.Size(); x += 17 {
+		if g.FromPoint(g.Point(Node(x))) != Node(x) {
+			t.Fatalf("point round trip failed for %d", x)
+		}
+	}
+}
+
+func TestPointIsDeBruijnContinuous(t *testing.T) {
+	// The de Bruijn neighbours of point p are p/2 and (p+1)/2: the
+	// continuous embedding behind the LDB's virtual edges.
+	g := New(6)
+	for x := 0; x < g.Size(); x++ {
+		n := g.Neighbors(Node(x))
+		p := g.Point(Node(x))
+		got0, got1 := g.Point(n[0]), g.Point(n[1])
+		// Truncation to d bits of p/2 and (p+1)/2.
+		want0 := g.Point(g.FromPoint(p / 2))
+		want1 := g.Point(g.FromPoint((p + 1) / 2))
+		if got0 != want0 || got1 != want1 {
+			t.Fatalf("x=%d: got (%v,%v) want (%v,%v)", x, got0, got1, want0, want1)
+		}
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	for _, d := range []int{0, -1, 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) must panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}

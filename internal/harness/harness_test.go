@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestQuickSuiteRuns executes the whole experiment suite at CI sizes and
+// sanity-checks every table's shape.
+func TestQuickSuiteRuns(t *testing.T) {
+	rep := RunAll(Quick(), nil)
+	if len(rep.Tables) != 22 {
+		t.Fatalf("expected 22 experiment tables, got %d", len(rep.Tables))
+	}
+	for _, tab := range rep.Tables {
+		if tab.ID == "" || tab.Claim == "" || len(tab.Header) == 0 {
+			t.Fatalf("table %q incomplete", tab.Title)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("table %s has no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("table %s: row width %d != header width %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+	}
+
+	byID := map[string]Table{}
+	for _, tab := range rep.Tables {
+		byID[tab.ID] = tab
+	}
+
+	// E14: every adversarial execution must pass.
+	for _, row := range byID["E14"].Rows {
+		if row[1] != row[2] {
+			t.Fatalf("semantics validation failures: %v", row)
+		}
+	}
+
+	// E15: the coordinator-vs-batching congestion ratio must grow with n
+	// and exceed 1 at the largest size.
+	rows := byID["E15"].Rows
+	first, last := rows[0], rows[len(rows)-1]
+	r0, err0 := strconv.ParseFloat(first[5], 64)
+	r1, err1 := strconv.ParseFloat(last[5], 64)
+	if err0 != nil || err1 != nil || r1 <= r0 || r1 <= 1 {
+		t.Fatalf("coordinator bottleneck should widen with n: first=%v last=%v", first, last)
+	}
+
+	// E17: disabling batching must slow draining down.
+	rows = byID["E17"].Rows
+	last = rows[len(rows)-1]
+	slowdown, err := strconv.ParseFloat(last[3], 64)
+	if err != nil || slowdown <= 1 {
+		t.Fatalf("batching ablation shows no effect: %v", last)
+	}
+
+	// E18: the sequentially consistent variant must be slower and correct.
+	for _, row := range byID["E18"].Rows {
+		if row[4] != "true" {
+			t.Fatalf("seq-consistent Seap variant violated semantics: %v", row)
+		}
+	}
+
+	// E20: migration volume must be far below m.
+	for _, row := range byID["E20"].Rows {
+		m, _ := strconv.Atoi(row[1])
+		moved, err := strconv.Atoi(row[3])
+		if err != nil || moved >= m/2 {
+			t.Fatalf("leave moved %d of %d elements — should be ≈ m/n: %v", moved, m, row)
+		}
+	}
+
+	// E10: Seap's messages must be smaller than Skeap's at high rates.
+	rows = byID["E10"].Rows
+	last = rows[len(rows)-1]
+	bitRatio, err := strconv.ParseFloat(last[3], 64)
+	if err != nil || bitRatio <= 1 {
+		t.Fatalf("Seap should beat Skeap on message size at high Λ: %v", last)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := Table{
+		ID:     "EX",
+		Title:  "example",
+		Claim:  "claimed",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.Notef("note %d", 7)
+	rep := &Report{Tables: []Table{tab}}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"### EX — example", "*Paper claim:* claimed", "| a | b |", "| 1 | 2.50 |", "> note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package hashutil provides the "publicly known pseudorandom hash
+// functions" the paper relies on: node labels in [0,1) (Appendix A), DHT
+// keys h(p,pos) (§3.2.4), uniform element keys (§5.1) and the symmetric
+// pair hash h(i,j)=h(j,i) used by distributed sorting (§4.3).
+//
+// All hashes are built on SplitMix64, a fast, well-distributed 64-bit
+// mixer, seeded explicitly so that every experiment is reproducible.
+package hashutil
+
+// SplitMix64 advances the SplitMix64 state and returns the next 64-bit
+// output. It is used both as a mixer (state = input) and as a PRNG step.
+func SplitMix64(state uint64) uint64 {
+	z := state + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix2 hashes two 64-bit values into one.
+func Mix2(a, b uint64) uint64 {
+	return SplitMix64(SplitMix64(a) ^ (b * 0xd6e8feb86659fd93))
+}
+
+// Mix3 hashes three 64-bit values into one.
+func Mix3(a, b, c uint64) uint64 {
+	return SplitMix64(Mix2(a, b) ^ (c * 0xa0761d6478bd642f))
+}
+
+// Hasher is a seeded family of pseudorandom hash functions. Distinct seeds
+// give (practically) independent functions; the protocols use one publicly
+// known Hasher shared by all nodes, exactly as the paper assumes.
+type Hasher struct {
+	seed uint64
+}
+
+// New returns a Hasher for the given seed.
+func New(seed uint64) Hasher { return Hasher{seed: SplitMix64(seed ^ 0x5851f42d4c957f2d)} }
+
+// Uint64 hashes x to a pseudorandom 64-bit value.
+func (h Hasher) Uint64(x uint64) uint64 { return Mix2(h.seed, x) }
+
+// Unit hashes x to a pseudorandom point in [0,1). It is used for node
+// labels on the LDB cycle and for DHT key points.
+func (h Hasher) Unit(x uint64) float64 {
+	return float64(h.Uint64(x)>>11) / float64(1<<53)
+}
+
+// Pair hashes the ordered pair (a,b).
+func (h Hasher) Pair(a, b uint64) uint64 { return Mix3(h.seed, a, b) }
+
+// PairUnit hashes the ordered pair (a,b) to a point in [0,1).
+func (h Hasher) PairUnit(a, b uint64) float64 {
+	return float64(h.Pair(a, b)>>11) / float64(1<<53)
+}
+
+// SymPairUnit is the symmetric pair hash h(i,j)=h(j,i) ∈ [0,1) of §4.3:
+// the meeting point in the DHT where copies c_{i,j} and c_{j,i} compare.
+func (h Hasher) SymPairUnit(i, j uint64) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	return h.PairUnit(i, j)
+}
+
+// Rand is a tiny deterministic PRNG (SplitMix64 sequence) used by the
+// simulator and the protocols' random choices (sampling in KSelect §4.2,
+// random DHT keys in Seap §5.1). It is not safe for concurrent use; every
+// node owns its own Rand.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a deterministic PRNG seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: SplitMix64(seed ^ 0x2545f4914f6cdd1d)} }
+
+// Uint64 returns the next pseudorandom 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a pseudorandom value in [0,1).
+func (r *Rand) Float64() float64 { return float64(r.Uint64()>>11) / float64(1<<53) }
+
+// Intn returns a pseudorandom value in [0,n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("hashutil: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a pseudorandom value in [0,n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("hashutil: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Bool returns a pseudorandom boolean with probability p of being true.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a pseudorandom permutation of [0,n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork derives an independent PRNG stream from r, e.g. one per node.
+func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }

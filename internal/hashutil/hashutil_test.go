@@ -1,0 +1,161 @@
+package hashutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	if SplitMix64(42) != SplitMix64(42) {
+		t.Fatal("SplitMix64 must be deterministic")
+	}
+	if SplitMix64(42) == SplitMix64(43) {
+		t.Fatal("distinct inputs should hash differently")
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	f := func(seed, x uint64) bool {
+		u := New(seed).Unit(x)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitUniformity(t *testing.T) {
+	// Chi-squared-style sanity check: 16 buckets over 16k samples should
+	// each hold roughly 1k.
+	h := New(7)
+	const samples = 1 << 14
+	var buckets [16]int
+	for i := uint64(0); i < samples; i++ {
+		buckets[int(h.Unit(i)*16)]++
+	}
+	for b, c := range buckets {
+		if c < samples/16-samples/64 || c > samples/16+samples/64 {
+			t.Fatalf("bucket %d count %d deviates too far from %d", b, c, samples/16)
+		}
+	}
+}
+
+func TestSymPairUnitSymmetric(t *testing.T) {
+	f := func(seed, i, j uint64) bool {
+		h := New(seed)
+		return h.SymPairUnit(i, j) == h.SymPairUnit(j, i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairOrderMatters(t *testing.T) {
+	h := New(3)
+	if h.Pair(1, 2) == h.Pair(2, 1) {
+		t.Fatal("Pair must be order-sensitive (SymPairUnit is the symmetric one)")
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for x := uint64(0); x < 64; x++ {
+		if a.Uint64(x) == b.Uint64(x) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions across seeds", same)
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	a, b := NewRand(9), NewRand(9)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(12)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(13)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(14)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("Bool(0.25) frequency %v", got)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRand(15)
+	a := r.Fork()
+	b := r.Fork()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams overlap: %d", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := NewRand(16)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(31); v >= 31 {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+	}
+}

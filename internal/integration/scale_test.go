@@ -1,0 +1,101 @@
+package integration
+
+import (
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/semantics"
+	"dpq/internal/skeap"
+)
+
+// Larger-scale end-to-end runs, skipped under -short.
+
+func TestSkeapAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const n = 512
+	h := skeap.New(skeap.Config{N: n, P: 4, Seed: 1001})
+	eng := h.NewSyncEngine()
+	rnd := hashutil.NewRand(1002)
+	id := prio.ElemID(1)
+	for i := 0; i < 4*n; i++ {
+		host := rnd.Intn(n)
+		if rnd.Bool(0.6) {
+			h.InjectInsert(host, id, rnd.Intn(4), "")
+			id++
+		} else {
+			h.InjectDelete(host)
+		}
+	}
+	if !eng.RunUntil(h.Done, maxRounds(n)) {
+		t.Fatalf("n=%d run incomplete: %d/%d", n, h.Trace().DoneCount(), h.Trace().Len())
+	}
+	if rep := semantics.CheckAll(h.Trace(), semantics.FIFO); !rep.Ok() {
+		t.Fatalf("semantics at scale:\n%s", rep.Error())
+	}
+}
+
+func TestSeapAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const n = 256
+	h := seap.New(seap.Config{N: n, PrioBound: 1 << 24, Seed: 1010})
+	eng := h.NewSyncEngine()
+	rnd := hashutil.NewRand(1011)
+	id := prio.ElemID(1)
+	for i := 0; i < 4*n; i++ {
+		host := rnd.Intn(n)
+		if rnd.Bool(0.6) {
+			h.InjectInsert(host, id, rnd.Uint64n(1<<24)+1, "")
+			id++
+		} else {
+			h.InjectDelete(host)
+		}
+	}
+	if !eng.RunUntil(h.Done, maxRounds(n)) {
+		t.Fatalf("n=%d run incomplete: %d/%d", n, h.Trace().DoneCount(), h.Trace().Len())
+	}
+	if rep := semantics.CheckSerializable(h.Trace(), semantics.ByID); !rep.Ok() {
+		t.Fatalf("semantics at scale:\n%s", rep.Error())
+	}
+}
+
+func TestDeepHeapManyIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	// A heap that grows to thousands of elements and drains completely.
+	const n = 32
+	h := skeap.New(skeap.Config{N: n, P: 3, Seed: 1020})
+	eng := h.NewSyncEngine()
+	rnd := hashutil.NewRand(1021)
+	const m = 3000
+	for i := 0; i < m; i++ {
+		h.InjectInsert(rnd.Intn(n), prio.ElemID(i+1), rnd.Intn(3), "")
+	}
+	if !eng.RunUntil(h.Done, maxRounds(n)) {
+		t.Fatal("grow incomplete")
+	}
+	for i := 0; i < m; i++ {
+		h.InjectDelete(rnd.Intn(n))
+	}
+	if !eng.RunUntil(h.Done, maxRounds(n)) {
+		t.Fatal("drain incomplete")
+	}
+	bottoms := 0
+	for _, op := range h.Trace().Ops() {
+		if op.Kind == semantics.DeleteMin && op.Result.Nil() {
+			bottoms++
+		}
+	}
+	if bottoms != 0 {
+		t.Fatalf("%d deletes returned ⊥ on a full heap", bottoms)
+	}
+	if rep := semantics.CheckAll(h.Trace(), semantics.FIFO); !rep.Ok() {
+		t.Fatalf("deep heap semantics:\n%s", rep.Error())
+	}
+}

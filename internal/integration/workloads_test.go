@@ -1,0 +1,92 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"dpq/internal/seap"
+	"dpq/internal/semantics"
+	"dpq/internal/skeap"
+	"dpq/internal/workload"
+)
+
+// The adversarial-workload matrix: every priority distribution and
+// temporal pattern, through both protocols, with full semantics checks.
+// Ascending priorities keep appending at the back of the heap, descending
+// ones keep replacing the minimum, Zipf concentrates mass on the most
+// prioritized values, and Bursty/Hotspot stress the batching.
+
+func workloadConfigs() []workload.Config {
+	var out []workload.Config
+	for _, dist := range []workload.PrioDist{workload.Uniform, workload.Zipf, workload.Ascending, workload.Descending} {
+		for _, pat := range []workload.Pattern{workload.Steady, workload.Bursty, workload.Hotspot} {
+			out = append(out, workload.Config{
+				N: 6, Rate: 2, InsertFrac: 0.65,
+				Dist: dist, Bound: 64, Pattern: pat, BurstLen: 3,
+				Seed: uint64(dist)*100 + uint64(pat)*10 + 1,
+			})
+		}
+	}
+	return out
+}
+
+func name(cfg workload.Config) string {
+	dists := map[workload.PrioDist]string{workload.Uniform: "uniform", workload.Zipf: "zipf", workload.Ascending: "asc", workload.Descending: "desc"}
+	pats := map[workload.Pattern]string{workload.Steady: "steady", workload.Bursty: "bursty", workload.Hotspot: "hotspot"}
+	return fmt.Sprintf("%s/%s", dists[cfg.Dist], pats[cfg.Pattern])
+}
+
+func TestSkeapWorkloadMatrix(t *testing.T) {
+	for _, cfg := range workloadConfigs() {
+		cfg := cfg
+		t.Run(name(cfg), func(t *testing.T) {
+			// Skeap needs a constant priority universe: fold into 8.
+			h := skeap.New(skeap.Config{N: cfg.N, P: 8, Seed: cfg.Seed + 1})
+			eng := h.NewSyncEngine()
+			gen := workload.New(cfg)
+			for r := 0; r < 20; r++ {
+				for _, op := range gen.Round() {
+					if op.Kind == workload.OpInsert {
+						h.InjectInsert(op.Host, op.ID, int(op.Prio%8), "")
+					} else {
+						h.InjectDelete(op.Host)
+					}
+				}
+				eng.Step()
+			}
+			if !eng.RunUntil(h.Done, maxRounds(cfg.N)) {
+				t.Fatal("workload did not drain")
+			}
+			if rep := semantics.CheckAll(h.Trace(), semantics.FIFO); !rep.Ok() {
+				t.Fatalf("semantics:\n%s", rep.Error())
+			}
+		})
+	}
+}
+
+func TestSeapWorkloadMatrix(t *testing.T) {
+	for _, cfg := range workloadConfigs() {
+		cfg := cfg
+		t.Run(name(cfg), func(t *testing.T) {
+			h := seap.New(seap.Config{N: cfg.N, PrioBound: cfg.Bound, Seed: cfg.Seed + 2})
+			eng := h.NewSyncEngine()
+			gen := workload.New(cfg)
+			for r := 0; r < 20; r++ {
+				for _, op := range gen.Round() {
+					if op.Kind == workload.OpInsert {
+						h.InjectInsert(op.Host, op.ID, op.Prio, "")
+					} else {
+						h.InjectDelete(op.Host)
+					}
+				}
+				eng.Step()
+			}
+			if !eng.RunUntil(h.Done, maxRounds(cfg.N)) {
+				t.Fatal("workload did not drain")
+			}
+			if rep := semantics.CheckSerializable(h.Trace(), semantics.ByID); !rep.Ok() {
+				t.Fatalf("semantics:\n%s", rep.Error())
+			}
+		})
+	}
+}

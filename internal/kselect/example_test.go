@@ -1,0 +1,30 @@
+package kselect_test
+
+import (
+	"fmt"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/kselect"
+	"dpq/internal/ldb"
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+)
+
+// Example selects the median of 99 elements distributed over 8 processes.
+func Example() {
+	ov := ldb.New(8, hashutil.New(1))
+	sel := kselect.New(ov, hashutil.New(2))
+	rnd := hashutil.NewRand(3)
+	for i := 1; i <= 99; i++ {
+		e := prio.Element{ID: prio.ElemID(i), Prio: prio.Priority(i)}
+		sel.Load(sim.NodeID(rnd.Intn(ov.NumVirtual())), e)
+	}
+
+	eng := sel.NewSyncEngine(4)
+	sel.Start(eng.Context(sel.Anchor()), 50) // the median rank
+	eng.RunUntil(sel.Done, 1000000)
+
+	fmt.Println("median priority:", sel.Result().Elem.Prio)
+	// Output:
+	// median priority: 50
+}

@@ -1,0 +1,293 @@
+// Package kselect implements the KSelect protocol (§4, Algorithm 2): it
+// finds the element of rank k among m = O(poly(n)) elements distributed
+// over the n processes of an aggregation tree, in O(log n) rounds w.h.p.
+// using O(log n)-bit messages (Theorem 4.2).
+//
+// The protocol runs three phases, orchestrated by the anchor as a
+// sequence of gather–scatter exchanges on the aggregation tree:
+//
+//	Phase 1 (sampling, log q + 1 iterations): every node reports the keys
+//	  of its ⌊k/n⌋-th and ⌈k/n⌉-th smallest local candidates; the anchor
+//	  aggregates the window [P_min, P_max] and prunes candidates outside
+//	  it, shrinking N from n^q to O(n^{3/2} log n) w.h.p. (Lemma 4.4).
+//
+//	Phase 2 (representatives, O(1) iterations): each candidate is sampled
+//	  with probability √n/N; the Θ(√n) sampled candidates are assigned
+//	  unique positions, routed to pseudorandom roots, and sorted by the
+//	  distributed all-pairs comparison of Algorithm 3 (distribution trees
+//	  over de Bruijn edges, meeting points h(i,j)=h(j,i)). The anchor
+//	  picks the samples of order ⌊kn′/N − δ⌋ and ⌈kn′/N + δ⌉, computes
+//	  their exact ranks, and prunes outside them, shrinking N to O(√n)
+//	  w.h.p. (Lemma 4.7). A failed window (rank k outside it — the
+//	  low-probability event of Lemma 4.6) is detected and the iteration
+//	  retried with doubled δ.
+//
+//	Phase 3 (exact): all remaining candidates are sorted by the same
+//	  machinery (sampling probability 1); the candidate of order k is the
+//	  answer.
+//
+// Ties are broken by element id (prio.Key), giving the total order §1.2
+// requires.
+package kselect
+
+import (
+	"math"
+
+	"dpq/internal/aggtree"
+	"dpq/internal/hashutil"
+	"dpq/internal/ldb"
+	"dpq/internal/mathx"
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+)
+
+// Aggtree tags used by the selector.
+const (
+	tagWindow   aggtree.Tag = 10 // phase 1: gather [P_min, P_max]
+	tagPrune    aggtree.Tag = 11 // prune to a key window, gather removal counts
+	tagSample   aggtree.Tag = 12 // phase 2a/2b: sample + scatter positions
+	tagPoll     aggtree.Tag = 13 // poll completion of the distributed sort
+	tagBoundary aggtree.Tag = 14 // phase 2c: fetch candidates of order l and r
+	tagRank     aggtree.Tag = 15 // phase 2c: exact ranks of c_l and c_r
+	tagAnswer   aggtree.Tag = 16 // phase 3: fetch the element of order k
+)
+
+// phase of the anchor's state machine.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phase1Window
+	phase1Prune
+	phase2Sample
+	phase2Poll
+	phase2Boundary
+	phase2Rank
+	phase2Prune
+	phase3Poll
+	phase3Answer
+	phaseDone
+)
+
+// Result is the outcome of a selection.
+type Result struct {
+	Elem  prio.Element // the element of rank k
+	Found bool
+	// Diagnostics for the reproduction experiments:
+	CandidatesAfterP1 int64 // N after phase 1 (Lemma 4.4)
+	CandidatesAtP3    int64 // N when phase 3 started (Lemma 4.7)
+	Phase2Iters       int   // phase-2 iterations executed
+	Retries           int   // δ-doubling retries (Lemma 4.6 failures)
+}
+
+// Selector drives one KSelect execution over an overlay whose virtual
+// nodes hold the candidate elements.
+type Selector struct {
+	ov     *ldb.Overlay
+	hasher hashutil.Hasher
+	nodes  []*Node
+
+	// anchor state
+	phase  phase
+	m      int64 // initial number of elements
+	k      int64 // current target rank among remaining candidates
+	n      int64 // remaining candidates (the paper's v₀.N)
+	q      int   // m ≤ n^q
+	p1Iter int   // phase-1 iterations executed
+	p2Iter int
+	delta  float64
+	epoch  uint64 // distinct per sorting round; salts hash points
+	nPrime int64  // samples in the current sorting round
+	seq    uint64 // aggtree instance counter
+	exact  bool   // phase 3: sample everything
+	lOrder int64  // boundary orders for the current round
+	rOrder int64
+	clKey  prio.Key
+	crKey  prio.Key
+	haveCl bool
+	haveCr bool
+	onDone func(ctx *sim.Context, res Result)
+	// fullWindow counts consecutive rounds whose δ-window covered every
+	// sample (no pruning possible); bounded resampling avoids an
+	// expensive premature exact phase.
+	fullWindow int
+	result     Result
+}
+
+// New creates a selector over an existing overlay. Candidates are loaded
+// per virtual node with Load before Start.
+func New(ov *ldb.Overlay, hasher hashutil.Hasher) *Selector {
+	s := &Selector{ov: ov, hasher: hasher}
+	s.nodes = make([]*Node, ov.NumVirtual())
+	for i := range s.nodes {
+		n := &Node{sel: s, runner: aggtree.NewRunner(ov)}
+		n.register()
+		s.nodes[i] = n
+	}
+	return s
+}
+
+// Load places elements into virtual node id's candidate set.
+func (s *Selector) Load(id sim.NodeID, elems ...prio.Element) {
+	s.nodes[id].cand = append(s.nodes[id].cand, elems...)
+	s.m += int64(len(elems))
+}
+
+// LoadUniform distributes m elements with pseudorandom priorities
+// uniformly over the virtual nodes (the paper's setting: elements spread
+// u.a.r. by the DHT). Priorities are drawn from [1, n^q]; ids are 1..m.
+// It returns the loaded elements.
+func (s *Selector) LoadUniform(m int, prioBound uint64, seed uint64) []prio.Element {
+	rnd := hashutil.NewRand(seed)
+	elems := make([]prio.Element, m)
+	for i := 0; i < m; i++ {
+		e := prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(rnd.Uint64n(prioBound) + 1)}
+		elems[i] = e
+		s.Load(sim.NodeID(rnd.Intn(s.ov.NumVirtual())), e)
+	}
+	return elems
+}
+
+// Handlers returns the per-virtual-node sim handlers.
+func (s *Selector) Handlers() []sim.Handler {
+	hs := make([]sim.Handler, len(s.nodes))
+	for i, n := range s.nodes {
+		hs[i] = &selHandler{n: n, id: sim.NodeID(i)}
+	}
+	return hs
+}
+
+// NewSyncEngine wires the selector into a synchronous engine.
+func (s *Selector) NewSyncEngine(seed uint64) *sim.SyncEngine {
+	groups, group := s.ov.Group()
+	return sim.NewSync(s.Handlers(), seed, groups, group)
+}
+
+// NewAsyncEngine wires the selector into the asynchronous engine.
+func (s *Selector) NewAsyncEngine(seed uint64, maxDelay float64) *sim.AsyncEngine {
+	groups, group := s.ov.Group()
+	return sim.NewAsync(s.Handlers(), seed, maxDelay, groups, group)
+}
+
+// OnDone, when set, is invoked in the anchor's context as soon as the
+// selection completes — host protocols (Seap) chain their next phase here.
+func (s *Selector) SetOnDone(f func(ctx *sim.Context, res Result)) { s.onDone = f }
+
+// NodeAt exposes the per-virtual-node KSelect state for host protocols
+// that embed the selector and dispatch its messages themselves.
+func (s *Selector) NodeAt(id sim.NodeID) *Node { return s.nodes[id] }
+
+// AddNode grows the selector by one virtual node, for host protocols with
+// dynamic membership. The new node starts with no candidates.
+func (s *Selector) AddNode() *Node {
+	n := &Node{sel: s, runner: aggtree.NewRunner(s.ov)}
+	n.register()
+	s.nodes = append(s.nodes, n)
+	return n
+}
+
+// HolderStats returns the mean and maximum number of distribution-tree
+// holders hosted per virtual node over the run — the Lemma 4.5
+// participation experiment.
+func (s *Selector) HolderStats() (mean float64, max int) {
+	total := 0
+	for _, n := range s.nodes {
+		total += n.holdersCreated
+		if n.holdersCreated > max {
+			max = n.holdersCreated
+		}
+	}
+	return float64(total) / float64(len(s.nodes)), max
+}
+
+// SortingRounds returns how many sorting rounds (epochs) ran.
+func (s *Selector) SortingRounds() int { return int(s.epoch) }
+
+// StartEmbedded begins a selection whose candidates were installed by the
+// host protocol via SetCandidates; total is their global count (known at
+// the host's anchor). State from previous selections is discarded.
+func (s *Selector) StartEmbedded(ctx *sim.Context, k, total int64) {
+	s.m = total
+	s.result = Result{}
+	s.p2Iter = 0
+	s.fullWindow = 0
+	s.Start(ctx, k)
+}
+
+// Start begins the selection of rank k (1-based) from the anchor's
+// context. The caller then drives the engine until Done.
+func (s *Selector) Start(ctx *sim.Context, k int64) {
+	if k < 1 || k > s.m {
+		panic("kselect: rank out of range")
+	}
+	s.k = k
+	s.n = s.m
+	// q with m ≤ n^q (the anchor knows n and m, §4).
+	s.q = 1
+	for pow := int64(s.ov.N); pow < s.m && s.q < 62; s.q++ {
+		pow *= int64(s.ov.N)
+	}
+	s.delta = initialDelta(s.ov.N)
+	s.phase = phase1Window
+	s.p1Iter = 0
+	s.startWindow(ctx)
+}
+
+// Done reports whether the selection finished.
+func (s *Selector) Done() bool { return s.phase == phaseDone }
+
+// Result returns the selection outcome (valid once Done).
+func (s *Selector) Result() Result { return s.result }
+
+// Anchor returns the anchor virtual node id.
+func (s *Selector) Anchor() sim.NodeID { return s.ov.Anchor }
+
+// initialDelta is the paper's δ ∈ Θ(√log n · n^¼) with a constant small
+// enough that pruning happens at simulation scales; correctness does not
+// depend on the constant (failed windows retry with doubled δ).
+func initialDelta(n int) float64 {
+	d := 0.5 * math.Sqrt(math.Log2(float64(n)+1)) * math.Pow(float64(n), 0.25)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// sqrtN is the phase-2 exit threshold √n (on the number of processes).
+func (s *Selector) sqrtN() int64 {
+	return int64(mathx.ISqrt(s.ov.N))
+}
+
+// maxP1Iters is log(q)+1 (Algorithm 2, Phase 1).
+func (s *Selector) maxP1Iters() int {
+	return mathx.Log2Ceil(s.q) + 1
+}
+
+// next advances the anchor's state machine; called from AtRoot callbacks.
+func (s *Selector) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// selHandler adapts a Node to sim.Handler.
+type selHandler struct {
+	n  *Node
+	id sim.NodeID
+}
+
+func (sh *selHandler) HandleMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	if m, ok := msg.(*ldb.RouteMsg); ok {
+		self := sh.n.sel.ov.Info(sh.id)
+		if ldb.Forward(ctx, self, m) {
+			if !sh.n.HandleRouted(ctx, self, m.Payload) {
+				panic("kselect: unexpected routed payload")
+			}
+		}
+		return
+	}
+	if !sh.n.Handle(ctx, sh.id, from, msg) {
+		panic("kselect: unexpected message")
+	}
+}
+
+func (sh *selHandler) Activate(*sim.Context) {}

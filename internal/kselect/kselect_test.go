@@ -1,0 +1,229 @@
+package kselect
+
+import (
+	"sort"
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/ldb"
+	"dpq/internal/mathx"
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+)
+
+// runSelect executes KSelect(k) over m uniformly distributed elements on n
+// processes and returns the result plus the engine for metric inspection.
+func runSelect(t *testing.T, n, m int, k int64, seed uint64) (Result, *sim.SyncEngine, []prio.Element) {
+	t.Helper()
+	ov := ldb.New(n, hashutil.New(seed))
+	sel := New(ov, hashutil.New(seed+1))
+	elems := sel.LoadUniform(m, uint64(m)*4, seed+2)
+	eng := sel.NewSyncEngine(seed + 3)
+	sel.Start(eng.Context(sel.Anchor()), k)
+	if !eng.RunUntil(sel.Done, 3000*(mathx.Log2Ceil(n)+4)) {
+		t.Fatalf("n=%d m=%d k=%d: selection did not finish", n, m, k)
+	}
+	return sel.Result(), eng, elems
+}
+
+// expected computes the rank-k element by local sorting.
+func expected(elems []prio.Element, k int64) prio.Element {
+	s := append([]prio.Element(nil), elems...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+	return s[k-1]
+}
+
+func TestSelectSmall(t *testing.T) {
+	res, _, elems := runSelect(t, 4, 50, 10, 1)
+	if !res.Found {
+		t.Fatal("no result")
+	}
+	if want := expected(elems, 10); res.Elem != want {
+		t.Fatalf("got %v want %v", res.Elem, want)
+	}
+}
+
+func TestSelectAllRanksTiny(t *testing.T) {
+	// Exhaustive: every rank of a small instance.
+	n, m := 3, 20
+	for k := int64(1); k <= int64(m); k++ {
+		res, _, elems := runSelect(t, n, m, k, 40+uint64(k))
+		if want := expected(elems, k); res.Elem != want {
+			t.Fatalf("k=%d: got %v want %v", k, res.Elem, want)
+		}
+	}
+}
+
+func TestSelectVariousSizes(t *testing.T) {
+	cases := []struct {
+		n, m int
+		k    int64
+	}{
+		{1, 30, 15},
+		{2, 64, 1},
+		{8, 200, 200},
+		{16, 1000, 500},
+		{32, 2000, 37},
+		{64, 4096, 4000},
+	}
+	for _, c := range cases {
+		res, _, elems := runSelect(t, c.n, c.m, c.k, uint64(c.n*7+c.m))
+		if want := expected(elems, c.k); res.Elem != want {
+			t.Fatalf("n=%d m=%d k=%d: got %v want %v", c.n, c.m, c.k, res.Elem, want)
+		}
+	}
+}
+
+func TestSelectWithDuplicatePriorities(t *testing.T) {
+	// Many elements share priorities; ties broken by id.
+	ov := ldb.New(8, hashutil.New(9))
+	sel := New(ov, hashutil.New(10))
+	var elems []prio.Element
+	rnd := hashutil.NewRand(11)
+	for i := 0; i < 300; i++ {
+		e := prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(rnd.Uint64n(5))}
+		elems = append(elems, e)
+		sel.Load(sim.NodeID(rnd.Intn(ov.NumVirtual())), e)
+	}
+	eng := sel.NewSyncEngine(12)
+	sel.Start(eng.Context(sel.Anchor()), 150)
+	if !eng.RunUntil(sel.Done, 100000) {
+		t.Fatal("selection stuck")
+	}
+	if want := expected(elems, 150); sel.Result().Elem != want {
+		t.Fatalf("got %v want %v", sel.Result().Elem, want)
+	}
+}
+
+func TestSelectExtremes(t *testing.T) {
+	res, _, elems := runSelect(t, 8, 500, 1, 20)
+	if want := expected(elems, 1); res.Elem != want {
+		t.Fatalf("min: got %v want %v", res.Elem, want)
+	}
+	res, _, elems = runSelect(t, 8, 500, 500, 21)
+	if want := expected(elems, 500); res.Elem != want {
+		t.Fatalf("max: got %v want %v", res.Elem, want)
+	}
+}
+
+func TestRoundsLogarithmic(t *testing.T) {
+	// Theorem 4.2: O(log n) rounds w.h.p. Constants at simulation scale
+	// are large (each of the ~10 aggregation exchanges per phase-2
+	// iteration costs 2·height rounds), so assert a generous absolute
+	// envelope plus sub-linear growth: quadrupling n must not quadruple
+	// the rounds.
+	rounds := map[int]int{}
+	for _, n := range []int{16, 64, 256} {
+		_, eng, _ := runSelect(t, n, 16*n, int64(4*n), uint64(n))
+		r := eng.Metrics().Rounds
+		bound := 1200 * (mathx.Log2Ceil(n) + 2)
+		if r > bound {
+			t.Fatalf("n=%d: %d rounds > %d", n, r, bound)
+		}
+		rounds[n] = r
+	}
+	if rounds[256] > 3*rounds[16] {
+		t.Fatalf("rounds grow super-logarithmically: %v", rounds)
+	}
+}
+
+func TestMessageBitsLogarithmic(t *testing.T) {
+	// Theorem 4.2: O(log n)-bit messages. All KSelect message types carry
+	// a constant number of words.
+	_, eng, _ := runSelect(t, 64, 1000, 300, 33)
+	if eng.Metrics().MaxMessageBit > 1500 {
+		t.Fatalf("max message %d bits", eng.Metrics().MaxMessageBit)
+	}
+}
+
+func TestCandidateReduction(t *testing.T) {
+	// Lemma 4.4: after phase 1, N = O(n^{3/2} log n); here a sanity factor.
+	n := 64
+	m := n * n
+	res, _, _ := runSelect(t, n, m, int64(m/2), 44)
+	if res.CandidatesAfterP1 <= 0 {
+		t.Fatal("phase-1 diagnostics missing")
+	}
+	// The asymptotic bound n^{3/2}·log n only bites for large q (the
+	// Chernoff ε = √(c·log n·2n/k) exceeds 1 at this scale); we check
+	// strict progress here and leave the trend to experiment E5.
+	if res.CandidatesAfterP1 >= int64(m) {
+		t.Fatalf("phase 1 pruned nothing: %d of %d candidates", res.CandidatesAfterP1, m)
+	}
+	if res.CandidatesAtP3 > res.CandidatesAfterP1 {
+		t.Fatal("phase 2 must not grow the candidate set")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	r1, _, _ := runSelect(t, 16, 400, 123, 55)
+	r2, _, _ := runSelect(t, 16, 400, 123, 55)
+	if r1.Elem != r2.Elem || r1.Retries != r2.Retries {
+		t.Fatal("KSelect must be deterministic for a fixed seed")
+	}
+}
+
+func TestAsyncExecution(t *testing.T) {
+	// The protocol must tolerate arbitrary delays and non-FIFO delivery.
+	for seed := uint64(0); seed < 3; seed++ {
+		ov := ldb.New(8, hashutil.New(60+seed))
+		sel := New(ov, hashutil.New(70+seed))
+		elems := sel.LoadUniform(200, 800, 80+seed)
+		eng := sel.NewAsyncEngine(90+seed, 3.0)
+		sel.Start(eng.Context(sel.Anchor()), 77)
+		if !eng.RunUntil(sel.Done, 5_000_000) {
+			t.Fatalf("seed %d: async selection stuck", seed)
+		}
+		if want := expected(elems, 77); sel.Result().Elem != want {
+			t.Fatalf("seed %d: got %v want %v", seed, sel.Result().Elem, want)
+		}
+	}
+}
+
+func TestRankOutOfRangePanics(t *testing.T) {
+	ov := ldb.New(2, hashutil.New(1))
+	sel := New(ov, hashutil.New(2))
+	sel.LoadUniform(10, 100, 3)
+	eng := sel.NewSyncEngine(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sel.Start(eng.Context(sel.Anchor()), 11)
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	// All elements at one node: phase-1 index clamping must stay correct.
+	ov := ldb.New(8, hashutil.New(91))
+	sel := New(ov, hashutil.New(92))
+	var elems []prio.Element
+	for i := 0; i < 100; i++ {
+		e := prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(1000 - i)}
+		elems = append(elems, e)
+		sel.Load(ldb.VID(3, ldb.Middle), e)
+	}
+	eng := sel.NewSyncEngine(93)
+	sel.Start(eng.Context(sel.Anchor()), 50)
+	if !eng.RunUntil(sel.Done, 200000) {
+		t.Fatal("selection stuck")
+	}
+	if want := expected(elems, 50); sel.Result().Elem != want {
+		t.Fatalf("got %v want %v", sel.Result().Elem, want)
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	ov := ldb.New(4, hashutil.New(95))
+	sel := New(ov, hashutil.New(96))
+	e := prio.Element{ID: 7, Prio: 42}
+	sel.Load(ov.Anchor, e)
+	eng := sel.NewSyncEngine(97)
+	sel.Start(eng.Context(sel.Anchor()), 1)
+	if !eng.RunUntil(sel.Done, 100000) {
+		t.Fatal("selection stuck")
+	}
+	if sel.Result().Elem != e {
+		t.Fatalf("got %v", sel.Result().Elem)
+	}
+}

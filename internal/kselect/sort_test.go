@@ -1,0 +1,193 @@
+package kselect
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/ldb"
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+)
+
+// sortRig runs ONLY the distributed-sorting machinery (Algorithm 3) by
+// loading n′ candidates, forcing an exact sample, and polling completion.
+type sortRig struct {
+	ov  *ldb.Overlay
+	sel *Selector
+	eng *sim.SyncEngine
+}
+
+func newSortRig(t *testing.T, n int, keys []uint64, seed uint64) *sortRig {
+	t.Helper()
+	ov := ldb.New(n, hashutil.New(seed))
+	sel := New(ov, hashutil.New(seed+1))
+	rnd := hashutil.NewRand(seed + 2)
+	for i, p := range keys {
+		sel.Load(sim.NodeID(rnd.Intn(ov.NumVirtual())),
+			prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(p)})
+	}
+	return &sortRig{ov: ov, sel: sel, eng: sel.NewSyncEngine(seed + 3)}
+}
+
+// run performs a selection of rank 1 (any rank exercises the sort when the
+// candidate set is small enough for the exact phase).
+func (r *sortRig) run(t *testing.T, k int64) {
+	t.Helper()
+	r.sel.Start(r.eng.Context(r.sel.Anchor()), k)
+	if !r.eng.RunUntil(r.sel.Done, 500000) {
+		t.Fatal("sorting rig stuck")
+	}
+}
+
+// TestDistributionTreeCoversAllCopies: after an exact sort of n′ elements,
+// every candidate's order must be its true rank — which can only happen if
+// all n′ copies of every candidate reached holders and every pair met.
+func TestExactSortOrdersAreRanks(t *testing.T) {
+	keys := []uint64{42, 7, 99, 13, 58, 3, 77, 21}
+	r := newSortRig(t, 5, keys, 11)
+	// The exact phase records orders in node.completed; collect them after
+	// a rank-1 selection (which runs the exact sort over all 8 elements —
+	// N=8 ≤ the immediate-exact threshold).
+	r.run(t, 1)
+	orders := map[int64]prio.Priority{}
+	for _, nd := range r.sel.nodes {
+		for _, cr := range nd.completed {
+			orders[cr.order] = cr.key.Prio
+		}
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(orders) != len(keys) {
+		t.Fatalf("completed %d of %d candidates", len(orders), len(keys))
+	}
+	for i, p := range sorted {
+		if uint64(orders[int64(i+1)]) != p {
+			t.Fatalf("order %d has priority %d, want %d", i+1, orders[int64(i+1)], p)
+		}
+	}
+}
+
+// TestSubtreeRangesPartition: the recursive [lo,hi] splitting must cover
+// every copy index exactly once — checked as pure range arithmetic over
+// random interval sizes.
+func TestSubtreeRangesPartition(t *testing.T) {
+	f := func(szRaw uint8) bool {
+		n := int64(szRaw%200) + 1
+		covered := make([]int, n+1)
+		var walk func(lo, hi int64)
+		walk = func(lo, hi int64) {
+			if hi < lo {
+				return
+			}
+			mid := (lo + hi) / 2
+			covered[mid]++
+			walk(lo, mid-1)
+			walk(mid+1, hi)
+		}
+		walk(1, n)
+		for j := int64(1); j <= n; j++ {
+			if covered[j] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeetPointSymmetry: the per-epoch pair hash must be symmetric and
+// epoch-sensitive.
+func TestMeetPointSymmetry(t *testing.T) {
+	ov := ldb.New(2, hashutil.New(1))
+	sel := New(ov, hashutil.New(2))
+	f := func(epoch uint64, i, j uint16) bool {
+		a := sel.meetPoint(epoch, int64(i), int64(j))
+		b := sel.meetPoint(epoch, int64(j), int64(i))
+		return a == b && a >= 0 && a < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sel.meetPoint(1, 3, 4) == sel.meetPoint(2, 3, 4) {
+		t.Fatal("meet points must differ across epochs")
+	}
+}
+
+// TestRootPointsDistinctPerEpoch: positions map to fresh pseudorandom
+// sorting roots every round.
+func TestRootPointsDistinctPerEpoch(t *testing.T) {
+	ov := ldb.New(2, hashutil.New(3))
+	sel := New(ov, hashutil.New(4))
+	seen := map[float64]bool{}
+	for epoch := uint64(1); epoch <= 8; epoch++ {
+		for pos := int64(1); pos <= 8; pos++ {
+			p := sel.rootPoint(epoch, pos)
+			if p < 0 || p >= 1 {
+				t.Fatalf("root point out of range: %v", p)
+			}
+			if seen[p] {
+				t.Fatal("root point collision across epochs/positions")
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestSelfCopyNeedsNoPartner: a single-candidate selection must complete —
+// its only copy is the self-copy with the immediate (0,0) vector.
+func TestSelfCopyNeedsNoPartner(t *testing.T) {
+	r := newSortRig(t, 3, []uint64{5}, 21)
+	r.run(t, 1)
+	if !r.sel.Result().Found || r.sel.Result().Elem.Prio != 5 {
+		t.Fatalf("result %v", r.sel.Result())
+	}
+}
+
+// TestHoldersDrainAfterCompletion: no holder or meeting state may remain
+// once a selection finishes (everything matched and aggregated).
+func TestHoldersDrainAfterCompletion(t *testing.T) {
+	keys := make([]uint64, 40)
+	rnd := hashutil.NewRand(31)
+	for i := range keys {
+		keys[i] = rnd.Uint64n(1000) + 1
+	}
+	r := newSortRig(t, 6, keys, 32)
+	r.run(t, 17)
+	for id, nd := range r.sel.nodes {
+		if len(nd.holders) != 0 {
+			t.Fatalf("node %d retains %d holders", id, len(nd.holders))
+		}
+		if len(nd.meet) != 0 {
+			t.Fatalf("node %d retains %d meeting buffers", id, len(nd.meet))
+		}
+	}
+}
+
+// TestVectorConservation: at every completed sorting root, L+R must equal
+// n′−1 (each other candidate contributes exactly one comparison).
+func TestVectorConservation(t *testing.T) {
+	// ≤ 8 candidates go straight to the exact phase, so every candidate
+	// is a sorting root.
+	keys := make([]uint64, 8)
+	for i := range keys {
+		keys[i] = uint64(i*3 + 1)
+	}
+	r := newSortRig(t, 4, keys, 41)
+	r.run(t, 5)
+	total := 0
+	for _, nd := range r.sel.nodes {
+		for _, cr := range nd.completed {
+			if cr.order < 1 || cr.order > int64(len(keys)) {
+				t.Fatalf("order %d out of range", cr.order)
+			}
+			total++
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("%d roots completed, want %d", total, len(keys))
+	}
+}

@@ -1,0 +1,277 @@
+package ldb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/mathx"
+	"dpq/internal/sim"
+)
+
+func TestVirtualNodeLabels(t *testing.T) {
+	h := hashutil.New(1)
+	ov := New(5, h)
+	for host := 0; host < 5; host++ {
+		m := ov.Info(VID(host, Middle)).Label
+		l := ov.Info(VID(host, Left)).Label
+		r := ov.Info(VID(host, Right)).Label
+		if l != m/2 || r != (m+1)/2 {
+			t.Fatalf("host %d: labels l=%v m=%v r=%v violate Definition A.1", host, l, m, r)
+		}
+	}
+}
+
+func TestCycleSortedAndClosed(t *testing.T) {
+	ov := New(32, hashutil.New(2))
+	// Walk succ pointers: must visit all 96 virtual nodes and return.
+	start := ov.Anchor
+	cur := start
+	visited := 0
+	prevLabel := math.Inf(-1)
+	wraps := 0
+	for {
+		v := ov.Info(cur)
+		if v.Label < prevLabel {
+			wraps++
+		}
+		prevLabel = v.Label
+		visited++
+		cur = v.Succ
+		if cur == start {
+			break
+		}
+		if visited > 3*32+1 {
+			t.Fatal("succ pointers do not close a cycle")
+		}
+	}
+	if visited != 96 {
+		t.Fatalf("cycle visits %d nodes, want 96", visited)
+	}
+	if wraps > 1 {
+		t.Fatalf("labels wrap %d times; cycle is not sorted", wraps)
+	}
+}
+
+func TestPredSuccInverse(t *testing.T) {
+	ov := New(17, hashutil.New(3))
+	for i := range ov.V {
+		v := ov.Info(sim.NodeID(i))
+		if ov.Info(v.Succ).Pred != v.ID || ov.Info(v.Pred).Succ != v.ID {
+			t.Fatalf("pred/succ not inverse at %d", i)
+		}
+	}
+}
+
+// TestFigure2 reproduces Figure 2: an LDB of 2 real nodes (6 virtual
+// nodes) whose bold edges form the aggregation tree. The tree must be
+// rooted at the minimal left node, every middle node's parent is its own
+// left node, every right node's parent is its own middle node, and every
+// non-anchor left node's parent is its cycle predecessor.
+func TestFigure2(t *testing.T) {
+	ov := New(2, hashutil.New(42))
+	if ov.NumVirtual() != 6 {
+		t.Fatalf("expected 6 virtual nodes")
+	}
+	if KindOf(ov.Anchor) != Left {
+		t.Fatalf("anchor must be a left virtual node, got %v", KindOf(ov.Anchor))
+	}
+	// Anchor is the minimal label overall.
+	min := math.Inf(1)
+	for i := range ov.V {
+		if ov.V[i].Label < min {
+			min = ov.V[i].Label
+		}
+	}
+	if ov.Info(ov.Anchor).Label != min {
+		t.Fatal("anchor is not the minimal-label node")
+	}
+	for i := range ov.V {
+		v := ov.Info(sim.NodeID(i))
+		switch v.Kind {
+		case Middle:
+			if v.Parent != VID(v.Host, Left) {
+				t.Fatalf("p(middle) must be the host's left node")
+			}
+		case Right:
+			if v.Parent != VID(v.Host, Middle) {
+				t.Fatalf("p(right) must be the host's middle node")
+			}
+		case Left:
+			if v.ID == ov.Anchor {
+				if v.Parent != sim.None {
+					t.Fatal("anchor must have no parent")
+				}
+			} else if v.Parent != v.Pred {
+				t.Fatalf("p(left) must be pred")
+			}
+		}
+	}
+	if !ov.IsTree() {
+		t.Fatal("bold edges must form a tree covering all 6 virtual nodes")
+	}
+}
+
+func TestTreeStructureProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		ov := New(n, hashutil.New(seed))
+		if !ov.IsTree() {
+			return false
+		}
+		// Lemma 2.2(i): each inner node has at most two children.
+		for i := range ov.V {
+			if len(ov.V[i].Children) > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeHeightLogarithmic(t *testing.T) {
+	// Corollary A.4: height O(log n) w.h.p. Check a generous constant.
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		ov := New(n, hashutil.New(7))
+		h := ov.TreeHeight()
+		bound := 12 * (mathx.Log2Ceil(n) + 1)
+		if h > bound {
+			t.Fatalf("n=%d: height %d exceeds %d", n, h, bound)
+		}
+	}
+}
+
+func TestResponsiblePredecessorSemantics(t *testing.T) {
+	ov := New(9, hashutil.New(5))
+	f := func(raw uint32) bool {
+		p := float64(raw) / float64(1<<32)
+		id := ov.Responsible(p)
+		return owns(ov.Info(id), p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponsibleWrapAround(t *testing.T) {
+	ov := New(4, hashutil.New(6))
+	// A point below every label is owned by the maximal-label node.
+	minID := ov.order[0]
+	maxID := ov.order[len(ov.order)-1]
+	below := ov.Info(minID).Label / 2
+	if ov.Responsible(below) != maxID {
+		t.Fatal("points below the minimum label belong to the maximum-label node")
+	}
+	if ov.Responsible(0.9999999) != maxID && ov.Info(maxID).Label < 0.9999999 {
+		t.Fatal("points above the maximum label belong to the maximum-label node")
+	}
+}
+
+func TestDepthConsistentWithHeight(t *testing.T) {
+	ov := New(40, hashutil.New(8))
+	maxDepth := 0
+	for i := range ov.V {
+		if d := ov.Depth(sim.NodeID(i)); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != ov.TreeHeight() {
+		t.Fatalf("max depth %d != height %d", maxDepth, ov.TreeHeight())
+	}
+}
+
+func TestAddRemoveHost(t *testing.T) {
+	ov := New(8, hashutil.New(9))
+	host := ov.AddHost(1234)
+	if !ov.ActiveHost(host) || ov.N != 9 {
+		t.Fatal("AddHost failed")
+	}
+	if !ov.IsTree() {
+		t.Fatal("tree broken after join")
+	}
+	ov.RemoveHost(3)
+	if ov.ActiveHost(3) || ov.N != 8 {
+		t.Fatal("RemoveHost failed")
+	}
+	if !ov.IsTree() {
+		t.Fatal("tree broken after leave")
+	}
+	// Departed host's virtual nodes are out of the cycle.
+	for _, k := range []Kind{Left, Middle, Right} {
+		gone := VID(3, k)
+		for i := range ov.V {
+			v := ov.Info(sim.NodeID(i))
+			if !ov.ActiveHost(v.Host) {
+				continue
+			}
+			if v.Pred == gone || v.Succ == gone {
+				t.Fatal("cycle still references departed node")
+			}
+		}
+	}
+}
+
+func TestRemoveLastHostPanics(t *testing.T) {
+	ov := New(1, hashutil.New(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ov.RemoveHost(0)
+}
+
+func TestGroupMapping(t *testing.T) {
+	ov := New(3, hashutil.New(11))
+	groups, f := ov.Group()
+	if groups != 3 {
+		t.Fatalf("groups=%d", groups)
+	}
+	for host := 0; host < 3; host++ {
+		for _, k := range []Kind{Left, Middle, Right} {
+			if f(VID(host, k)) != host {
+				t.Fatal("group mapping broken")
+			}
+		}
+	}
+}
+
+func TestSingleHostOverlay(t *testing.T) {
+	ov := New(1, hashutil.New(12))
+	if !ov.IsTree() || ov.TreeHeight() != 2 {
+		t.Fatalf("n=1 overlay: tree=%v height=%d", ov.IsTree(), ov.TreeHeight())
+	}
+}
+
+func TestDuplicateIdentifiersRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate ids")
+		}
+	}()
+	NewWithIDs([]uint64{7, 8, 7}, hashutil.New(1))
+}
+
+func TestAddHostDuplicateRejected(t *testing.T) {
+	ov := New(3, hashutil.New(2)) // ids 1..3
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate AddHost id")
+		}
+	}()
+	ov.AddHost(2)
+}
+
+func TestAddHostReusesDepartedID(t *testing.T) {
+	// A departed host's identifier may rejoin.
+	ov := New(3, hashutil.New(3))
+	ov.RemoveHost(1)
+	host := ov.AddHost(2) // id 2 belonged to the departed slot 1
+	if !ov.ActiveHost(host) || !ov.IsTree() {
+		t.Fatal("rejoin with a departed id failed")
+	}
+}

@@ -1,0 +1,156 @@
+package ldb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/mathx"
+	"dpq/internal/sim"
+)
+
+type payload struct{ tag int }
+
+func (p *payload) Bits() int { return 32 }
+
+// routeNode relays RouteMsgs and records deliveries.
+type routeNode struct {
+	ov        *Overlay
+	delivered *[]delivery
+}
+
+type delivery struct {
+	at   sim.NodeID
+	tag  int
+	path int
+}
+
+func (r *routeNode) HandleMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	m := msg.(*RouteMsg)
+	if Forward(ctx, r.ov.Info(ctx.ID()), m) {
+		*r.delivered = append(*r.delivered, delivery{at: ctx.ID(), tag: m.Payload.(*payload).tag, path: m.Path})
+	}
+}
+
+func (r *routeNode) Activate(*sim.Context) {}
+
+func routeOnce(t *testing.T, ov *Overlay, src sim.NodeID, target float64, tag int) delivery {
+	t.Helper()
+	var deliveries []delivery
+	handlers := make([]sim.Handler, ov.NumVirtual())
+	for i := range handlers {
+		handlers[i] = &routeNode{ov: ov, delivered: &deliveries}
+	}
+	groups, group := ov.Group()
+	eng := sim.NewSync(handlers, 1, groups, group)
+	m := NewRoute(ov.N, target, &payload{tag: tag})
+	if Forward(eng.Context(src), ov.Info(src), m) {
+		deliveries = append(deliveries, delivery{at: src, tag: tag, path: m.Path})
+	}
+	ok := eng.RunUntil(func() bool { return len(deliveries) == 1 }, 200*(mathx.Log2Ceil(ov.N)+4))
+	if !ok {
+		t.Fatalf("routing to %v from %d never delivered", target, src)
+	}
+	return deliveries[0]
+}
+
+func TestRoutingReachesResponsibleNode(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 33, 128} {
+		ov := New(n, hashutil.New(uint64(n)))
+		rnd := hashutil.NewRand(uint64(n) * 7)
+		for trial := 0; trial < 10; trial++ {
+			src := sim.NodeID(rnd.Intn(ov.NumVirtual()))
+			target := rnd.Float64()
+			d := routeOnce(t, ov, src, target, trial)
+			if d.at != ov.Responsible(target) {
+				t.Fatalf("n=%d: delivered at %d, responsible is %d (target %v)",
+					n, d.at, ov.Responsible(target), target)
+			}
+		}
+	}
+}
+
+func TestRoutingHopCountLogarithmic(t *testing.T) {
+	// Lemma A.2: O(log n) hops w.h.p. Verify with a generous constant.
+	for _, n := range []int{8, 64, 512} {
+		ov := New(n, hashutil.New(uint64(n)*3))
+		rnd := hashutil.NewRand(99)
+		bound := 40 * (mathx.Log2Ceil(n) + 2)
+		for trial := 0; trial < 20; trial++ {
+			src := sim.NodeID(rnd.Intn(ov.NumVirtual()))
+			d := routeOnce(t, ov, src, rnd.Float64(), trial)
+			if d.path > bound {
+				t.Fatalf("n=%d: %d hops exceed bound %d", n, d.path, bound)
+			}
+		}
+	}
+}
+
+func TestOwnsPartitionsTheCircle(t *testing.T) {
+	ov := New(13, hashutil.New(21))
+	f := func(raw uint32) bool {
+		p := float64(raw) / float64(1<<32)
+		owners := 0
+		for i := range ov.V {
+			if owns(ov.Info(sim.NodeID(i)), p) {
+				owners++
+			}
+		}
+		return owners == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitAt(t *testing.T) {
+	// 0.1011_2 = 0.6875
+	p := 0.6875
+	want := []int{1, 0, 1, 1, 0}
+	for i, w := range want {
+		if got := bitAt(p, i+1); got != w {
+			t.Fatalf("bit %d of %v = %d, want %d", i+1, p, got, w)
+		}
+	}
+}
+
+func TestRouteMsgBitsIncludePayload(t *testing.T) {
+	m := NewRoute(8, 0.5, &payload{})
+	if m.Bits() <= (&payload{}).Bits() {
+		t.Fatal("routing header not accounted")
+	}
+}
+
+func TestRunBatchJoinLeave(t *testing.T) {
+	ov := New(32, hashutil.New(31))
+	res := RunBatch(ov, []uint64{1001, 1002, 1003}, []int{4, 9}, 5)
+	if ov.N != 33 {
+		t.Fatalf("membership after batch: %d", ov.N)
+	}
+	if !ov.IsTree() {
+		t.Fatal("restoration must leave a valid tree")
+	}
+	if res.Rounds <= 0 || res.Messages <= 0 {
+		t.Fatalf("suspicious cost: %+v", res)
+	}
+	bound := 100 * (mathx.Log2Ceil(32) + 2)
+	if res.Rounds > bound {
+		t.Fatalf("restoration took %d rounds (> %d)", res.Rounds, bound)
+	}
+}
+
+func TestRunBatchJoinOnly(t *testing.T) {
+	ov := New(8, hashutil.New(33))
+	RunBatch(ov, []uint64{501}, nil, 6)
+	if ov.N != 9 || !ov.IsTree() {
+		t.Fatal("join-only batch failed")
+	}
+}
+
+func TestRunBatchLeaveOnly(t *testing.T) {
+	ov := New(8, hashutil.New(34))
+	RunBatch(ov, nil, []int{2}, 7)
+	if ov.N != 7 || !ov.IsTree() {
+		t.Fatal("leave-only batch failed")
+	}
+}

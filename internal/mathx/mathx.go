@@ -1,0 +1,221 @@
+// Package mathx provides the small numeric toolkit the experiment harness
+// uses to check the paper's asymptotic claims: summary statistics,
+// percentiles, least-squares fits against log n / n / n·log n shapes, and
+// integer helpers (log2, isqrt) used by the protocols themselves.
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Log2Ceil returns ⌈log₂(n)⌉ for n ≥ 1, and 0 for n ≤ 1.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Log2Floor returns ⌊log₂(n)⌋ for n ≥ 1, and 0 for n ≤ 1.
+func Log2Floor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := -1
+	for v := n; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// ISqrt returns ⌊√n⌋ for n ≥ 0.
+func ISqrt(n int) int {
+	if n < 0 {
+		panic("mathx: ISqrt of negative value")
+	}
+	if n < 2 {
+		return n
+	}
+	x := int(math.Sqrt(float64(n)))
+	for x > 0 && x*x > n {
+		x--
+	}
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+// BitsFor returns the number of bits needed to encode values in [0,n],
+// i.e. max(1, ⌈log₂(n+1)⌉). It is the unit of the paper's message-size
+// accounting ("a number in O(n) is encoded via O(log n) bits", Lemma 3.8).
+func BitsFor(n uint64) int {
+	b := 0
+	for v := n; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using
+// nearest-rank on a sorted copy; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}
+
+// Fit is a least-squares fit y ≈ A·f(x) + B together with its coefficient
+// of determination R².
+type Fit struct {
+	A, B float64
+	R2   float64
+}
+
+// FitAgainst fits ys ≈ A·f(xs) + B by ordinary least squares.
+func FitAgainst(xs, ys []float64, f func(float64) float64) Fit {
+	n := len(xs)
+	if n != len(ys) || n == 0 {
+		return Fit{}
+	}
+	fx := make([]float64, n)
+	for i, x := range xs {
+		fx[i] = f(x)
+	}
+	mx, my := Mean(fx), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := fx[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{B: my}
+	}
+	a := sxy / sxx
+	b := my - a*mx
+	// R² = 1 - SS_res/SS_tot.
+	ssRes := 0.0
+	for i := 0; i < n; i++ {
+		r := ys[i] - (a*fx[i] + b)
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{A: a, B: b, R2: r2}
+}
+
+// FitLogN fits ys ≈ A·log₂(xs) + B — the shape of every O(log n) round
+// bound in the paper.
+func FitLogN(xs, ys []float64) Fit {
+	return FitAgainst(xs, ys, func(x float64) float64 {
+		if x <= 1 {
+			return 0
+		}
+		return math.Log2(x)
+	})
+}
+
+// FitLinear fits ys ≈ A·xs + B.
+func FitLinear(xs, ys []float64) Fit {
+	return FitAgainst(xs, ys, func(x float64) float64 { return x })
+}
+
+// FitSqrt fits ys ≈ A·√xs + B.
+func FitSqrt(xs, ys []float64) Fit {
+	return FitAgainst(xs, ys, math.Sqrt)
+}
+
+// GrowthExponent estimates p in y ∝ x^p from the first and last samples —
+// a coarse but robust way to distinguish Θ(1), Θ(log n), Θ(√n) and Θ(n)
+// series in experiments.
+func GrowthExponent(xs, ys []float64) float64 {
+	if len(xs) < 2 || len(ys) < 2 {
+		return 0
+	}
+	x0, x1 := xs[0], xs[len(xs)-1]
+	y0, y1 := ys[0], ys[len(ys)-1]
+	if x0 <= 0 || x1 <= 0 || y0 <= 0 || y1 <= 0 || x0 == x1 {
+		return 0
+	}
+	return math.Log(y1/y0) / math.Log(x1/x0)
+}

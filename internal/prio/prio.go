@@ -1,0 +1,149 @@
+// Package prio defines heap elements, priorities and the total order used
+// throughout the Skeap/Seap protocols (paper §1.2).
+//
+// Each element carries a priority drawn from a totally ordered universe
+// 𝒫 = {1, …, n^q}. Different elements may share a priority; a unique element
+// ID acts as the tiebreaker, which yields the total order on the element
+// universe ℰ that the paper requires.
+package prio
+
+import "fmt"
+
+// Priority is a value from the totally ordered priority universe 𝒫.
+// Smaller values are more prioritized (min-heap convention).
+type Priority uint64
+
+// NoPriority is a sentinel that never compares smaller than a real priority.
+const NoPriority = Priority(^uint64(0))
+
+// ElemID uniquely identifies an element across the whole system. IDs are
+// assigned by the issuing node and never reused, giving the tiebreaker of
+// §1.2.
+type ElemID uint64
+
+// Element is a heap element e ∈ ℰ: a priority plus an opaque payload.
+type Element struct {
+	ID      ElemID
+	Prio    Priority
+	Payload string
+}
+
+// Nil reports whether e is the zero element (used as ⊥, the empty-heap
+// return value of DeleteMin).
+func (e Element) Nil() bool { return e.ID == 0 && e.Prio == 0 && e.Payload == "" }
+
+// Less reports whether e precedes f in the total order on ℰ:
+// first by priority, then by element ID as the tiebreaker.
+func (e Element) Less(f Element) bool {
+	if e.Prio != f.Prio {
+		return e.Prio < f.Prio
+	}
+	return e.ID < f.ID
+}
+
+// Compare returns -1, 0 or +1 according to the total order on ℰ.
+func (e Element) Compare(f Element) int {
+	switch {
+	case e.Less(f):
+		return -1
+	case f.Less(e):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (e Element) String() string {
+	if e.Nil() {
+		return "⊥"
+	}
+	return fmt.Sprintf("elem(id=%d,prio=%d,%q)", e.ID, e.Prio, e.Payload)
+}
+
+// Bits returns the encoding size of the element: priority and id words
+// plus the payload bytes.
+func (e Element) Bits() int { return 128 + 8*len(e.Payload) }
+
+// Key is the position of an element in the total order, as a comparable
+// (priority, id) pair. It is what KSelect thresholds and what message
+// encodings carry; both components fit in O(log n) bits for m = poly(n)
+// elements.
+type Key struct {
+	Prio Priority
+	ID   ElemID
+}
+
+// KeyOf returns the ordering key of e.
+func KeyOf(e Element) Key { return Key{Prio: e.Prio, ID: e.ID} }
+
+// MinKey and MaxKey are neutral values for min/max aggregations over keys.
+var (
+	MinKey = Key{Prio: 0, ID: 0}
+	MaxKey = Key{Prio: NoPriority, ID: ElemID(^uint64(0))}
+)
+
+// Less reports whether k precedes l in the total order.
+func (k Key) Less(l Key) bool {
+	if k.Prio != l.Prio {
+		return k.Prio < l.Prio
+	}
+	return k.ID < l.ID
+}
+
+// LessEq reports k ≤ l in the total order.
+func (k Key) LessEq(l Key) bool { return !l.Less(k) }
+
+// MinKeyOf returns the smaller of two keys.
+func MinKeyOf(a, b Key) Key {
+	if b.Less(a) {
+		return b
+	}
+	return a
+}
+
+// MaxKeyOf returns the larger of two keys.
+func MaxKeyOf(a, b Key) Key {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// Bits returns the number of bits needed to encode a key: two machine words
+// in this implementation, i.e. O(log n) for m = poly(n) (Theorem 4.2's
+// message-size accounting).
+func (k Key) Bits() int { return 128 }
+
+// MidKey returns lo + (hi-lo)/2 treating keys as 128-bit integers
+// (priority high word, id low word). For hi − lo ≥ 2 the result is
+// strictly between lo and hi, which is what binary searches over the key
+// space rely on for progress.
+func MidKey(lo, hi Key) Key {
+	dLo := uint64(hi.ID) - uint64(lo.ID)
+	var borrow uint64
+	if uint64(hi.ID) < uint64(lo.ID) {
+		borrow = 1
+	}
+	dHi := uint64(hi.Prio) - uint64(lo.Prio) - borrow
+	dLo = (dLo >> 1) | (dHi << 63)
+	dHi >>= 1
+	mLo := uint64(lo.ID) + dLo
+	var carry uint64
+	if mLo < uint64(lo.ID) {
+		carry = 1
+	}
+	mHi := uint64(lo.Prio) + dHi + carry
+	return Key{Prio: Priority(mHi), ID: ElemID(mLo)}
+}
+
+// KeysAdjacent reports hi − lo ≤ 1 in 128-bit arithmetic (lo ≤ hi
+// required) — the termination test of key-space binary search.
+func KeysAdjacent(lo, hi Key) bool {
+	dLo := uint64(hi.ID) - uint64(lo.ID)
+	var borrow uint64
+	if uint64(hi.ID) < uint64(lo.ID) {
+		borrow = 1
+	}
+	dHi := uint64(hi.Prio) - uint64(lo.Prio) - borrow
+	return dHi == 0 && dLo <= 1
+}

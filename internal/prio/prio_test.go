@@ -1,0 +1,166 @@
+package prio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestElementLessByPriority(t *testing.T) {
+	a := Element{ID: 5, Prio: 1}
+	b := Element{ID: 1, Prio: 2}
+	if !a.Less(b) {
+		t.Fatalf("expected %v < %v", a, b)
+	}
+	if b.Less(a) {
+		t.Fatalf("expected !(%v < %v)", b, a)
+	}
+}
+
+func TestElementTiebreakByID(t *testing.T) {
+	a := Element{ID: 1, Prio: 7}
+	b := Element{ID: 2, Prio: 7}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("tiebreaker must order equal priorities by id")
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	f := func(p1, p2, i1, i2 uint64) bool {
+		a := Element{ID: ElemID(i1), Prio: Priority(p1)}
+		b := Element{ID: ElemID(i2), Prio: Priority(p2)}
+		c := a.Compare(b)
+		switch {
+		case a.Less(b):
+			return c == -1
+		case b.Less(a):
+			return c == 1
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalOrderAntisymmetric(t *testing.T) {
+	f := func(p1, p2, i1, i2 uint64) bool {
+		a := Element{ID: ElemID(i1), Prio: Priority(p1)}
+		b := Element{ID: ElemID(i2), Prio: Priority(p2)}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		// Totality: distinct (prio,id) pairs must be ordered.
+		if (p1 != p2 || i1 != i2) && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNil(t *testing.T) {
+	var e Element
+	if !e.Nil() {
+		t.Fatal("zero element must be ⊥")
+	}
+	if (Element{ID: 1}).Nil() {
+		t.Fatal("non-zero element must not be ⊥")
+	}
+	if e.String() != "⊥" {
+		t.Fatalf("⊥ string: %q", e.String())
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	f := func(p1, p2, i1, i2 uint64) bool {
+		a := Element{ID: ElemID(i1), Prio: Priority(p1)}
+		b := Element{ID: ElemID(i2), Prio: Priority(p2)}
+		return a.Less(b) == KeyOf(a).Less(KeyOf(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyExtremes(t *testing.T) {
+	f := func(p, i uint64) bool {
+		k := Key{Prio: Priority(p), ID: ElemID(i)}
+		return MinKey.LessEq(k) && k.LessEq(MaxKey)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxKeyOf(t *testing.T) {
+	a := Key{Prio: 3, ID: 9}
+	b := Key{Prio: 3, ID: 10}
+	if MinKeyOf(a, b) != a || MinKeyOf(b, a) != a {
+		t.Fatal("MinKeyOf wrong")
+	}
+	if MaxKeyOf(a, b) != b || MaxKeyOf(b, a) != b {
+		t.Fatal("MaxKeyOf wrong")
+	}
+	if MinKeyOf(a, a) != a || MaxKeyOf(a, a) != a {
+		t.Fatal("idempotence fails")
+	}
+}
+
+func TestLessEqReflexive(t *testing.T) {
+	f := func(p, i uint64) bool {
+		k := Key{Prio: Priority(p), ID: ElemID(i)}
+		return k.LessEq(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementBitsGrowsWithPayload(t *testing.T) {
+	small := Element{ID: 1, Prio: 1, Payload: "x"}
+	large := Element{ID: 1, Prio: 1, Payload: "xxxxxxxxxx"}
+	if small.Bits() >= large.Bits() {
+		t.Fatal("payload must be accounted in message size")
+	}
+	if (Element{}).Bits() != 128 {
+		t.Fatalf("empty element bits: %d", (Element{}).Bits())
+	}
+}
+
+func TestMidKeyStrictlyBetween(t *testing.T) {
+	f := func(p1, p2, i1, i2 uint64) bool {
+		lo := Key{Prio: Priority(p1), ID: ElemID(i1)}
+		hi := Key{Prio: Priority(p2), ID: ElemID(i2)}
+		if hi.Less(lo) {
+			lo, hi = hi, lo
+		}
+		if KeysAdjacent(lo, hi) {
+			return true // nothing to check for distance ≤ 1
+		}
+		mid := MidKey(lo, hi)
+		return lo.Less(mid) && mid.Less(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysAdjacentCases(t *testing.T) {
+	a := Key{Prio: 5, ID: 10}
+	if !KeysAdjacent(a, a) {
+		t.Fatal("zero distance is adjacent")
+	}
+	if !KeysAdjacent(a, Key{Prio: 5, ID: 11}) {
+		t.Fatal("distance 1 is adjacent")
+	}
+	if KeysAdjacent(a, Key{Prio: 5, ID: 12}) {
+		t.Fatal("distance 2 is not adjacent")
+	}
+	// Across the word boundary: (5, max) and (6, 0) are adjacent.
+	if !KeysAdjacent(Key{Prio: 5, ID: ElemID(^uint64(0))}, Key{Prio: 6, ID: 0}) {
+		t.Fatal("word-boundary adjacency")
+	}
+}

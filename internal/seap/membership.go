@@ -1,0 +1,107 @@
+package seap
+
+import (
+	"dpq/internal/aggtree"
+	"dpq/internal/dht"
+	"dpq/internal/ldb"
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+)
+
+// Membership changes (§1.4(4)) for Seap, mirroring skeap's: applied at
+// quiescent points between cycles, with every stored element handed over
+// to the node responsible under the new topology. Seap's anchor state
+// (m, value counter, cycle) lives on the Heap driver, so only the DHT
+// shards move; the embedded KSelect selector grows alongside the node set.
+
+// AddHost joins a new process to a quiescent heap and returns its host
+// slot. eng must be the heap's engine.
+func (h *Heap) AddHost(eng *sim.SyncEngine, id uint64) int {
+	h.requireQuiescent(eng)
+	host := h.ov.AddHost(id)
+	for k := 0; k < 3; k++ {
+		n := &Node{
+			heap:      h,
+			runner:    aggtree.NewRunner(h.ov),
+			store:     dht.New(h.ov),
+			insSnap:   make(map[uint64][]pendingOp),
+			delSnap:   make(map[uint64][]pendingOp),
+			assignBuf: make(map[uint64][]prio.Element),
+		}
+		n.register()
+		h.nodes = append(h.nodes, n)
+		h.selector.AddNode()
+		got := eng.AddHandler(&nodeHandler{n: n, id: sim.NodeID(len(h.nodes) - 1)}, h.cfg.Seed+uint64(len(h.nodes)))
+		if int(got) != len(h.nodes)-1 {
+			panic("seap: engine and heap node ids diverged")
+		}
+	}
+	h.cfg.N++
+	h.migrate()
+	return host
+}
+
+// RemoveHost makes a process leave a quiescent heap, handing its stored
+// elements over to the nodes responsible under the new topology.
+func (h *Heap) RemoveHost(eng *sim.SyncEngine, host int) {
+	h.requireQuiescent(eng)
+	mid := h.nodes[ldb.VID(host, ldb.Middle)]
+	mid.mu.Lock()
+	buffered := len(mid.insBuf) + len(mid.delBuf) + len(mid.seqBuf)
+	mid.mu.Unlock()
+	if buffered > 0 {
+		panic("seap: leaving host still has buffered operations")
+	}
+	h.ov.RemoveHost(host)
+	h.cfg.N--
+	h.migrate()
+}
+
+func (h *Heap) requireQuiescent(eng *sim.SyncEngine) {
+	if !h.Done() {
+		panic("seap: membership change while operations are outstanding")
+	}
+	if eng.Pending() {
+		panic("seap: membership change while messages are in flight")
+	}
+	if h.autoRepeat {
+		panic("seap: disable auto-repeat before membership changes")
+	}
+	if h.inFlight {
+		panic("seap: membership change while a cycle is in flight")
+	}
+	for _, n := range h.nodes {
+		if n.store.PendingCount() > 0 || n.outPuts > 0 || n.outGets > 0 {
+			panic("seap: membership change with outstanding DHT requests")
+		}
+	}
+}
+
+// migrate redistributes every stored element to its new responsible node,
+// recording how many changed hands (experiment E20).
+func (h *Heap) migrate() {
+	type housed struct {
+		elems []prio.Element
+		was   sim.NodeID
+	}
+	all := make(map[uint64][]housed)
+	for i, n := range h.nodes {
+		for key, elems := range n.store.Dump() {
+			all[key] = append(all[key], housed{elems: elems, was: sim.NodeID(i)})
+		}
+	}
+	h.lastMigrated = 0
+	for key, hs := range all {
+		owner := h.ov.Responsible(dht.KeyPoint(key))
+		for _, hd := range hs {
+			h.nodes[owner].store.Absorb(key, hd.elems)
+			if hd.was != owner {
+				h.lastMigrated += len(hd.elems)
+			}
+		}
+	}
+}
+
+// MigratedLastChange returns how many stored elements changed hosts during
+// the most recent membership change.
+func (h *Heap) MigratedLastChange() int { return h.lastMigrated }

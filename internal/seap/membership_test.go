@@ -1,0 +1,172 @@
+package seap
+
+import (
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+	"dpq/internal/sim"
+)
+
+type memRig struct {
+	h   *Heap
+	eng *sim.SyncEngine
+}
+
+func newMemRig(n int, seed uint64) *memRig {
+	h := New(Config{N: n, PrioBound: 1 << 16, Seed: seed})
+	h.SetAutoRepeat(false)
+	return &memRig{h: h, eng: h.NewSyncEngine()}
+}
+
+func (r *memRig) drain(t *testing.T) {
+	t.Helper()
+	for iter := 0; iter < 60; iter++ {
+		if r.h.Done() && !r.eng.Pending() && !r.h.inFlight {
+			return
+		}
+		if !r.h.inFlight {
+			r.h.StartCycle(r.eng.Context(r.h.ov.Anchor))
+		}
+		if !r.eng.RunQuiescent(r.h.Done, maxRounds(r.h.cfg.N)) {
+			t.Fatalf("drain stuck: %d/%d done", r.h.trace.DoneCount(), r.h.trace.Len())
+		}
+	}
+	t.Fatal("drain did not converge")
+}
+
+func seapStored(h *Heap) int {
+	t := 0
+	for _, s := range h.StoreSizes() {
+		t += s
+	}
+	return t
+}
+
+func TestSeapLeavePreservesData(t *testing.T) {
+	r := newMemRig(6, 700)
+	rnd := hashutil.NewRand(701)
+	for i := 0; i < 24; i++ {
+		r.h.InjectInsert(i%6, prio.ElemID(i+1), rnd.Uint64n(1<<16)+1, "")
+	}
+	r.drain(t)
+	if seapStored(r.h) != 24 {
+		t.Fatalf("stored %d before leave", seapStored(r.h))
+	}
+	r.h.RemoveHost(r.eng, 2)
+	if seapStored(r.h) != 24 {
+		t.Fatalf("leave lost data: %d stored", seapStored(r.h))
+	}
+	if r.h.StoreSizes()[2] != 0 {
+		t.Fatal("departed host still stores elements")
+	}
+	// All elements retrievable via the surviving hosts.
+	for i := 0; i < 24; i++ {
+		host := i % 6
+		if host == 2 {
+			host = 3
+		}
+		r.h.InjectDelete(host)
+	}
+	r.drain(t)
+	if rep := semantics.CheckSerializable(r.h.Trace(), semantics.ByID); !rep.Ok() {
+		t.Fatalf("semantics after leave:\n%s", rep.Error())
+	}
+	for _, op := range r.h.Trace().Ops() {
+		if op.Kind == semantics.DeleteMin && op.Result.Nil() {
+			t.Fatal("element lost across the leave")
+		}
+	}
+}
+
+func TestSeapJoinParticipates(t *testing.T) {
+	r := newMemRig(4, 710)
+	rnd := hashutil.NewRand(711)
+	for i := 0; i < 20; i++ {
+		r.h.InjectInsert(i%4, prio.ElemID(i+1), rnd.Uint64n(1<<16)+1, "")
+	}
+	r.drain(t)
+	newHost := r.h.AddHost(r.eng, 4242)
+	if seapStored(r.h) != 20 {
+		t.Fatalf("join lost data: %d", seapStored(r.h))
+	}
+	// The newcomer issues ops, including a delete served by KSelect over
+	// the regrown node set.
+	r.h.InjectInsert(newHost, 999, 1, "newcomer-min")
+	r.h.InjectDelete(newHost)
+	r.drain(t)
+	var res prio.Element
+	for _, op := range r.h.Trace().Ops() {
+		if op.Kind == semantics.DeleteMin {
+			res = op.Result
+		}
+	}
+	if res.ID != 999 {
+		t.Fatalf("delete returned %v, want the priority-1 newcomer element", res)
+	}
+	if rep := semantics.CheckSerializable(r.h.Trace(), semantics.ByID); !rep.Ok() {
+		t.Fatalf("semantics after join:\n%s", rep.Error())
+	}
+}
+
+func TestSeapChurn(t *testing.T) {
+	r := newMemRig(5, 720)
+	rnd := hashutil.NewRand(721)
+	id := prio.ElemID(1)
+	inject := func(k int) {
+		for i := 0; i < k; i++ {
+			host := rnd.Intn(len(r.h.nodes) / 3)
+			for !r.h.ov.ActiveHost(host) {
+				host = rnd.Intn(len(r.h.nodes) / 3)
+			}
+			if rnd.Bool(0.7) {
+				r.h.InjectInsert(host, id, rnd.Uint64n(1<<16)+1, "")
+				id++
+			} else {
+				r.h.InjectDelete(host)
+			}
+		}
+	}
+	inject(15)
+	r.drain(t)
+	r.h.RemoveHost(r.eng, 1)
+	inject(12)
+	r.drain(t)
+	r.h.AddHost(r.eng, 8888)
+	inject(12)
+	r.drain(t)
+	if rep := semantics.CheckSerializable(r.h.Trace(), semantics.ByID); !rep.Ok() {
+		t.Fatalf("semantics under churn:\n%s", rep.Error())
+	}
+	ins, dels := 0, 0
+	for _, op := range r.h.Trace().Ops() {
+		switch op.Kind {
+		case semantics.Insert:
+			ins++
+		case semantics.DeleteMin:
+			if !op.Result.Nil() {
+				dels++
+			}
+		}
+	}
+	if seapStored(r.h) != ins-dels {
+		t.Fatalf("conservation broken: stored %d, want %d", seapStored(r.h), ins-dels)
+	}
+	if r.h.Size() != int64(ins-dels) {
+		t.Fatalf("anchor m=%d, want %d", r.h.Size(), ins-dels)
+	}
+}
+
+func TestSeapMembershipGuards(t *testing.T) {
+	r := newMemRig(3, 730)
+	r.h.InjectInsert(0, 1, 1, "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic with outstanding ops")
+			}
+		}()
+		r.h.AddHost(r.eng, 1)
+	}()
+}

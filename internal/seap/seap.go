@@ -1,0 +1,399 @@
+// Package seap implements the Seap protocol (§5): a distributed heap for
+// arbitrary priorities 𝒫 = {1,…,n^q} that is serializable and heap
+// consistent (Theorem 5.1). Unlike Skeap, its messages carry only O(log n)
+// bits regardless of the injection rate — the paper's headline improvement
+// — because batches aggregate bare operation *counts* instead of
+// per-priority vectors.
+//
+// The anchor alternates two phases (Algorithm 4):
+//
+//	Insert phase    aggregate the number k of buffered inserts, update
+//	                v₀.m, scatter a go-ahead (with serialization-value
+//	                intervals); every node stores its elements under
+//	                uniformly random DHT keys and awaits confirmations.
+//
+//	DeleteMin phase aggregate the number d of buffered deletes; assign
+//	                each delete a unique position in [1,d] by interval
+//	                decomposition (positions beyond k* = min(d, m) return
+//	                ⊥); find the rank-k* element with KSelect; extract the
+//	                k* most prioritized elements from the DHT and re-store
+//	                element i under key h(cycle, i); every deleting node
+//	                fetches its positions with Get — a Get that outruns
+//	                its Put parks at the responsible node (§3.2.4).
+//
+// Phase boundaries are enforced by anchor polls over the tree (all puts
+// confirmed / all gets answered), keeping every step within O(log n)
+// rounds w.h.p.
+package seap
+
+import (
+	"sync"
+
+	"dpq/internal/aggtree"
+	"dpq/internal/dht"
+	"dpq/internal/hashutil"
+	"dpq/internal/kselect"
+	"dpq/internal/ldb"
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+	"dpq/internal/sim"
+)
+
+// Aggtree tags of the Seap phases (KSelect owns tags 10+).
+const (
+	tagInsCount aggtree.Tag = 1
+	tagInsPoll  aggtree.Tag = 2
+	tagDelCount aggtree.Tag = 3
+	tagLoad     aggtree.Tag = 4
+	tagAssign   aggtree.Tag = 5
+	tagDelPoll  aggtree.Tag = 6
+)
+
+// Config parameterizes a Seap network.
+type Config struct {
+	N         int    // number of real processes
+	PrioBound uint64 // priorities are drawn from [1, PrioBound] (poly(n))
+	Seed      uint64
+	// SeqConsistent enables the §6 variant: each node contributes at most
+	// its *oldest* buffered operation per phase, which restores local
+	// consistency (and hence sequential consistency) "at the cost of
+	// scalability" — exactly the trade-off the conclusion sketches.
+	// Experiment E18 measures the cost.
+	SeqConsistent bool
+}
+
+type pendingOp struct {
+	kind semantics.OpKind
+	elem prio.Element
+	op   *semantics.Op
+}
+
+// Node is one virtual node's Seap state.
+type Node struct {
+	heap   *Heap
+	runner *aggtree.Runner
+	store  *dht.DHT
+
+	mu     sync.Mutex
+	insBuf []pendingOp
+	delBuf []pendingOp
+	// seqBuf replaces the two buffers in SeqConsistent mode: one unified
+	// FIFO whose head alone is eligible per phase.
+	seqBuf []pendingOp
+
+	insSnap   map[uint64][]pendingOp
+	delSnap   map[uint64][]pendingOp
+	assignBuf map[uint64][]prio.Element
+
+	insCycle uint64 // last cycle whose insert snapshot this node took
+	delCycle uint64 // last cycle whose delete assignment this node applied
+	outPuts  int    // unconfirmed insert puts
+	outGets  int    // unanswered delete gets
+}
+
+// delRecord tracks one DeleteMin of a cycle for the serialization-value
+// fixup: matched deletes serialize in key order of their returned
+// elements, ⊥ deletes after them in position order (exactly the
+// permutation chosen in the proof of Lemma 5.2).
+type delRecord struct {
+	op   *semantics.Op
+	pos  int64
+	res  prio.Element
+	done bool
+}
+
+type delPhase struct {
+	base    int64
+	expect  int64
+	records []*delRecord
+}
+
+// Heap drives a Seap network.
+type Heap struct {
+	cfg      Config
+	ov       *ldb.Overlay
+	hasher   hashutil.Hasher
+	nodes    []*Node
+	trace    *semantics.Trace
+	selector *kselect.Selector
+
+	autoRepeat bool
+
+	// anchor state
+	inFlight     bool
+	seq          uint64
+	cycle        uint64
+	m            int64 // v₀.m: elements in the heap
+	valueCounter int64
+	dCount       int64
+	kStar        int64
+	threshold    prio.Key
+	cycles       int
+
+	// driver-side bookkeeping for the serialization trace
+	traceMu   sync.Mutex
+	delPhases map[uint64]*delPhase
+	// lastMigrated counts elements that changed hosts in the most recent
+	// membership change (experiment E20).
+	lastMigrated int
+}
+
+// New builds a Seap network.
+func New(cfg Config) *Heap {
+	if cfg.N < 1 {
+		panic("seap: invalid config")
+	}
+	if cfg.PrioBound == 0 {
+		cfg.PrioBound = uint64(cfg.N) * uint64(cfg.N)
+	}
+	h := &Heap{
+		cfg:          cfg,
+		hasher:       hashutil.New(cfg.Seed),
+		trace:        semantics.NewTrace(),
+		autoRepeat:   true,
+		valueCounter: 1,
+		delPhases:    make(map[uint64]*delPhase),
+	}
+	h.ov = ldb.New(cfg.N, h.hasher)
+	h.selector = kselect.New(h.ov, hashutil.New(cfg.Seed^seapSalt()))
+	h.selector.SetOnDone(h.onSelectDone)
+	h.nodes = make([]*Node, h.ov.NumVirtual())
+	for i := range h.nodes {
+		n := &Node{
+			heap:      h,
+			runner:    aggtree.NewRunner(h.ov),
+			store:     dht.New(h.ov),
+			insSnap:   make(map[uint64][]pendingOp),
+			delSnap:   make(map[uint64][]pendingOp),
+			assignBuf: make(map[uint64][]prio.Element),
+		}
+		n.register()
+		h.nodes[i] = n
+	}
+	return h
+}
+
+// seapSalt is a fixed salt separating the selector's hash family from the
+// heap's.
+func seapSalt() uint64 { return 0x5ea95ea95ea95ea9 }
+
+// Overlay exposes the underlying LDB.
+func (h *Heap) Overlay() *ldb.Overlay { return h.ov }
+
+// Trace returns the execution trace.
+func (h *Heap) Trace() *semantics.Trace { return h.trace }
+
+// Cycles returns how many insert+delete cycles the anchor has started.
+func (h *Heap) Cycles() int { return h.cycles }
+
+// Size returns the anchor's view of the number of stored elements.
+func (h *Heap) Size() int64 { return h.m }
+
+// SetAutoRepeat controls the anchor's continuous cycling.
+func (h *Heap) SetAutoRepeat(on bool) { h.autoRepeat = on }
+
+// Handlers returns the per-virtual-node sim handlers.
+func (h *Heap) Handlers() []sim.Handler {
+	hs := make([]sim.Handler, len(h.nodes))
+	for i, n := range h.nodes {
+		hs[i] = &nodeHandler{n: n, id: sim.NodeID(i)}
+	}
+	return hs
+}
+
+// NewSyncEngine wires the heap into a synchronous engine.
+func (h *Heap) NewSyncEngine() *sim.SyncEngine {
+	groups, group := h.ov.Group()
+	return sim.NewSync(h.Handlers(), h.cfg.Seed+1, groups, group)
+}
+
+// NewAsyncEngine wires the heap into the asynchronous engine.
+func (h *Heap) NewAsyncEngine(maxDelay float64) *sim.AsyncEngine {
+	groups, group := h.ov.Group()
+	return sim.NewAsync(h.Handlers(), h.cfg.Seed+1, maxDelay, groups, group)
+}
+
+// NewConcEngine wires the heap into the goroutine-backed engine.
+func (h *Heap) NewConcEngine() *sim.ConcEngine {
+	groups, group := h.ov.Group()
+	return sim.NewConc(h.Handlers(), h.cfg.Seed+1, groups, group)
+}
+
+// InjectInsert buffers Insert(e) at host's middle virtual node.
+func (h *Heap) InjectInsert(host int, id prio.ElemID, p uint64, payload string) {
+	if p < 1 || p > h.cfg.PrioBound {
+		panic("seap: priority out of range")
+	}
+	e := prio.Element{ID: id, Prio: prio.Priority(p), Payload: payload}
+	op := h.trace.Issue(host, semantics.Insert, e)
+	n := h.nodes[ldb.VID(host, ldb.Middle)]
+	n.mu.Lock()
+	if h.cfg.SeqConsistent {
+		n.seqBuf = append(n.seqBuf, pendingOp{kind: semantics.Insert, elem: e, op: op})
+	} else {
+		n.insBuf = append(n.insBuf, pendingOp{kind: semantics.Insert, elem: e, op: op})
+	}
+	n.mu.Unlock()
+}
+
+// InjectDelete buffers DeleteMin() at host's middle virtual node.
+func (h *Heap) InjectDelete(host int) {
+	op := h.trace.Issue(host, semantics.DeleteMin, prio.Element{})
+	n := h.nodes[ldb.VID(host, ldb.Middle)]
+	n.mu.Lock()
+	if h.cfg.SeqConsistent {
+		n.seqBuf = append(n.seqBuf, pendingOp{kind: semantics.DeleteMin, op: op})
+	} else {
+		n.delBuf = append(n.delBuf, pendingOp{kind: semantics.DeleteMin, op: op})
+	}
+	n.mu.Unlock()
+}
+
+// Done reports whether every injected operation has completed.
+func (h *Heap) Done() bool { return h.trace.DoneCount() == h.trace.Len() }
+
+// StoreSizes returns per-host-slot DHT load (fairness experiment E12).
+// Departed hosts keep their slot with a zero load.
+func (h *Heap) StoreSizes() []int {
+	out := make([]int, len(h.nodes)/3)
+	for i, n := range h.nodes {
+		out[ldb.HostOf(sim.NodeID(i))] += n.store.StoreSize()
+	}
+	return out
+}
+
+// StartCycle begins one insert+delete cycle from the anchor's context
+// (manual mode).
+func (h *Heap) StartCycle(ctx *sim.Context) {
+	if h.inFlight {
+		panic("seap: cycle already in flight")
+	}
+	h.inFlight = true
+	h.cycles++
+	h.cycle++
+	h.startInsCount(ctx)
+}
+
+// posKey is the DHT key of delete position pos in a given cycle.
+func (h *Heap) posKey(cycle uint64, pos int64) uint64 {
+	return h.hasher.Pair(cycle, uint64(pos))
+}
+
+// nextSeq returns a fresh aggtree instance id.
+func (h *Heap) nextSeq() uint64 {
+	h.seq++
+	return h.seq
+}
+
+// recordDelete registers a delete of the current cycle; finalizeDeletes
+// assigns serialization values once all of them completed.
+func (h *Heap) recordDelete(cycle uint64, r *delRecord) {
+	h.traceMu.Lock()
+	defer h.traceMu.Unlock()
+	ph := h.delPhases[cycle]
+	ph.records = append(ph.records, r)
+}
+
+func (h *Heap) markDeleteDone(cycle uint64, r *delRecord, res prio.Element) {
+	h.traceMu.Lock()
+	defer h.traceMu.Unlock()
+	r.res = res
+	r.done = true
+}
+
+// finalizeDeletes assigns the cycle's delete serialization values: matched
+// deletes in ascending key order of their results, then ⊥ deletes in
+// position order — the serialization permutation of Lemma 5.2.
+func (h *Heap) finalizeDeletes(cycle uint64) {
+	h.traceMu.Lock()
+	ph := h.delPhases[cycle]
+	delete(h.delPhases, cycle)
+	h.traceMu.Unlock()
+	if ph == nil {
+		return
+	}
+	matched := make([]*delRecord, 0, len(ph.records))
+	var bottoms []*delRecord
+	for _, r := range ph.records {
+		if !r.done {
+			panic("seap: finalizing an incomplete delete phase")
+		}
+		if r.res.Nil() {
+			bottoms = append(bottoms, r)
+		} else {
+			matched = append(matched, r)
+		}
+	}
+	sortRecordsByKey(matched)
+	sortRecordsByPos(bottoms)
+	v := ph.base
+	for _, r := range matched {
+		h.trace.Complete(r.op, r.res, v)
+		v++
+	}
+	for _, r := range bottoms {
+		h.trace.Complete(r.op, prio.Element{}, v)
+		v++
+	}
+}
+
+func sortRecordsByKey(rs []*delRecord) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && prio.KeyOf(rs[j].res).Less(prio.KeyOf(rs[j-1].res)); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func sortRecordsByPos(rs []*delRecord) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].pos < rs[j-1].pos; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// nodeHandler adapts a Node to sim.Handler.
+type nodeHandler struct {
+	n  *Node
+	id sim.NodeID
+}
+
+func (nh *nodeHandler) HandleMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	n := nh.n
+	self := n.heap.ov.Info(nh.id)
+	ks := n.heap.selector.NodeAt(nh.id)
+	switch m := msg.(type) {
+	case *ldb.RouteMsg:
+		if ldb.Forward(ctx, self, m) {
+			if n.store.HandleRouted(ctx, m.Payload) {
+				return
+			}
+			if ks.HandleRouted(ctx, self, m.Payload) {
+				return
+			}
+			panic("seap: unexpected routed payload")
+		}
+	default:
+		if n.runner.Handle(ctx, self, from, msg) {
+			return
+		}
+		if n.store.Handle(ctx, from, msg) {
+			return
+		}
+		if ks.Handle(ctx, nh.id, from, msg) {
+			return
+		}
+		panic("seap: unexpected message")
+	}
+}
+
+func (nh *nodeHandler) Activate(ctx *sim.Context) {
+	n := nh.n
+	if nh.id != n.heap.ov.Anchor || !n.heap.autoRepeat {
+		return
+	}
+	if !n.heap.inFlight {
+		n.heap.StartCycle(ctx)
+	}
+}

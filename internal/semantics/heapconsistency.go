@@ -1,0 +1,176 @@
+package semantics
+
+import (
+	"sort"
+
+	"dpq/internal/prio"
+)
+
+// Matching is the set M of (Insert, DeleteMin) pairs established by the
+// protocol, reconstructed from element identities.
+type Matching struct {
+	Pairs []MatchedPair
+	// UnmatchedIns / UnmatchedDel are the operations not in M (elements
+	// still in the heap / deletes that returned ⊥).
+	UnmatchedIns []*Op
+	UnmatchedDel []*Op
+}
+
+// MatchedPair links an Insert to the DeleteMin that returned its element.
+type MatchedPair struct {
+	Ins *Op
+	Del *Op
+}
+
+// BuildMatching pairs every non-⊥ DeleteMin with the Insert of the element
+// it returned, reporting deletes of unknown or doubly-returned elements.
+func BuildMatching(t *Trace, rep *Report) *Matching {
+	m := &Matching{}
+	inserts := map[prio.ElemID]*Op{}
+	for _, op := range t.Ops() {
+		if op.Kind == Insert && op.Done {
+			if _, dup := inserts[op.Elem.ID]; dup {
+				rep.addf("element id %d inserted twice", op.Elem.ID)
+			}
+			inserts[op.Elem.ID] = op
+		}
+	}
+	matchedIns := map[prio.ElemID]bool{}
+	for _, op := range t.Ops() {
+		if op.Kind != DeleteMin || !op.Done {
+			continue
+		}
+		if op.Result.Nil() {
+			m.UnmatchedDel = append(m.UnmatchedDel, op)
+			continue
+		}
+		ins, ok := inserts[op.Result.ID]
+		if !ok {
+			rep.addf("Del_%d,%d returned element %v that was never inserted", op.Node, op.Index, op.Result)
+			continue
+		}
+		if matchedIns[op.Result.ID] {
+			rep.addf("element %v returned by two DeleteMin operations", op.Result)
+			continue
+		}
+		matchedIns[op.Result.ID] = true
+		m.Pairs = append(m.Pairs, MatchedPair{Ins: ins, Del: op})
+	}
+	for id, ins := range inserts {
+		if !matchedIns[id] {
+			m.UnmatchedIns = append(m.UnmatchedIns, ins)
+		}
+	}
+	return m
+}
+
+// CheckHeapConsistency verifies the three properties of Definition 1.2
+// directly on the matching, independent of the oracle replay:
+//
+//	(1) matched pairs satisfy Ins ≺ Del;
+//	(2) no ⊥-returning DeleteMin lies strictly between a matched pair;
+//	(3) no still-unmatched Insert with a smaller key precedes a matched
+//	    DeleteMin (elements leave in priority order).
+func CheckHeapConsistency(t *Trace) *Report {
+	return checkHeapConsistencyOrder(t, false)
+}
+
+// CheckHeapConsistencyMax is the MaxHeap inversion of Definition 1.2:
+// property (3) prefers *larger* priorities.
+func CheckHeapConsistencyMax(t *Trace) *Report {
+	return checkHeapConsistencyOrder(t, true)
+}
+
+func checkHeapConsistencyOrder(t *Trace, inverted bool) *Report {
+	rep := &Report{}
+	// Validate values/doneness first.
+	sortedByValue(t.Ops(), rep)
+	m := BuildMatching(t, rep)
+
+	// Property (1).
+	for _, pr := range m.Pairs {
+		if pr.Ins.Value >= pr.Del.Value {
+			rep.addf("property 1: Ins_%d,%d (value %d) not before Del_%d,%d (value %d)",
+				pr.Ins.Node, pr.Ins.Index, pr.Ins.Value, pr.Del.Node, pr.Del.Index, pr.Del.Value)
+		}
+	}
+
+	// Property (2): collect unmatched-delete values, binary search per pair.
+	udVals := make([]int64, 0, len(m.UnmatchedDel))
+	for _, op := range m.UnmatchedDel {
+		udVals = append(udVals, op.Value)
+	}
+	sort.Slice(udVals, func(i, j int) bool { return udVals[i] < udVals[j] })
+	for _, pr := range m.Pairs {
+		lo := sort.Search(len(udVals), func(i int) bool { return udVals[i] > pr.Ins.Value })
+		if lo < len(udVals) && udVals[lo] < pr.Del.Value {
+			rep.addf("property 2: ⊥-Del at value %d between Ins_%d,%d (%d) and Del_%d,%d (%d)",
+				udVals[lo], pr.Ins.Node, pr.Ins.Index, pr.Ins.Value, pr.Del.Node, pr.Del.Index, pr.Del.Value)
+		}
+	}
+
+	// Property (3): for each matched pair, the minimum *priority* among
+	// unmatched inserts preceding the delete must not strictly undercut
+	// the pair's priority (the definition compares priorities, not
+	// tiebroken keys). Prefix-minimum over unmatched inserts sorted by
+	// value.
+	ui := append([]*Op(nil), m.UnmatchedIns...)
+	sort.Slice(ui, func(i, j int) bool { return ui[i].Value < ui[j].Value })
+	prefixMin := make([]prio.Priority, len(ui))
+	for i, op := range ui {
+		p := op.Elem.Prio
+		if inverted {
+			p = ^p
+		}
+		if i > 0 && prefixMin[i-1] < p {
+			p = prefixMin[i-1]
+		}
+		prefixMin[i] = p
+	}
+	uiVals := make([]int64, len(ui))
+	for i, op := range ui {
+		uiVals[i] = op.Value
+	}
+	for _, pr := range m.Pairs {
+		// Unmatched inserts with value < pr.Del.Value.
+		idx := sort.Search(len(uiVals), func(i int) bool { return uiVals[i] >= pr.Del.Value }) - 1
+		if idx < 0 {
+			continue
+		}
+		insPrio := pr.Ins.Elem.Prio
+		if inverted {
+			insPrio = ^insPrio
+		}
+		if prefixMin[idx] < insPrio {
+			rep.addf("property 3: unmatched insert more prioritized than %d precedes Del_%d,%d",
+				pr.Ins.Elem.Prio, pr.Del.Node, pr.Del.Index)
+		}
+	}
+	return rep
+}
+
+// CheckAll runs the full battery for a protocol claiming sequential
+// consistency (Skeap, Theorem 3.2). tb is the tiebreak rule the protocol
+// establishes among equal priorities.
+func CheckAll(t *Trace, tb Tiebreak) *Report {
+	rep := CheckSerializability(t, tb)
+	rep.Violations = append(rep.Violations, CheckLocalConsistency(t).Violations...)
+	rep.Violations = append(rep.Violations, CheckHeapConsistency(t).Violations...)
+	return rep
+}
+
+// CheckAllMax is CheckAll for MaxHeap-mode protocols.
+func CheckAllMax(t *Trace, tb Tiebreak) *Report {
+	rep := CheckSerializabilityMax(t, tb)
+	rep.Violations = append(rep.Violations, CheckLocalConsistency(t).Violations...)
+	rep.Violations = append(rep.Violations, CheckHeapConsistencyMax(t).Violations...)
+	return rep
+}
+
+// CheckSerializable runs the battery for a protocol claiming
+// serializability only (Seap, Theorem 5.1).
+func CheckSerializable(t *Trace, tb Tiebreak) *Report {
+	rep := CheckSerializability(t, tb)
+	rep.Violations = append(rep.Violations, CheckHeapConsistency(t).Violations...)
+	return rep
+}

@@ -1,0 +1,89 @@
+package semantics
+
+import (
+	"testing"
+
+	"dpq/internal/prio"
+)
+
+// Tests for the MaxHeap checker variants (§1.2's inversion).
+
+func TestMaxReplayAcceptsMaxOrder(t *testing.T) {
+	tr := NewTrace()
+	lo, hi := elem(1, 3), elem(2, 9)
+	i1 := tr.Issue(0, Insert, lo)
+	tr.Complete(i1, prio.Element{}, 1)
+	i2 := tr.Issue(0, Insert, hi)
+	tr.Complete(i2, prio.Element{}, 2)
+	d1 := tr.Issue(0, DeleteMin, prio.Element{})
+	tr.Complete(d1, hi, 3) // max first
+	d2 := tr.Issue(0, DeleteMin, prio.Element{})
+	tr.Complete(d2, lo, 4)
+	if rep := CheckAllMax(tr, ByID); !rep.Ok() {
+		t.Fatalf("max-order trace must pass the max checker:\n%s", rep.Error())
+	}
+	if rep := CheckSerializability(tr, ByID); rep.Ok() {
+		t.Fatal("max-order trace must fail the min checker")
+	}
+}
+
+func TestMaxReplayRejectsMinOrder(t *testing.T) {
+	tr := NewTrace()
+	lo, hi := elem(1, 3), elem(2, 9)
+	i1 := tr.Issue(0, Insert, lo)
+	tr.Complete(i1, prio.Element{}, 1)
+	i2 := tr.Issue(0, Insert, hi)
+	tr.Complete(i2, prio.Element{}, 2)
+	d1 := tr.Issue(0, DeleteMin, prio.Element{})
+	tr.Complete(d1, lo, 3) // min first: wrong for a max-heap
+	if rep := CheckSerializabilityMax(tr, ByID); rep.Ok() {
+		t.Fatal("min-order trace must fail the max checker")
+	}
+}
+
+func TestMaxHeapConsistencyProperty3(t *testing.T) {
+	// An unmatched insert with *larger* priority preceding a matched
+	// delete violates inverted property 3.
+	tr := NewTrace()
+	big, small := elem(1, 100), elem(2, 1)
+	i1 := tr.Issue(0, Insert, big)
+	tr.Complete(i1, prio.Element{}, 1)
+	i2 := tr.Issue(0, Insert, small)
+	tr.Complete(i2, prio.Element{}, 2)
+	d := tr.Issue(0, DeleteMin, prio.Element{})
+	tr.Complete(d, small, 3) // returns the small one while the big stays
+	if rep := CheckHeapConsistencyMax(tr); rep.Ok() {
+		t.Fatal("inverted property 3 violation must be detected")
+	}
+	// The same trace is fine for a min-heap.
+	if rep := CheckHeapConsistency(tr); !rep.Ok() {
+		t.Fatalf("min-heap direct check should pass:\n%s", rep.Error())
+	}
+}
+
+func TestMaxFIFOTiebreak(t *testing.T) {
+	// Equal priorities under the max checker with FIFO tiebreak: earlier
+	// insert leaves first.
+	tr := NewTrace()
+	first, second := elem(9, 5), elem(2, 5)
+	i1 := tr.Issue(0, Insert, first)
+	tr.Complete(i1, prio.Element{}, 1)
+	i2 := tr.Issue(0, Insert, second)
+	tr.Complete(i2, prio.Element{}, 2)
+	d1 := tr.Issue(0, DeleteMin, prio.Element{})
+	tr.Complete(d1, first, 3)
+	d2 := tr.Issue(0, DeleteMin, prio.Element{})
+	tr.Complete(d2, second, 4)
+	if rep := CheckAllMax(tr, FIFO); !rep.Ok() {
+		t.Fatalf("FIFO ties under max order must pass:\n%s", rep.Error())
+	}
+}
+
+func TestMaxEmptyHeapBottom(t *testing.T) {
+	tr := NewTrace()
+	d := tr.Issue(0, DeleteMin, prio.Element{})
+	tr.Complete(d, prio.Element{}, 1)
+	if rep := CheckAllMax(tr, ByID); !rep.Ok() {
+		t.Fatalf("⊥ on empty heap is fine for max mode too:\n%s", rep.Error())
+	}
+}

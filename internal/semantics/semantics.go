@@ -1,0 +1,263 @@
+// Package semantics records distributed executions and verifies the
+// paper's correctness definitions:
+//
+//   - serializability and sequential consistency (Definition 1.1), and
+//   - heap consistency (Definition 1.2, properties (1)–(3)),
+//
+// in two independent ways: by replaying the protocol's serialization order
+// ≺ against a sequential binary-heap oracle (the executions must be
+// equivalent), and by checking the three heap-consistency properties
+// directly on the matching M.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dpq/internal/prio"
+	"dpq/internal/seqheap"
+)
+
+// OpKind distinguishes the two heap operations.
+type OpKind int
+
+// Heap operation kinds.
+const (
+	Insert OpKind = iota
+	DeleteMin
+)
+
+func (k OpKind) String() string {
+	if k == Insert {
+		return "Insert"
+	}
+	return "DeleteMin"
+}
+
+// Op records one issued operation OP_{v,i}.
+type Op struct {
+	Node  int    // issuing real process v
+	Index int    // i: per-process issue sequence, starting at 1
+	Kind  OpKind // Insert or DeleteMin
+
+	Elem   prio.Element // Insert: the inserted element
+	Result prio.Element // DeleteMin: the returned element, or ⊥
+	Done   bool         // the operation completed
+
+	// Value is the protocol-assigned position in the serialization order
+	// ≺ (§3.3 / Lemma 5.2). Values must be unique across all operations.
+	Value int64
+}
+
+// Trace collects operations across all processes. It is safe for
+// concurrent use so the goroutine-backed engine can share one Trace.
+type Trace struct {
+	mu     sync.Mutex
+	ops    []*Op
+	byNode map[int]int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{byNode: make(map[int]int)}
+}
+
+// Issue records the start of an operation at a process and returns the Op
+// for later completion.
+func (t *Trace) Issue(node int, kind OpKind, elem prio.Element) *Op {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byNode[node]++
+	op := &Op{Node: node, Index: t.byNode[node], Kind: kind, Elem: elem}
+	t.ops = append(t.ops, op)
+	return op
+}
+
+// Complete marks op done with the given result (⊥ for an empty-heap
+// DeleteMin; ignored for Insert) and its serialization value.
+func (t *Trace) Complete(op *Op, result prio.Element, value int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	op.Result = result
+	op.Value = value
+	op.Done = true
+}
+
+// Ops returns a snapshot of all recorded operations.
+func (t *Trace) Ops() []*Op {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Op(nil), t.ops...)
+}
+
+// Len returns the number of recorded operations.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ops)
+}
+
+// DoneCount returns the number of completed operations.
+func (t *Trace) DoneCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, op := range t.ops {
+		if op.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Report is the outcome of a semantics check: Ok with an empty Violations
+// list, or a description of every violated property.
+type Report struct {
+	Violations []string
+}
+
+// Ok reports whether all checked properties hold.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+func (r *Report) addf(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Error renders the report for test failures.
+func (r *Report) Error() string {
+	if r.Ok() {
+		return "<ok>"
+	}
+	s := ""
+	for _, v := range r.Violations {
+		s += v + "\n"
+	}
+	return s
+}
+
+// sortedByValue returns completed ops sorted by serialization value,
+// reporting duplicates and incomplete operations.
+func sortedByValue(ops []*Op, rep *Report) []*Op {
+	sorted := make([]*Op, 0, len(ops))
+	for _, op := range ops {
+		if !op.Done {
+			rep.addf("operation %v_%d,%d never completed", op.Kind, op.Node, op.Index)
+			continue
+		}
+		sorted = append(sorted, op)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Value < sorted[j].Value })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Value == sorted[i-1].Value {
+			rep.addf("duplicate serialization value %d", sorted[i].Value)
+		}
+	}
+	return sorted
+}
+
+// Tiebreak selects the total order a protocol establishes among elements
+// of equal priority (§1.2 leaves the tiebreaker abstract): Skeap matches
+// equal priorities in insertion order (positions grow FIFO per priority),
+// while Seap/KSelect order by element id.
+type Tiebreak int
+
+// Tiebreak rules.
+const (
+	FIFO Tiebreak = iota // equal priorities leave in ≺-insertion order
+	ByID                 // equal priorities leave in element-id order
+)
+
+// CheckSerializability replays ≺ against the sequential heap oracle: the
+// distributed execution is serializable w.r.t. ≺ iff every DeleteMin
+// returned exactly the element the serial execution returns (including ⊥).
+// Since the serial heap execution trivially satisfies Definition 1.2, a
+// passing replay also establishes heap consistency of the protocol's
+// matching.
+func CheckSerializability(t *Trace, tb Tiebreak) *Report {
+	return checkSerialOrder(t, tb, false)
+}
+
+// CheckSerializabilityMax is the MaxHeap variant (§1.2: property (3)
+// inverted): the oracle pops the *largest* priority first.
+func CheckSerializabilityMax(t *Trace, tb Tiebreak) *Report {
+	return checkSerialOrder(t, tb, true)
+}
+
+func checkSerialOrder(t *Trace, tb Tiebreak, inverted bool) *Report {
+	rep := &Report{}
+	ops := sortedByValue(t.Ops(), rep)
+	// The oracle heap orders by (priority, id); under FIFO tiebreak we
+	// substitute the ≺-insertion sequence number for the id and map back;
+	// under inversion we complement the priority.
+	oracle := seqheap.New(len(ops))
+	real := map[prio.ElemID]prio.Element{}
+	var seq uint64
+	for _, op := range ops {
+		switch op.Kind {
+		case Insert:
+			e := op.Elem
+			if inverted {
+				e.Prio = ^e.Prio
+			}
+			if tb == FIFO {
+				seq++
+				shadow := prio.Element{ID: prio.ElemID(seq), Prio: e.Prio}
+				real[shadow.ID] = op.Elem
+				e = shadow
+			} else {
+				real[e.ID] = op.Elem
+			}
+			oracle.Insert(e)
+		case DeleteMin:
+			want, ok := oracle.DeleteMin()
+			if ok {
+				want = real[want.ID]
+			}
+			switch {
+			case !ok && !op.Result.Nil():
+				rep.addf("Del_%d,%d returned %v but serial heap was empty", op.Node, op.Index, op.Result)
+			case ok && op.Result.Nil():
+				rep.addf("Del_%d,%d returned ⊥ but serial heap held %v", op.Node, op.Index, want)
+			case ok && op.Result != want:
+				rep.addf("Del_%d,%d returned %v, serial execution returns %v", op.Node, op.Index, op.Result, want)
+			}
+		}
+	}
+	return rep
+}
+
+// CheckLocalConsistency verifies OP_{v,i} ≺ OP_{v,i+1} for every process v
+// (the extra requirement that upgrades serializability to sequential
+// consistency, Definition 1.1).
+func CheckLocalConsistency(t *Trace) *Report {
+	rep := &Report{}
+	last := map[int]*Op{}
+	ops := t.Ops()
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Node != ops[j].Node {
+			return ops[i].Node < ops[j].Node
+		}
+		return ops[i].Index < ops[j].Index
+	})
+	for _, op := range ops {
+		if !op.Done {
+			rep.addf("operation %v_%d,%d never completed", op.Kind, op.Node, op.Index)
+			continue
+		}
+		if prev, ok := last[op.Node]; ok && prev.Value >= op.Value {
+			rep.addf("node %d: OP_%d (value %d) not before OP_%d (value %d)",
+				op.Node, prev.Index, prev.Value, op.Index, op.Value)
+		}
+		last[op.Node] = op
+	}
+	return rep
+}
+
+// CheckSequentialConsistency = serializability + local consistency
+// (Definition 1.1).
+func CheckSequentialConsistency(t *Trace, tb Tiebreak) *Report {
+	rep := CheckSerializability(t, tb)
+	rep.Violations = append(rep.Violations, CheckLocalConsistency(t).Violations...)
+	return rep
+}

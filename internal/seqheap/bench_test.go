@@ -1,0 +1,30 @@
+package seqheap
+
+import (
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/prio"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	h := New(b.N)
+	rnd := hashutil.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(rnd.Uint64())})
+	}
+}
+
+func BenchmarkInsertDeleteMix(b *testing.B) {
+	h := New(1024)
+	rnd := hashutil.NewRand(2)
+	for i := 0; i < 1024; i++ {
+		h.Insert(prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(rnd.Uint64())})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(prio.Element{ID: prio.ElemID(i + 2000), Prio: prio.Priority(rnd.Uint64())})
+		h.DeleteMin()
+	}
+}

@@ -1,0 +1,132 @@
+package seqheap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/prio"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	var h Heap
+	if _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty heap must return ⊥")
+	}
+	if _, ok := h.Min(); ok {
+		t.Fatal("Min on empty heap must return ⊥")
+	}
+	if h.Len() != 0 {
+		t.Fatal("empty heap length")
+	}
+}
+
+func TestInsertDeleteOrdered(t *testing.T) {
+	h := New(8)
+	prios := []prio.Priority{5, 1, 4, 1, 9, 2}
+	for i, p := range prios {
+		h.Insert(prio.Element{ID: prio.ElemID(i + 1), Prio: p})
+	}
+	var got []prio.Priority
+	for {
+		e, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, e.Prio)
+	}
+	want := append([]prio.Priority(nil), prios...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("lost elements: %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestTiebreakStable(t *testing.T) {
+	h := New(4)
+	h.Insert(prio.Element{ID: 7, Prio: 3})
+	h.Insert(prio.Element{ID: 2, Prio: 3})
+	e, _ := h.DeleteMin()
+	if e.ID != 2 {
+		t.Fatalf("ties must resolve by element id, got %v", e)
+	}
+}
+
+func TestHeapPropertyQuick(t *testing.T) {
+	f := func(seed uint64, opsRaw []byte) bool {
+		r := hashutil.NewRand(seed)
+		h := New(0)
+		id := prio.ElemID(1)
+		for _, b := range opsRaw {
+			if b%3 == 0 && h.Len() > 0 {
+				h.DeleteMin()
+			} else {
+				h.Insert(prio.Element{ID: id, Prio: prio.Priority(r.Uint64n(16))})
+				id++
+			}
+			if !h.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteMinAlwaysGlobalMin(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := hashutil.NewRand(seed)
+		h := New(int(n))
+		for i := 0; i < int(n); i++ {
+			h.Insert(prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(r.Uint64n(8))})
+		}
+		prev := prio.Element{}
+		first := true
+		for {
+			e, ok := h.DeleteMin()
+			if !ok {
+				break
+			}
+			if !first && e.Less(prev) {
+				return false
+			}
+			prev, first = e, false
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementsCopy(t *testing.T) {
+	h := New(2)
+	h.Insert(prio.Element{ID: 1, Prio: 1})
+	es := h.Elements()
+	es[0].Prio = 99
+	if e, _ := h.Min(); e.Prio != 1 {
+		t.Fatal("Elements must return a copy")
+	}
+}
+
+func TestInterleavedSizes(t *testing.T) {
+	h := New(0)
+	for i := 0; i < 100; i++ {
+		h.Insert(prio.Element{ID: prio.ElemID(i + 1), Prio: prio.Priority(i % 10)})
+		if i%3 == 2 {
+			h.DeleteMin()
+		}
+	}
+	want := 100 - 33
+	if h.Len() != want {
+		t.Fatalf("len=%d want %d", h.Len(), want)
+	}
+}

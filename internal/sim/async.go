@@ -1,0 +1,157 @@
+package sim
+
+import "dpq/internal/hashutil"
+
+// AsyncEngine drives handlers in the fully asynchronous model of §1.1:
+// message propagation delays are arbitrary (seeded-random) and delivery is
+// non-FIFO, but receipt is fair — every message is eventually processed.
+// Nodes are activated periodically with randomly jittered spacing, modeling
+// unbounded relative execution speeds.
+//
+// The engine is deterministic for a fixed seed, which makes adversarial
+// semantics tests reproducible. Rounds and congestion are not meaningful in
+// this model; the engine still counts messages and bits.
+type AsyncEngine struct {
+	handlers []Handler
+	contexts []*Context
+	group    func(NodeID) int
+
+	events   eventQueue
+	now      float64
+	seq      int64
+	rand     *hashutil.Rand
+	pending  int // message deliveries scheduled but not yet processed
+	metrics  Metrics
+	maxDelay float64
+}
+
+type event struct {
+	time float64
+	seq  int64
+	// kind: delivery when msg != nil, activation otherwise.
+	node NodeID
+	from NodeID
+	msg  Message
+}
+
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		(*q)[i], (*q)[p] = (*q)[p], (*q)[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	*q = h[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// NewAsync creates an asynchronous engine. maxDelay bounds the random
+// delivery delay of each message (delays are uniform in (0, maxDelay]);
+// any positive value preserves the "arbitrary finite delay" model while
+// keeping runs finite.
+func NewAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, group func(NodeID) int) *AsyncEngine {
+	n := len(handlers)
+	if group == nil {
+		groups = n
+		group = func(id NodeID) int { return int(id) }
+	}
+	e := &AsyncEngine{
+		handlers: handlers,
+		contexts: make([]*Context, n),
+		group:    group,
+		rand:     hashutil.NewRand(seed),
+		maxDelay: maxDelay,
+	}
+	e.metrics.Deliveries = make([]int64, groups)
+	for i := range handlers {
+		e.contexts[i] = &Context{id: NodeID(i), rand: e.rand.Fork(), engine: e}
+		e.scheduleActivation(NodeID(i))
+	}
+	return e
+}
+
+func (e *AsyncEngine) send(from, to NodeID, msg Message) {
+	if int(to) < 0 || int(to) >= len(e.handlers) {
+		panic("sim: send to unknown node")
+	}
+	e.seq++
+	delay := e.rand.Float64()*e.maxDelay + 1e-9
+	e.events.push(event{time: e.now + delay, seq: e.seq, node: to, from: from, msg: msg})
+	e.pending++
+}
+
+func (e *AsyncEngine) scheduleActivation(id NodeID) {
+	e.seq++
+	delay := 0.5 + e.rand.Float64() // jittered node speeds
+	e.events.push(event{time: e.now + delay, seq: e.seq, node: id})
+}
+
+// RunUntil processes events until done() holds or maxEvents events have
+// been processed. It returns whether completion was reached. Messages may
+// still be in flight when done() fires — protocols that keep the network
+// busy (e.g. Skeap's continuous iterations) never quiesce; done should be
+// phrased in terms of protocol state.
+func (e *AsyncEngine) RunUntil(done func() bool, maxEvents int) bool {
+	for processed := 0; processed < maxEvents; processed++ {
+		if done() {
+			return true
+		}
+		if len(e.events) == 0 {
+			return done()
+		}
+		ev := e.events.pop()
+		e.now = ev.time
+		if ev.msg != nil {
+			e.pending--
+			e.metrics.observe(e.group(ev.node), ev.msg.Bits())
+			e.handlers[ev.node].HandleMessage(e.contexts[ev.node], ev.from, ev.msg)
+		} else {
+			e.handlers[ev.node].Activate(e.contexts[ev.node])
+			e.scheduleActivation(ev.node)
+		}
+	}
+	return done()
+}
+
+// Metrics returns the accumulated cost measures (rounds/congestion are not
+// populated in the asynchronous model).
+func (e *AsyncEngine) Metrics() *Metrics { return &e.metrics }
+
+// Context returns node id's context, for injecting initial actions.
+func (e *AsyncEngine) Context(id NodeID) *Context { return e.contexts[id] }

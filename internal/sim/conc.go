@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpq/internal/hashutil"
+)
+
+// ConcEngine executes handlers on real goroutines connected by channels —
+// one goroutine and one inbox channel per node. Unlike AsyncEngine it is
+// not deterministic: message interleaving is whatever the Go scheduler
+// produces, which provides a genuinely concurrent stress layer on top of
+// the seeded asynchronous engine.
+//
+// Each node's handler is protected by a per-node mutex (a node processes
+// one action at a time, as in the paper's model); cross-node state must be
+// synchronized by the protocol itself. Inspect is provided to read node
+// state safely from the driving goroutine.
+type ConcEngine struct {
+	handlers []Handler
+	contexts []*Context
+	locks    []sync.Mutex
+	inboxes  []chan envelope
+	group    func(NodeID) int
+
+	inflight atomic.Int64 // protocol messages sent but not yet handled
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+// NewConc creates a goroutine-backed engine over the handlers.
+func NewConc(handlers []Handler, seed uint64, groups int, group func(NodeID) int) *ConcEngine {
+	n := len(handlers)
+	if group == nil {
+		groups = n
+		group = func(id NodeID) int { return int(id) }
+	}
+	e := &ConcEngine{
+		handlers: handlers,
+		contexts: make([]*Context, n),
+		locks:    make([]sync.Mutex, n),
+		inboxes:  make([]chan envelope, n),
+		group:    group,
+		stop:     make(chan struct{}),
+	}
+	e.metrics.Deliveries = make([]int64, groups)
+	for i := range handlers {
+		// Forked PRNG streams must not share state across goroutines:
+		// derive one independent stream per node up front.
+		e.contexts[i] = &Context{id: NodeID(i), rand: hashutil.NewRand(hashutil.Mix2(seed, uint64(i))), engine: e}
+		e.inboxes[i] = make(chan envelope, 4096)
+	}
+	return e
+}
+
+func (e *ConcEngine) send(from, to NodeID, msg Message) {
+	if int(to) < 0 || int(to) >= len(e.handlers) {
+		panic("sim: send to unknown node")
+	}
+	e.inflight.Add(1)
+	e.inboxes[to] <- envelope{from: from, to: to, msg: msg}
+}
+
+// Inspect runs f while holding node id's lock, allowing the driver to read
+// protocol state without racing the node's goroutine.
+func (e *ConcEngine) Inspect(id NodeID, f func(Handler)) {
+	e.locks[id].Lock()
+	defer e.locks[id].Unlock()
+	f(e.handlers[id])
+}
+
+func (e *ConcEngine) nodeLoop(i int) {
+	defer e.wg.Done()
+	id := NodeID(i)
+	idle := time.NewTicker(100 * time.Microsecond)
+	defer idle.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case env := <-e.inboxes[i]:
+			e.locks[i].Lock()
+			e.handlers[i].HandleMessage(e.contexts[i], env.from, env.msg)
+			e.handlers[i].Activate(e.contexts[i])
+			e.locks[i].Unlock()
+			e.mu.Lock()
+			e.metrics.observe(e.group(id), env.msg.Bits())
+			e.mu.Unlock()
+			e.inflight.Add(-1)
+		case <-idle.C:
+			// Periodic activation, as in the asynchronous model.
+			e.locks[i].Lock()
+			e.handlers[i].Activate(e.contexts[i])
+			e.locks[i].Unlock()
+		}
+	}
+}
+
+// Run starts the node goroutines and blocks until done() holds or the
+// timeout elapses. done is evaluated with no locks held; it should use
+// Inspect for per-node reads, and be phrased in terms of protocol state
+// (protocols with continuous background traffic never drain their
+// channels). Run returns whether completion was reached, and shuts the
+// goroutines down in either case. An engine cannot be re-run.
+func (e *ConcEngine) Run(done func() bool, timeout time.Duration) bool {
+	for i := range e.handlers {
+		e.wg.Add(1)
+		go e.nodeLoop(i)
+	}
+	deadline := time.Now().Add(timeout)
+	ok := false
+	for time.Now().Before(deadline) {
+		if done() {
+			ok = true
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(e.stop)
+	e.wg.Wait()
+	return ok
+}
+
+// Context returns node id's context, for injecting initial actions before
+// Run starts the goroutines.
+func (e *ConcEngine) Context(id NodeID) *Context { return e.contexts[id] }
+
+// Metrics returns the accumulated cost measures (rounds/congestion are not
+// populated in the concurrent model).
+func (e *ConcEngine) Metrics() *Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.metrics
+	m.Deliveries = append([]int64(nil), e.metrics.Deliveries...)
+	return &m
+}

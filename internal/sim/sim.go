@@ -1,0 +1,107 @@
+// Package sim is the message-passing substrate of the reproduction. It
+// implements the paper's system model (§1.1) exactly:
+//
+//   - every node has a channel of incoming messages; messages are remote
+//     action calls and are never lost or duplicated;
+//   - the SyncEngine is the standard synchronous model used for the paper's
+//     performance analysis: messages sent in round i are processed in round
+//     i+1 and every node is activated once per round;
+//   - the AsyncEngine delivers messages after arbitrary (seeded-random,
+//     non-FIFO) delays with fair receipt, matching the asynchronous model
+//     the paper's safety arguments assume.
+//
+// Both engines drive the same Handler implementations, so a protocol is
+// written once and can be both measured (sync) and adversarially stressed
+// (async). The engines account rounds, per-node congestion (max messages
+// handled by one node in one round) and message sizes in bits — the three
+// metrics of Theorems 3.2, 4.2 and 5.1.
+package sim
+
+import (
+	"fmt"
+
+	"dpq/internal/hashutil"
+)
+
+// NodeID identifies a simulated node. The overlay layers may map several
+// simulated (virtual) nodes onto one real process; Metrics group congestion
+// by the engine's Group function.
+type NodeID int
+
+// None is the invalid node id.
+const None NodeID = -1
+
+// Message is a remote action call. Bits reports the encoded size of the
+// message in bits, the unit of Lemmas 3.8 and 5.5.
+type Message interface {
+	Bits() int
+}
+
+// Handler is the behaviour of a node: HandleMessage consumes one message
+// from the node's channel; Activate models the periodic activation of §1.1
+// (once per round in the synchronous engine).
+type Handler interface {
+	HandleMessage(ctx *Context, from NodeID, msg Message)
+	Activate(ctx *Context)
+}
+
+// Context is passed to handlers and provides the node's identity, a
+// deterministic per-node PRNG and the Send primitive.
+type Context struct {
+	id     NodeID
+	rand   *hashutil.Rand
+	engine engine
+}
+
+// ID returns the node executing the current action.
+func (c *Context) ID() NodeID { return c.id }
+
+// Rand returns the node's deterministic PRNG stream.
+func (c *Context) Rand() *hashutil.Rand { return c.rand }
+
+// Send puts msg into node to's channel. Sending to the node itself is
+// allowed (a local action call) and is delivered like any other message.
+func (c *Context) Send(to NodeID, msg Message) {
+	c.engine.send(c.id, to, msg)
+}
+
+type engine interface {
+	send(from, to NodeID, msg Message)
+}
+
+type envelope struct {
+	from NodeID
+	to   NodeID
+	msg  Message
+}
+
+// Metrics accumulates the cost measures of a run.
+type Metrics struct {
+	Rounds        int   // synchronous rounds executed
+	Messages      int64 // total messages delivered
+	TotalBits     int64 // sum of message sizes
+	MaxMessageBit int   // largest single message, in bits
+	// Congestion is the maximum number of messages handled by one group
+	// (real node) in one round, over the whole run (§1.1 footnote 2).
+	Congestion int
+	// Deliveries[g] counts messages handled by group g over the run; used
+	// by fairness and participation experiments.
+	Deliveries []int64
+}
+
+func (m *Metrics) observe(group int, bits int) {
+	m.Messages++
+	m.TotalBits += int64(bits)
+	if bits > m.MaxMessageBit {
+		m.MaxMessageBit = bits
+	}
+	if group >= 0 && group < len(m.Deliveries) {
+		m.Deliveries[group]++
+	}
+}
+
+// String summarizes the metrics.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("rounds=%d msgs=%d congestion=%d maxMsgBits=%d totalBits=%d",
+		m.Rounds, m.Messages, m.Congestion, m.MaxMessageBit, m.TotalBits)
+}

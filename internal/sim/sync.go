@@ -1,0 +1,154 @@
+package sim
+
+import "dpq/internal/hashutil"
+
+// SyncEngine drives handlers in the standard synchronous message-passing
+// model: time proceeds in rounds; all messages sent in round i are
+// processed in round i+1; every node is activated once per round after
+// draining its channel.
+type SyncEngine struct {
+	handlers []Handler
+	contexts []*Context
+	// group maps a simulated node to its real process for congestion
+	// accounting; identity when nil.
+	group func(NodeID) int
+	nGrp  int
+
+	inbox [][]envelope // messages deliverable this round
+	next  [][]envelope // messages sent this round, deliverable next round
+
+	observer func(round int, from, to NodeID, msg Message)
+	metrics  Metrics
+}
+
+// NewSync creates a synchronous engine over the given handlers. groups is
+// the number of real processes and group maps node → process; pass 0 and
+// nil for the identity mapping.
+func NewSync(handlers []Handler, seed uint64, groups int, group func(NodeID) int) *SyncEngine {
+	n := len(handlers)
+	if group == nil {
+		groups = n
+		group = func(id NodeID) int { return int(id) }
+	}
+	e := &SyncEngine{
+		handlers: handlers,
+		contexts: make([]*Context, n),
+		group:    group,
+		nGrp:     groups,
+		inbox:    make([][]envelope, n),
+		next:     make([][]envelope, n),
+	}
+	e.metrics.Deliveries = make([]int64, groups)
+	root := hashutil.NewRand(seed)
+	for i := range handlers {
+		e.contexts[i] = &Context{id: NodeID(i), rand: root.Fork(), engine: e}
+	}
+	return e
+}
+
+// AddHandler grows the network by one node (dynamic membership). The new
+// node starts with an empty channel; group must already cover its id. It
+// returns the new node's id.
+func (e *SyncEngine) AddHandler(h Handler, seed uint64) NodeID {
+	id := NodeID(len(e.handlers))
+	e.handlers = append(e.handlers, h)
+	e.contexts = append(e.contexts, &Context{id: id, rand: hashutil.NewRand(hashutil.Mix2(seed, uint64(id))), engine: e})
+	e.inbox = append(e.inbox, nil)
+	e.next = append(e.next, nil)
+	if g := e.group(id); g >= e.nGrp {
+		e.nGrp = g + 1
+	}
+	for len(e.metrics.Deliveries) < e.nGrp {
+		e.metrics.Deliveries = append(e.metrics.Deliveries, 0)
+	}
+	return id
+}
+
+func (e *SyncEngine) send(from, to NodeID, msg Message) {
+	if int(to) < 0 || int(to) >= len(e.handlers) {
+		panic("sim: send to unknown node")
+	}
+	e.next[to] = append(e.next[to], envelope{from: from, to: to, msg: msg})
+}
+
+// Pending reports whether any message is waiting for delivery.
+func (e *SyncEngine) Pending() bool {
+	for i := range e.inbox {
+		if len(e.inbox[i]) > 0 || len(e.next[i]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Step executes one synchronous round: every node drains its channel and is
+// then activated once. It returns the number of messages delivered.
+func (e *SyncEngine) Step() int {
+	// Messages sent in the previous round become deliverable now.
+	e.inbox, e.next = e.next, e.inbox
+	delivered := 0
+	roundLoad := make([]int, e.nGrp)
+	for i := range e.handlers {
+		id := NodeID(i)
+		box := e.inbox[i]
+		e.inbox[i] = nil
+		for _, env := range box {
+			g := e.group(id)
+			e.metrics.observe(g, env.msg.Bits())
+			roundLoad[g]++
+			if e.observer != nil {
+				e.observer(e.metrics.Rounds, env.from, id, env.msg)
+			}
+			e.handlers[i].HandleMessage(e.contexts[i], env.from, env.msg)
+			delivered++
+		}
+	}
+	for i := range e.handlers {
+		e.handlers[i].Activate(e.contexts[i])
+	}
+	for _, l := range roundLoad {
+		if l > e.metrics.Congestion {
+			e.metrics.Congestion = l
+		}
+	}
+	e.metrics.Rounds++
+	return delivered
+}
+
+// RunUntil steps the engine until done() returns true or maxRounds rounds
+// have elapsed. It returns true when done() was satisfied.
+func (e *SyncEngine) RunUntil(done func() bool, maxRounds int) bool {
+	for r := 0; r < maxRounds; r++ {
+		if done() {
+			return true
+		}
+		e.Step()
+	}
+	return done()
+}
+
+// RunQuiescent steps until no message is in flight and done() holds (or
+// maxRounds elapses). Protocols that idle between phases need done to
+// describe completion, since an empty network does not imply completion.
+func (e *SyncEngine) RunQuiescent(done func() bool, maxRounds int) bool {
+	for r := 0; r < maxRounds; r++ {
+		if !e.Pending() && done() {
+			return true
+		}
+		e.Step()
+	}
+	return !e.Pending() && done()
+}
+
+// SetObserver installs a callback invoked for every delivered message
+// (after metric accounting, before the handler runs). Observability only —
+// protocols must not depend on it.
+func (e *SyncEngine) SetObserver(f func(round int, from, to NodeID, msg Message)) {
+	e.observer = f
+}
+
+// Metrics returns the accumulated cost measures.
+func (e *SyncEngine) Metrics() *Metrics { return &e.metrics }
+
+// Context returns node id's context, for injecting initial actions.
+func (e *SyncEngine) Context(id NodeID) *Context { return e.contexts[id] }

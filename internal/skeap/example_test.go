@@ -1,0 +1,33 @@
+package skeap_test
+
+import (
+	"fmt"
+
+	"dpq/internal/semantics"
+	"dpq/internal/skeap"
+)
+
+// Example runs one Skeap batch end to end: three processes insert, one
+// deletes, and the trace verifies sequential consistency.
+func Example() {
+	h := skeap.New(skeap.Config{N: 4, P: 3, Seed: 7})
+	eng := h.NewSyncEngine()
+
+	h.InjectInsert(0, 1, 2, "low")
+	h.InjectInsert(1, 2, 0, "high")
+	h.InjectInsert(2, 3, 1, "mid")
+	eng.RunUntil(h.Done, 100000)
+
+	h.InjectDelete(3)
+	eng.RunUntil(h.Done, 100000)
+
+	for _, op := range h.Trace().Ops() {
+		if op.Kind == semantics.DeleteMin {
+			fmt.Printf("DeleteMin → %s\n", op.Result.Payload)
+		}
+	}
+	fmt.Println("sequentially consistent:", semantics.CheckAll(h.Trace(), semantics.FIFO).Ok())
+	// Output:
+	// DeleteMin → high
+	// sequentially consistent: true
+}

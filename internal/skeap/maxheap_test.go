@@ -1,0 +1,83 @@
+package skeap
+
+import (
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+)
+
+// TestMaxHeapMode: §1.2's inversion — deletes drain the *largest*
+// priorities first.
+func TestMaxHeapMode(t *testing.T) {
+	h := New(Config{N: 4, P: 3, Seed: 400, MaxHeap: true})
+	h.InjectInsert(0, 1, 0, "low")
+	h.InjectInsert(1, 2, 2, "high")
+	h.InjectInsert(2, 3, 1, "mid")
+	runSync(t, h)
+	h.InjectDelete(3)
+	runSync(t, h)
+	for _, op := range h.Trace().Ops() {
+		if op.Kind == semantics.DeleteMin && op.Result.ID != 2 {
+			t.Fatalf("DeleteMax returned %v, want the priority-2 element", op.Result)
+		}
+	}
+	if rep := semantics.CheckAllMax(h.Trace(), semantics.FIFO); !rep.Ok() {
+		t.Fatalf("max-heap semantics violated:\n%s", rep.Error())
+	}
+}
+
+func TestMaxHeapRandomWorkload(t *testing.T) {
+	h := New(Config{N: 6, P: 4, Seed: 401, MaxHeap: true})
+	rnd := hashutil.NewRand(402)
+	id := prio.ElemID(1)
+	for i := 0; i < 60; i++ {
+		if rnd.Bool(0.6) {
+			h.InjectInsert(rnd.Intn(6), id, rnd.Intn(4), "")
+			id++
+		} else {
+			h.InjectDelete(rnd.Intn(6))
+		}
+	}
+	runSync(t, h)
+	if rep := semantics.CheckAllMax(h.Trace(), semantics.FIFO); !rep.Ok() {
+		t.Fatalf("max-heap semantics violated:\n%s", rep.Error())
+	}
+	// Cross-check: the min-heap checker must reject this trace whenever a
+	// delete actually had a choice between priorities.
+	sawDifferentPriorities := false
+	var delPrio map[prio.Priority]bool = map[prio.Priority]bool{}
+	for _, op := range h.Trace().Ops() {
+		if op.Kind == semantics.DeleteMin && !op.Result.Nil() {
+			delPrio[op.Result.Prio] = true
+		}
+	}
+	sawDifferentPriorities = len(delPrio) > 1
+	if sawDifferentPriorities && semantics.CheckAll(h.Trace(), semantics.FIFO).Ok() {
+		t.Fatal("min-heap checker accepted a max-heap trace")
+	}
+}
+
+func TestMaxHeapSpansPriorities(t *testing.T) {
+	// Drain more than one priority class in a single delete batch.
+	h := New(Config{N: 2, P: 3, Seed: 403, MaxHeap: true})
+	id := prio.ElemID(1)
+	for p := 0; p < 3; p++ {
+		h.InjectInsert(0, id, p, "")
+		id++
+	}
+	runSync(t, h)
+	h.InjectDelete(1)
+	h.InjectDelete(1)
+	runSync(t, h)
+	var prios []prio.Priority
+	for _, op := range h.Trace().Ops() {
+		if op.Kind == semantics.DeleteMin {
+			prios = append(prios, op.Result.Prio)
+		}
+	}
+	if len(prios) != 2 || prios[0] != 2 || prios[1] != 1 {
+		t.Fatalf("drain order %v, want [2 1]", prios)
+	}
+}

@@ -1,0 +1,154 @@
+package skeap
+
+import (
+	"dpq/internal/aggtree"
+	"dpq/internal/batch"
+	"dpq/internal/ldb"
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+	"dpq/internal/sim"
+)
+
+// batchProto builds the gather–scatter describing one Skeap iteration:
+// Own = Phase 1 snapshot, Combine = Phase 1 entrywise combination,
+// AtRoot = Phase 2 position assignment, Split = Phase 3 decomposition and
+// OnOwn = Phase 4 DHT operations.
+func (n *Node) batchProto() *aggtree.Proto {
+	return &aggtree.Proto{
+		Name: "skeap-batch",
+		Own: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, _ aggtree.Value) aggtree.Value {
+			return n.snapshot(seq)
+		},
+		Combine: func(self *ldb.VInfo, seq uint64, _ aggtree.Value, own aggtree.Value, kids []aggtree.KidValue) aggtree.Value {
+			all := make([]*batch.Batch, 0, 1+len(kids))
+			all = append(all, own.(*batch.Batch))
+			for _, kv := range kids {
+				all = append(all, kv.V.(*batch.Batch))
+			}
+			return batch.Combine(all...)
+		},
+		AtRoot: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, _ aggtree.Value, combined aggtree.Value) aggtree.Value {
+			asn := n.anchorState.AssignPositions(combined.(*batch.Batch))
+			n.inFlight = false // the anchor may start the next iteration
+			return asn
+		},
+		Split: func(self *ldb.VInfo, seq uint64, _ aggtree.Value, down aggtree.Value, own aggtree.Value, kids []aggtree.KidValue) (aggtree.Value, []aggtree.Value) {
+			kidBatches := make([]*batch.Batch, len(kids))
+			for i, kv := range kids {
+				kidBatches[i] = kv.V.(*batch.Batch)
+			}
+			ownA, kidA := batch.Decompose(down.(*batch.Assign), own.(*batch.Batch), kidBatches)
+			parts := make([]aggtree.Value, len(kidA))
+			for i, a := range kidA {
+				parts[i] = a
+			}
+			return ownA, parts
+		},
+		OnOwn: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, _ aggtree.Value, ownPart aggtree.Value) {
+			n.apply(ctx, self, seq, ownPart.(*batch.Assign))
+		},
+	}
+}
+
+// snapshot drains the node's buffer into a batch (Phase 1) and memorizes,
+// per operation, where in the batch it sits, so the assignment can be
+// mapped back in Phase 4.
+func (n *Node) snapshot(seq uint64) *batch.Batch {
+	n.mu.Lock()
+	ops := n.buffer
+	if cap := n.heap.cfg.MaxBatch; cap > 0 && len(ops) > cap {
+		ops = n.buffer[:cap]
+		n.buffer = n.buffer[cap:]
+	} else {
+		n.buffer = nil
+	}
+	n.mu.Unlock()
+
+	b := batch.New(n.heap.cfg.P)
+	slots := make([]slot, 0, len(ops))
+	entry := -1
+	var insIdx, delIdx int64
+	insPIdx := make([]int64, n.heap.cfg.P)
+	for _, po := range ops {
+		if po.kind == semantics.Insert {
+			b.AddInsert(int(po.elem.Prio))
+		} else {
+			b.AddDelete()
+		}
+		if b.Len()-1 != entry {
+			entry = b.Len() - 1
+			insIdx, delIdx = 0, 0
+			for i := range insPIdx {
+				insPIdx[i] = 0
+			}
+		}
+		s := slot{op: po, entry: entry}
+		if po.kind == semantics.Insert {
+			p := int(po.elem.Prio)
+			s.insIdx, s.insPIdx = insIdx, insPIdx[p]
+			insIdx++
+			insPIdx[p]++
+		} else {
+			s.delIdx = delIdx
+			delIdx++
+		}
+		slots = append(slots, s)
+	}
+	n.snapshots[seq] = slots
+	return b
+}
+
+// apply is Phase 4: the node converts its assignment into DHT operations
+// and completes its trace entries with the global serialization values.
+func (n *Node) apply(ctx *sim.Context, self *ldb.VInfo, seq uint64, asn *batch.Assign) {
+	slots := n.snapshots[seq]
+	delete(n.snapshots, seq)
+	if len(slots) == 0 {
+		return
+	}
+	// Pre-expand each entry's delete pieces into (priority, position)
+	// lists so the i-th delete of an entry takes the i-th position.
+	delPositions := make([][]batch.Piece, len(asn.Entries))
+	for j, ea := range asn.Entries {
+		delPositions[j] = ea.Del
+	}
+	expanded := make([][]pp, len(asn.Entries))
+	for j, pieces := range delPositions {
+		for _, pc := range pieces {
+			for _, pos := range pc.Positions() {
+				expanded[j] = append(expanded[j], pp{p: pc.P, pos: pos})
+			}
+		}
+	}
+	for _, s := range slots {
+		ea := asn.Entries[s.entry]
+		if s.op.kind == semantics.Insert {
+			p := int(s.op.elem.Prio)
+			pos := ea.Ins[p].Lo + s.insPIdx
+			value := ea.InsBase + s.insIdx
+			n.heap.trace.Complete(s.op.op, prio.Element{}, value)
+			key := n.heap.hasher.Pair(uint64(p), uint64(pos))
+			n.store.Put(ctx, self, key, s.op.elem, nil)
+			continue
+		}
+		value := ea.DelBase + s.delIdx
+		if s.delIdx < int64(len(expanded[s.entry])) {
+			loc := expanded[s.entry][s.delIdx]
+			key := n.heap.hasher.Pair(uint64(loc.p), uint64(loc.pos))
+			op := s.op.op
+			n.store.Get(ctx, self, key, func(e prio.Element, found bool) {
+				n.heap.trace.Complete(op, e, value)
+			})
+		} else {
+			// The heap was empty at this point of the serialization:
+			// DeleteMin returns ⊥ (Definition 1.2, property (2) boundary).
+			n.heap.trace.Complete(s.op.op, prio.Element{}, value)
+		}
+	}
+}
+
+// pp is a (priority, position) pair — the paper's (p, pos) ∈ 𝒫 × ℕ.
+type pp struct {
+	p   int
+	pos int64
+}

@@ -1,0 +1,279 @@
+// Package skeap implements the Skeap protocol (§3): a distributed heap for
+// a constant number of priorities that is sequentially consistent and heap
+// consistent (Theorem 3.2). Each protocol iteration runs the paper's four
+// phases:
+//
+//	Phase 1  nodes snapshot their buffered operations as batches and
+//	         aggregate them entrywise to the anchor;
+//	Phase 2  the anchor assigns position intervals per priority, growing
+//	         [first_p, last_p] for inserts and consuming from the most
+//	         prioritized non-empty intervals for deletes;
+//	Phase 3  the intervals are decomposed back down the tree, each node
+//	         splitting them among its own sub-batch and its children's;
+//	Phase 4  every operation, now owning a unique (p, pos) pair, issues
+//	         Put(h(p,pos), e) or Get(h(p,pos)) on the DHT.
+//
+// Phases 1–3 are one gather–scatter on the aggregation tree; the batch
+// algebra lives in internal/batch, the tree plumbing in internal/aggtree
+// and the storage in internal/dht. Iterations are sequenced by the anchor,
+// which starts iteration s+1 as soon as it has scattered iteration s —
+// DHT traffic of consecutive iterations overlaps safely because positions
+// are globally unique.
+package skeap
+
+import (
+	"sync"
+
+	"dpq/internal/aggtree"
+	"dpq/internal/batch"
+	"dpq/internal/dht"
+	"dpq/internal/hashutil"
+	"dpq/internal/ldb"
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+	"dpq/internal/sim"
+)
+
+// Config parameterizes a Skeap network.
+type Config struct {
+	N    int    // number of real processes
+	P    int    // number of priorities (the paper's constant c = |𝒫|)
+	Seed uint64 // seed for labels, hashing and protocol randomness
+	// LIFO makes deletes pop the newest element per priority instead of
+	// the oldest — the distributed-stack variant ([FSS18b]); with P = 1
+	// this is a distributed stack, with FIFO order a distributed queue
+	// (Skueue, [FSS18a]).
+	LIFO bool
+	// MaxBatch caps how many buffered operations a node snapshots per
+	// iteration (0 = unlimited). MaxBatch = 1 disables batching — the
+	// ablation of the paper's central design choice (experiment E17).
+	MaxBatch int
+	// MaxHeap inverts the delete preference: DeleteMin becomes DeleteMax
+	// (§1.2: "this property can be inverted such that our heap behaves
+	// like a MaxHeap").
+	MaxHeap bool
+}
+
+// tagBatch is the aggtree tag of the Skeap gather–scatter.
+const tagBatch aggtree.Tag = 1
+
+// pendingOp is a buffered heap operation awaiting the next batch.
+type pendingOp struct {
+	kind semantics.OpKind
+	elem prio.Element
+	op   *semantics.Op
+}
+
+// slot records how a snapshotted operation maps into its batch: its entry,
+// and its indices within the entry in issue order and per priority.
+type slot struct {
+	op      pendingOp
+	entry   int
+	insIdx  int64 // index among the entry's inserts, issue order
+	insPIdx int64 // index among the entry's inserts of the same priority
+	delIdx  int64 // index among the entry's deletes, issue order
+}
+
+// Node is one virtual node's protocol state.
+type Node struct {
+	heap   *Heap
+	runner *aggtree.Runner
+	store  *dht.DHT
+
+	mu        sync.Mutex
+	buffer    []pendingOp
+	snapshots map[uint64][]slot
+
+	// anchor-only state
+	anchorState *batch.AnchorState
+	inFlight    bool
+	nextSeq     uint64
+	iterations  int
+}
+
+// Heap drives a Skeap network: it owns the overlay, the per-virtual-node
+// protocol handlers and the execution trace.
+type Heap struct {
+	cfg    Config
+	ov     *ldb.Overlay
+	hasher hashutil.Hasher
+	nodes  []*Node
+	trace  *semantics.Trace
+
+	// autoRepeat lets the anchor start a new iteration whenever the
+	// previous one has been scattered; benchmarks disable it to measure a
+	// single batch.
+	autoRepeat bool
+	// lastMigrated counts elements that changed hosts in the most recent
+	// membership change (experiment E20).
+	lastMigrated int
+}
+
+// MigratedLastChange returns how many stored elements changed hosts during
+// the most recent membership change.
+func (h *Heap) MigratedLastChange() int { return h.lastMigrated }
+
+// New builds a Skeap network. The heap is inert until its handlers run on
+// an engine (see NewSyncEngine / NewAsyncEngine) and ops are injected.
+func New(cfg Config) *Heap {
+	if cfg.N < 1 || cfg.P < 1 {
+		panic("skeap: invalid config")
+	}
+	h := &Heap{
+		cfg:        cfg,
+		hasher:     hashutil.New(cfg.Seed),
+		trace:      semantics.NewTrace(),
+		autoRepeat: true,
+	}
+	h.ov = ldb.New(cfg.N, h.hasher)
+	h.nodes = make([]*Node, h.ov.NumVirtual())
+	for i := range h.nodes {
+		n := &Node{
+			heap:      h,
+			runner:    aggtree.NewRunner(h.ov),
+			store:     dht.New(h.ov),
+			snapshots: make(map[uint64][]slot),
+		}
+		if sim.NodeID(i) == h.ov.Anchor {
+			n.anchorState = batch.NewAnchorState(cfg.P)
+			n.anchorState.SetLIFO(cfg.LIFO)
+			n.anchorState.SetMaxHeap(cfg.MaxHeap)
+		}
+		n.runner.Register(tagBatch, n.batchProto())
+		h.nodes[i] = n
+	}
+	return h
+}
+
+// Overlay exposes the underlying LDB (tests, experiments).
+func (h *Heap) Overlay() *ldb.Overlay { return h.ov }
+
+// Trace returns the execution trace for the semantics checkers.
+func (h *Heap) Trace() *semantics.Trace { return h.trace }
+
+// Iterations returns how many batch iterations the anchor has started.
+func (h *Heap) Iterations() int { return h.nodes[h.ov.Anchor].iterations }
+
+// SetAutoRepeat controls whether the anchor keeps starting iterations on
+// its own (the protocol's continuous mode). Disable for single-batch
+// measurements and drive iterations with StartIteration.
+func (h *Heap) SetAutoRepeat(on bool) { h.autoRepeat = on }
+
+// Handlers returns the per-virtual-node sim handlers.
+func (h *Heap) Handlers() []sim.Handler {
+	hs := make([]sim.Handler, len(h.nodes))
+	for i, n := range h.nodes {
+		hs[i] = &nodeHandler{n: n, id: sim.NodeID(i)}
+	}
+	return hs
+}
+
+// NewSyncEngine wires the heap into a synchronous engine with per-host
+// congestion grouping.
+func (h *Heap) NewSyncEngine() *sim.SyncEngine {
+	groups, group := h.ov.Group()
+	return sim.NewSync(h.Handlers(), h.cfg.Seed+1, groups, group)
+}
+
+// NewAsyncEngine wires the heap into the seeded asynchronous engine.
+func (h *Heap) NewAsyncEngine(maxDelay float64) *sim.AsyncEngine {
+	groups, group := h.ov.Group()
+	return sim.NewAsync(h.Handlers(), h.cfg.Seed+1, maxDelay, groups, group)
+}
+
+// NewConcEngine wires the heap into the goroutine-backed engine.
+func (h *Heap) NewConcEngine() *sim.ConcEngine {
+	groups, group := h.ov.Group()
+	return sim.NewConc(h.Handlers(), h.cfg.Seed+1, groups, group)
+}
+
+// InjectInsert buffers Insert(e) at host's middle virtual node. p is the
+// 0-based priority; the element id must be unique across the run.
+func (h *Heap) InjectInsert(host int, id prio.ElemID, p int, payload string) {
+	if p < 0 || p >= h.cfg.P {
+		panic("skeap: priority out of range")
+	}
+	e := prio.Element{ID: id, Prio: prio.Priority(p), Payload: payload}
+	op := h.trace.Issue(host, semantics.Insert, e)
+	n := h.nodes[ldb.VID(host, ldb.Middle)]
+	n.mu.Lock()
+	n.buffer = append(n.buffer, pendingOp{kind: semantics.Insert, elem: e, op: op})
+	n.mu.Unlock()
+}
+
+// InjectDelete buffers DeleteMin() at host's middle virtual node.
+func (h *Heap) InjectDelete(host int) {
+	op := h.trace.Issue(host, semantics.DeleteMin, prio.Element{})
+	n := h.nodes[ldb.VID(host, ldb.Middle)]
+	n.mu.Lock()
+	n.buffer = append(n.buffer, pendingOp{kind: semantics.DeleteMin, op: op})
+	n.mu.Unlock()
+}
+
+// StartIteration begins one batch iteration from the anchor (manual mode;
+// ctx must be the anchor's context).
+func (h *Heap) StartIteration(ctx *sim.Context) {
+	a := h.nodes[h.ov.Anchor]
+	a.startIteration(ctx, h.ov.Info(h.ov.Anchor))
+}
+
+// Done reports whether every injected operation has completed.
+func (h *Heap) Done() bool { return h.trace.DoneCount() == h.trace.Len() }
+
+// StoreSizes returns per-host-slot DHT load (fairness experiment E12).
+// Departed hosts keep their slot with a zero load.
+func (h *Heap) StoreSizes() []int {
+	out := make([]int, len(h.nodes)/3)
+	for i, n := range h.nodes {
+		out[ldb.HostOf(sim.NodeID(i))] += n.store.StoreSize()
+	}
+	return out
+}
+
+// nodeHandler adapts a Node to sim.Handler, binding its virtual id.
+type nodeHandler struct {
+	n  *Node
+	id sim.NodeID
+}
+
+func (nh *nodeHandler) HandleMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	n := nh.n
+	self := n.heap.ov.Info(nh.id)
+	switch m := msg.(type) {
+	case *ldb.RouteMsg:
+		if ldb.Forward(ctx, self, m) {
+			if !n.store.HandleRouted(ctx, m.Payload) {
+				panic("skeap: unexpected routed payload")
+			}
+		}
+	default:
+		if n.runner.Handle(ctx, self, from, msg) {
+			return
+		}
+		if n.store.Handle(ctx, from, msg) {
+			return
+		}
+		panic("skeap: unexpected message")
+	}
+}
+
+func (nh *nodeHandler) Activate(ctx *sim.Context) {
+	n := nh.n
+	if nh.id != n.heap.ov.Anchor || !n.heap.autoRepeat {
+		return
+	}
+	if !n.inFlight {
+		n.startIteration(ctx, n.heap.ov.Info(nh.id))
+	}
+}
+
+func (n *Node) startIteration(ctx *sim.Context, self *ldb.VInfo) {
+	if n.inFlight {
+		panic("skeap: iteration already in flight")
+	}
+	n.inFlight = true
+	n.iterations++
+	seq := n.nextSeq
+	n.nextSeq++
+	n.runner.Start(ctx, self, tagBatch, seq, nil)
+}

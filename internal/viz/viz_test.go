@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dpq/internal/aggtree"
+	"dpq/internal/dht"
+	"dpq/internal/hashutil"
+	"dpq/internal/kselect"
+	"dpq/internal/ldb"
+	"dpq/internal/prio"
+	"dpq/internal/skeap"
+)
+
+// runTracedSkeapBatch drives one Skeap batch with a timeline attached.
+func runTracedSkeapBatch(t *testing.T) *Timeline {
+	t.Helper()
+	h := skeap.New(skeap.Config{N: 8, P: 2, Seed: 61})
+	h.SetAutoRepeat(false)
+	rnd := hashutil.NewRand(62)
+	id := prio.ElemID(1)
+	for host := 0; host < 8; host++ {
+		if rnd.Bool(0.7) {
+			h.InjectInsert(host, id, rnd.Intn(2), "")
+			id++
+		} else {
+			h.InjectDelete(host)
+		}
+	}
+	tl := NewTimeline()
+	eng := h.NewSyncEngine()
+	eng.SetObserver(tl.Observer())
+	h.StartIteration(eng.Context(h.Overlay().Anchor))
+	if !eng.RunQuiescent(h.Done, 100000) {
+		t.Fatal("batch incomplete")
+	}
+	return tl
+}
+
+func TestSkeapPhaseStructure(t *testing.T) {
+	tl := runTracedSkeapBatch(t)
+	// The four phases are visible in the timeline: tree-up traffic ends
+	// before tree-down traffic ends, and DHT puts/gets start only after
+	// the scatter began.
+	upLast := tl.LastRound("tree/up[1]")
+	downFirst := tl.FirstRound("tree/down[1]")
+	putFirst := tl.FirstRound("route/put")
+	if upLast == 0 || downFirst == 0 {
+		t.Fatal("tree traffic missing")
+	}
+	if downFirst <= tl.FirstRound("tree/up[1]") {
+		t.Fatal("scatter cannot begin before the first gather message")
+	}
+	if putFirst != 0 && putFirst <= tl.FirstRound("tree/down[1]") {
+		t.Fatalf("DHT puts (round %d) before the scatter began (round %d)", putFirst, downFirst)
+	}
+}
+
+func TestTimelineCounts(t *testing.T) {
+	tl := runTracedSkeapBatch(t)
+	// Gather: every non-anchor virtual node sends exactly one UpMsg.
+	if got := tl.Count("tree/up[1]"); got != 3*8-1 {
+		t.Fatalf("up messages %d, want %d", got, 3*8-1)
+	}
+	// Scatter: one DownMsg per non-anchor virtual node as well.
+	if got := tl.Count("tree/down[1]"); got != 3*8-1 {
+		t.Fatalf("down messages %d, want %d", got, 3*8-1)
+	}
+	// Starts: one per non-anchor virtual node.
+	if got := tl.Count("tree/start[1]"); got != 3*8-1 {
+		t.Fatalf("start messages %d, want %d", got, 3*8-1)
+	}
+}
+
+func TestSpansCompress(t *testing.T) {
+	tl := NewTimeline()
+	obs := tl.Observer()
+	// Rounds 1-3 identical, round 4 different.
+	for r := 1; r <= 3; r++ {
+		obs(r, 0, 1, &fakeMsg{})
+	}
+	obs(4, 0, 1, &fakeMsg{})
+	obs(4, 0, 1, &fakeMsg{})
+	spans := tl.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans %+v", spans)
+	}
+	if spans[0].From != 1 || spans[0].To != 3 || spans[1].From != 4 || spans[1].To != 4 {
+		t.Fatalf("span boundaries %+v", spans)
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	tl := NewTimeline()
+	tl.Observer()(1, 0, 1, &fakeMsg{})
+	var buf bytes.Buffer
+	tl.Render(&buf)
+	if !strings.Contains(buf.String(), "rounds") || !strings.Contains(buf.String(), "×1") {
+		t.Fatalf("render output %q", buf.String())
+	}
+}
+
+type fakeMsg struct{}
+
+func (f *fakeMsg) Bits() int { return 1 }
+
+func TestTypeNameTable(t *testing.T) {
+	// Every protocol message type must classify to a stable label.
+	cases := map[string]interface{ Bits() int }{
+		"tree/start[3]":     &aggtree.StartMsg{Tag: 3},
+		"tree/up[4]":        &aggtree.UpMsg{Tag: 4, V: aggtree.NilVal{}},
+		"tree/down[5]":      &aggtree.DownMsg{Tag: 5, V: aggtree.NilVal{}},
+		"route/put":         &ldb.RouteMsg{Payload: &dht.PutMsg{}},
+		"route/get":         &ldb.RouteMsg{Payload: &dht.GetMsg{}},
+		"route/sample-root": &ldb.RouteMsg{Payload: &kselect.SampleRootMsg{}},
+		"route/copy":        &ldb.RouteMsg{Payload: &kselect.CopyMsg{}},
+		"dht/reply":         &dht.ReplyMsg{},
+		"sort/seek":         &kselect.DistSeekMsg{},
+		"sort/arrive":       &kselect.DistArriveMsg{},
+		"sort/vector":       &kselect.VecMsg{},
+	}
+	for want, msg := range cases {
+		if got := TypeName(msg); got != want {
+			t.Errorf("TypeName(%T) = %q, want %q", msg, got, want)
+		}
+	}
+	if got := TypeName(&fakeMsg{}); got == "" {
+		t.Error("unknown types must still get a label")
+	}
+}

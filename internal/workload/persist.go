@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dpq/internal/prio"
+)
+
+// Persistence: operation streams serialize to a line-oriented text format
+// so any run can be recorded and replayed bit-for-bit (the simulators'
+// -record/-replay flags):
+//
+//	I <host> <priority> <id>     an Insert
+//	D <host>                     a DeleteMin
+//	# ...                        a comment
+//
+// Rounds are separated by a bare "-" line, preserving the injection
+// timing for steady-state experiments.
+
+// WriteOps writes one round's operations.
+func WriteOps(w io.Writer, ops []Op) error {
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case OpInsert:
+			_, err = fmt.Fprintf(w, "I %d %d %d\n", op.Host, op.Prio, uint64(op.ID))
+		case OpDelete:
+			_, err = fmt.Fprintf(w, "D %d\n", op.Host)
+		default:
+			err = fmt.Errorf("workload: unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRounds writes a multi-round stream with round separators.
+func WriteRounds(w io.Writer, rounds [][]Op) error {
+	for i, ops := range rounds {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w, "-"); err != nil {
+				return err
+			}
+		}
+		if err := WriteOps(w, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRounds parses a recorded stream back into per-round operation
+// slices. Blank lines and lines starting with '#' are ignored.
+func ReadRounds(r io.Reader) ([][]Op, error) {
+	sc := bufio.NewScanner(r)
+	rounds := [][]Op{nil}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if text == "-" {
+			rounds = append(rounds, nil)
+			continue
+		}
+		var op Op
+		switch text[0] {
+		case 'I':
+			var id uint64
+			if _, err := fmt.Sscanf(text, "I %d %d %d", &op.Host, &op.Prio, &id); err != nil {
+				return nil, fmt.Errorf("workload: line %d: %w", line, err)
+			}
+			op.Kind = OpInsert
+			op.ID = prio.ElemID(id)
+		case 'D':
+			if _, err := fmt.Sscanf(text, "D %d", &op.Host); err != nil {
+				return nil, fmt.Errorf("workload: line %d: %w", line, err)
+			}
+			op.Kind = OpDelete
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown record %q", line, text)
+		}
+		if op.Host < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative host", line)
+		}
+		last := len(rounds) - 1
+		rounds[last] = append(rounds[last], op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rounds, nil
+}

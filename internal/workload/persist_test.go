@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPersistence(t *testing.T) {
+	g := New(Config{N: 4, Rate: 3, InsertFrac: 0.6, Dist: Uniform, Bound: 100, Seed: 1})
+	var rounds [][]Op
+	for i := 0; i < 5; i++ {
+		rounds = append(rounds, g.Round())
+	}
+	var buf bytes.Buffer
+	if err := WriteRounds(&buf, rounds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRounds(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rounds) {
+		t.Fatalf("rounds %d, want %d", len(back), len(rounds))
+	}
+	for r := range rounds {
+		if len(back[r]) != len(rounds[r]) {
+			t.Fatalf("round %d: %d ops, want %d", r, len(back[r]), len(rounds[r]))
+		}
+		for i := range rounds[r] {
+			if back[r][i] != rounds[r][i] {
+				t.Fatalf("round %d op %d: %+v != %+v", r, i, back[r][i], rounds[r][i])
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, nRounds uint8) bool {
+		g := New(Config{N: 3, Rate: 2, InsertFrac: 0.5, Dist: Uniform, Bound: 9, Seed: seed})
+		var rounds [][]Op
+		for i := 0; i < int(nRounds%6)+1; i++ {
+			rounds = append(rounds, g.Round())
+		}
+		var buf bytes.Buffer
+		if WriteRounds(&buf, rounds) != nil {
+			return false
+		}
+		back, err := ReadRounds(&buf)
+		if err != nil || len(back) != len(rounds) {
+			return false
+		}
+		for r := range rounds {
+			for i := range rounds[r] {
+				if back[r][i] != rounds[r][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	in := "# recorded workload\n\nI 2 7 1\n\n# mid comment\nD 0\n-\nI 1 3 2\n"
+	rounds, err := ReadRounds(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 2 || len(rounds[0]) != 2 || len(rounds[1]) != 1 {
+		t.Fatalf("rounds %+v", rounds)
+	}
+	if rounds[0][0].Kind != OpInsert || rounds[0][0].Prio != 7 || rounds[0][1].Kind != OpDelete {
+		t.Fatalf("parsed %+v", rounds[0])
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	for _, in := range []string{
+		"X 1 2 3\n",
+		"I 1\n",
+		"D\n",
+		"I -1 2 3\n",
+	} {
+		if _, err := ReadRounds(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q must fail", in)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package workload generates the operation streams the experiments drive
+// the heaps with: per-node injection rates λ(v) (§1.1), operation mixes,
+// priority distributions and temporal patterns. All generators are
+// deterministic per seed.
+package workload
+
+import (
+	"math"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/prio"
+)
+
+// Kind distinguishes generated operations.
+type Kind int
+
+// Operation kinds.
+const (
+	OpInsert Kind = iota
+	OpDelete
+)
+
+// Op is one generated heap operation.
+type Op struct {
+	Host int
+	Kind Kind
+	Prio uint64 // 1-based priority (Insert only)
+	ID   prio.ElemID
+}
+
+// PrioDist selects the priority distribution of inserted elements.
+type PrioDist int
+
+// Priority distributions.
+const (
+	// Uniform draws priorities uniformly from [1, Bound].
+	Uniform PrioDist = iota
+	// Zipf draws priorities with P(p) ∝ 1/p^s (s = 1.2), concentrating
+	// load on the most prioritized values — the adversarial case for
+	// KSelect's pruning.
+	Zipf
+	// Ascending issues strictly increasing priorities: every insert lands
+	// at the back of the heap (FIFO-like drain).
+	Ascending
+	// Descending issues strictly decreasing priorities: every insert is
+	// the new minimum (maximally churn-heavy for the front intervals).
+	Descending
+)
+
+// Pattern selects the temporal injection pattern.
+type Pattern int
+
+// Injection patterns.
+const (
+	// Steady injects Rate ops per node per round.
+	Steady Pattern = iota
+	// Bursty alternates BurstLen rounds at Rate with BurstLen idle rounds.
+	Bursty
+	// Hotspot gives node 0 the full rate and the others rate 1.
+	Hotspot
+)
+
+// Config parameterizes a Generator.
+type Config struct {
+	N          int
+	Rate       int     // λ: ops per node per round
+	InsertFrac float64 // fraction of inserts in the mix
+	Dist       PrioDist
+	Bound      uint64 // priority universe size |𝒫|
+	Pattern    Pattern
+	BurstLen   int
+	Seed       uint64
+}
+
+// Generator produces deterministic operation streams.
+type Generator struct {
+	cfg    Config
+	rnd    *hashutil.Rand
+	nextID uint64
+	round  int
+	asc    uint64
+	desc   uint64
+	zipfCD []float64 // CDF for small bounded Zipf
+}
+
+// New creates a generator. Bound must be ≥ 1; Rate ≥ 0.
+func New(cfg Config) *Generator {
+	if cfg.N < 1 || cfg.Bound < 1 {
+		panic("workload: invalid config")
+	}
+	if cfg.InsertFrac < 0 || cfg.InsertFrac > 1 {
+		panic("workload: insert fraction out of range")
+	}
+	if cfg.BurstLen == 0 {
+		cfg.BurstLen = 8
+	}
+	g := &Generator{cfg: cfg, rnd: hashutil.NewRand(cfg.Seed), desc: math.MaxUint64 / 2}
+	if cfg.Dist == Zipf {
+		// Bounded Zipf via an explicit CDF (capped support keeps this
+		// cheap; larger bounds reuse the cap with uniform spreading).
+		support := cfg.Bound
+		if support > 4096 {
+			support = 4096
+		}
+		g.zipfCD = make([]float64, support)
+		sum := 0.0
+		for i := uint64(0); i < support; i++ {
+			sum += 1 / math.Pow(float64(i+1), 1.2)
+			g.zipfCD[i] = sum
+		}
+		for i := range g.zipfCD {
+			g.zipfCD[i] /= sum
+		}
+	}
+	return g
+}
+
+// NextID returns a fresh globally unique element id.
+func (g *Generator) NextID() prio.ElemID {
+	g.nextID++
+	return prio.ElemID(g.nextID)
+}
+
+// Priority draws one priority from the configured distribution.
+func (g *Generator) Priority() uint64 {
+	switch g.cfg.Dist {
+	case Uniform:
+		return g.rnd.Uint64n(g.cfg.Bound) + 1
+	case Zipf:
+		u := g.rnd.Float64()
+		lo, hi := 0, len(g.zipfCD)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.zipfCD[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// Spread the capped support across the full bound deterministically.
+		step := g.cfg.Bound / uint64(len(g.zipfCD))
+		if step == 0 {
+			step = 1
+		}
+		p := uint64(lo)*step + 1
+		if p > g.cfg.Bound {
+			p = g.cfg.Bound
+		}
+		return p
+	case Ascending:
+		g.asc++
+		if g.asc > g.cfg.Bound {
+			g.asc = 1
+		}
+		return g.asc
+	case Descending:
+		if g.desc <= 1 || g.desc > g.cfg.Bound {
+			g.desc = g.cfg.Bound
+		} else {
+			g.desc--
+		}
+		return g.desc
+	default:
+		panic("workload: unknown distribution")
+	}
+}
+
+// rateFor returns node v's injection rate in the current round.
+func (g *Generator) rateFor(host int) int {
+	switch g.cfg.Pattern {
+	case Steady:
+		return g.cfg.Rate
+	case Bursty:
+		if (g.round/g.cfg.BurstLen)%2 == 1 {
+			return 0
+		}
+		return g.cfg.Rate
+	case Hotspot:
+		if host == 0 {
+			return g.cfg.Rate
+		}
+		if g.cfg.Rate > 0 {
+			return 1
+		}
+		return 0
+	default:
+		panic("workload: unknown pattern")
+	}
+}
+
+// Round generates one round's operations across all nodes and advances the
+// temporal pattern.
+func (g *Generator) Round() []Op {
+	var ops []Op
+	for host := 0; host < g.cfg.N; host++ {
+		for i := 0; i < g.rateFor(host); i++ {
+			ops = append(ops, g.one(host))
+		}
+	}
+	g.round++
+	return ops
+}
+
+// Batch generates total operations spread uniformly over the nodes,
+// ignoring the temporal pattern (bulk loading).
+func (g *Generator) Batch(total int) []Op {
+	ops := make([]Op, 0, total)
+	for i := 0; i < total; i++ {
+		ops = append(ops, g.one(g.rnd.Intn(g.cfg.N)))
+	}
+	return ops
+}
+
+func (g *Generator) one(host int) Op {
+	if g.rnd.Bool(g.cfg.InsertFrac) {
+		return Op{Host: host, Kind: OpInsert, Prio: g.Priority(), ID: g.NextID()}
+	}
+	return Op{Host: host, Kind: OpDelete}
+}
+
+// MaxRate returns Λ = max_v λ(v) for the configuration.
+func (g *Generator) MaxRate() int { return g.cfg.Rate }

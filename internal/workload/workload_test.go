@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSteadyRate(t *testing.T) {
+	g := New(Config{N: 4, Rate: 3, InsertFrac: 1, Dist: Uniform, Bound: 10, Seed: 1})
+	ops := g.Round()
+	if len(ops) != 12 {
+		t.Fatalf("got %d ops, want 12", len(ops))
+	}
+	perHost := map[int]int{}
+	for _, op := range ops {
+		perHost[op.Host]++
+		if op.Kind != OpInsert {
+			t.Fatal("InsertFrac=1 must only insert")
+		}
+		if op.Prio < 1 || op.Prio > 10 {
+			t.Fatalf("priority %d out of range", op.Prio)
+		}
+	}
+	for h := 0; h < 4; h++ {
+		if perHost[h] != 3 {
+			t.Fatalf("host %d got %d ops", h, perHost[h])
+		}
+	}
+}
+
+func TestBurstyPattern(t *testing.T) {
+	g := New(Config{N: 2, Rate: 2, InsertFrac: 1, Dist: Uniform, Bound: 5, Pattern: Bursty, BurstLen: 2, Seed: 2})
+	var counts []int
+	for i := 0; i < 8; i++ {
+		counts = append(counts, len(g.Round()))
+	}
+	want := []int{4, 4, 0, 0, 4, 4, 0, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("burst sequence %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestHotspotPattern(t *testing.T) {
+	g := New(Config{N: 4, Rate: 8, InsertFrac: 1, Dist: Uniform, Bound: 5, Pattern: Hotspot, Seed: 3})
+	ops := g.Round()
+	perHost := map[int]int{}
+	for _, op := range ops {
+		perHost[op.Host]++
+	}
+	if perHost[0] != 8 || perHost[1] != 1 || perHost[3] != 1 {
+		t.Fatalf("hotspot distribution %v", perHost)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	g := New(Config{N: 4, Rate: 4, InsertFrac: 1, Dist: Uniform, Bound: 100, Seed: 4})
+	seen := map[uint64]bool{}
+	for r := 0; r < 10; r++ {
+		for _, op := range g.Round() {
+			if seen[uint64(op.ID)] {
+				t.Fatal("duplicate element id")
+			}
+			seen[uint64(op.ID)] = true
+		}
+	}
+}
+
+func TestAscendingDescending(t *testing.T) {
+	g := New(Config{N: 1, Rate: 1, InsertFrac: 1, Dist: Ascending, Bound: 1000, Seed: 5})
+	prev := uint64(0)
+	for i := 0; i < 50; i++ {
+		p := g.Priority()
+		if p <= prev {
+			t.Fatalf("ascending violated: %d after %d", p, prev)
+		}
+		prev = p
+	}
+	g = New(Config{N: 1, Rate: 1, InsertFrac: 1, Dist: Descending, Bound: 1000, Seed: 6})
+	prev = g.Priority()
+	for i := 0; i < 50; i++ {
+		p := g.Priority()
+		if p >= prev {
+			t.Fatalf("descending violated: %d after %d", p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Config{N: 1, Rate: 1, InsertFrac: 1, Dist: Zipf, Bound: 100, Seed: 7})
+	low := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if g.Priority() <= 10 {
+			low++
+		}
+	}
+	// Zipf(1.2) concentrates far more than uniform's 10% on the head.
+	if float64(low)/trials < 0.4 {
+		t.Fatalf("zipf head mass %v, expected skew", float64(low)/trials)
+	}
+}
+
+func TestZipfBoundsProperty(t *testing.T) {
+	f := func(seed uint64, boundRaw uint16) bool {
+		bound := uint64(boundRaw) + 1
+		g := New(Config{N: 1, Rate: 1, InsertFrac: 1, Dist: Zipf, Bound: bound, Seed: seed})
+		for i := 0; i < 50; i++ {
+			p := g.Priority()
+			if p < 1 || p > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixFraction(t *testing.T) {
+	g := New(Config{N: 1, Rate: 1, InsertFrac: 0.7, Dist: Uniform, Bound: 10, Seed: 8})
+	ins := 0
+	const trials = 5000
+	ops := g.Batch(trials)
+	for _, op := range ops {
+		if op.Kind == OpInsert {
+			ins++
+		}
+	}
+	frac := float64(ins) / trials
+	if frac < 0.65 || frac > 0.75 {
+		t.Fatalf("insert fraction %v, want ≈0.7", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []Op {
+		g := New(Config{N: 3, Rate: 2, InsertFrac: 0.5, Dist: Uniform, Bound: 9, Seed: 42})
+		var all []Op
+		for i := 0; i < 5; i++ {
+			all = append(all, g.Round()...)
+		}
+		return all
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic stream")
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 0, Bound: 1},
+		{N: 1, Bound: 0},
+		{N: 1, Bound: 1, InsertFrac: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v must panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
