@@ -2,9 +2,19 @@
 // waves of operations interleaved with joins and leaves, with data
 // conservation and semantics verified after every wave.
 //
+// With -faults the simulation switches to the asynchronous engine behind
+// the fault-injection layer: messages are dropped, duplicated and delayed
+// and nodes crash-recover according to the chosen profile, while every
+// virtual node runs behind a sim.ReliableTransport. Membership stays fixed
+// in this mode (joins/leaves need the synchronous engine); crashes take
+// their place. -trace-out records the injected fault schedule, -trace-in
+// replays a recorded schedule bit-identically.
+//
 // Usage:
 //
 //	churnsim [-proto skeap|seap] [-n 8] [-waves 6] [-ops 20] [-seed 1]
+//	churnsim -faults drop20dup [-fault-seed 7] [-trace-out faults.txt]
+//	churnsim -trace-in faults.txt
 package main
 
 import (
@@ -36,7 +46,16 @@ func main() {
 	waves := flag.Int("waves", 6, "operation waves")
 	ops := flag.Int("ops", 20, "operations per wave")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	faults := flag.String("faults", "", "fault profile (lossless|drop5|drop20dup or drop=0.2,dup=0.1,...); enables async fault mode")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (0 = derive from -seed)")
+	traceOut := flag.String("trace-out", "", "write the injected fault trace to this file")
+	traceIn := flag.String("trace-in", "", "replay a recorded fault trace instead of sampling faults")
 	flag.Parse()
+
+	if *faults != "" || *traceIn != "" {
+		faultMain(*proto, *n, *waves, *ops, *seed, *faults, *faultSeed, *traceOut, *traceIn)
+		return
+	}
 
 	rnd := hashutil.NewRand(*seed + 100)
 	budget := 30000 * (mathx.Log2Ceil(*n) + 4)
@@ -161,4 +180,150 @@ func main() {
 	}
 	fmt.Printf("churn complete: %d waves, %d operations, semantics verified after every wave ✓\n",
 		*waves, h.Trace().Len())
+}
+
+// faultMain runs the fault-injection mode: waves of operations on the
+// asynchronous engine under a FaultPlan, every node behind a reliable
+// transport, with semantics and data conservation checked per wave.
+func faultMain(proto string, n, waves, ops int, seed uint64, faults string, faultSeed uint64, traceOut, traceIn string) {
+	var plan *sim.FaultPlan
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churnsim: %v\n", err)
+			os.Exit(2)
+		}
+		tr, err := sim.DecodeFaultTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churnsim: bad fault trace: %v\n", err)
+			os.Exit(2)
+		}
+		plan = sim.ReplayFaultPlan(tr)
+	} else {
+		if faultSeed == 0 {
+			faultSeed = seed
+		}
+		prof, err := sim.ParseFaultProfile(faults, faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churnsim: %v\n", err)
+			os.Exit(2)
+		}
+		plan = sim.NewFaultPlan(prof)
+	}
+
+	rnd := hashutil.NewRand(seed + 100)
+	id := prio.ElemID(1)
+	const budget = 30_000_000
+
+	var (
+		h          churnable
+		eng        *sim.AsyncEngine
+		transports []*sim.ReliableTransport
+		insert     func(host int)
+		checkOK    func() error
+	)
+	switch proto {
+	case "skeap":
+		sk := skeap.New(skeap.Config{N: n, P: 4, Seed: seed})
+		eng, transports = sk.NewFaultyAsyncEngine(3.0, plan)
+		h = sk
+		insert = func(host int) { sk.InjectInsert(host, id, rnd.Intn(4), ""); id++ }
+		checkOK = func() error {
+			if rep := semantics.CheckAll(sk.Trace(), semantics.FIFO); !rep.Ok() {
+				return fmt.Errorf("%s", rep.Error())
+			}
+			return nil
+		}
+	case "seap":
+		se := seap.New(seap.Config{N: n, PrioBound: 1 << 16, Seed: seed})
+		eng, transports = se.NewFaultyAsyncEngine(3.0, plan)
+		h = se
+		insert = func(host int) { se.InjectInsert(host, id, rnd.Uint64n(1<<16)+1, ""); id++ }
+		checkOK = func() error {
+			if rep := semantics.CheckSerializable(se.Trace(), semantics.ByID); !rep.Ok() {
+				return fmt.Errorf("%s", rep.Error())
+			}
+			return nil
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "churnsim: unknown -proto")
+		os.Exit(2)
+	}
+
+	// An operation can complete before its DHT Put lands (phase 4 traffic
+	// overlaps the next iteration), so a wave is drained only once every
+	// op finished AND the stores conserve the completed operations exactly.
+	// Once Done() holds, delete responses have all arrived, so expected()
+	// is final and stored() can only grow towards it as the last Puts land.
+	// (Transport idleness is not waited for: in autoRepeat mode the anchor
+	// pipelines iterations, so some message is almost always unacked.)
+	stored := func() int {
+		total := 0
+		for _, s := range h.StoreSizes() {
+			total += s
+		}
+		return total
+	}
+	expected := func() int {
+		insDone, delsMatched := 0, 0
+		for _, op := range h.Trace().Ops() {
+			if !op.Done {
+				continue
+			}
+			if op.Kind == semantics.Insert {
+				insDone++
+			} else if !op.Result.Nil() {
+				delsMatched++
+			}
+		}
+		return insDone - delsMatched
+	}
+	drained := func() bool {
+		return h.Done() && stored() == expected()
+	}
+
+	for wave := 0; wave < waves; wave++ {
+		for i := 0; i < ops; i++ {
+			if rnd.Bool(0.65) {
+				insert(rnd.Intn(n))
+			} else {
+				h.InjectDelete(rnd.Intn(n))
+			}
+		}
+		if !eng.RunUntil(drained, budget) {
+			fmt.Fprintf(os.Stderr, "churnsim: wave %d did not drain under faults [%v] (stored %d, expected %d)\n",
+				wave, plan, stored(), expected())
+			os.Exit(1)
+		}
+		if err := checkOK(); err != nil {
+			fmt.Fprintf(os.Stderr, "churnsim: semantics violated after wave %d:\n%v\n", wave, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wave %d: drained under faults (%d elements stored, conservation ok)\n", wave, stored())
+	}
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churnsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := plan.Trace().Encode(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churnsim: writing trace: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	stats := sim.SumTransportStats(transports)
+	fmt.Printf("faults injected: %v\n", plan)
+	fmt.Printf("transport: sent=%d retries=%d dups-suppressed=%d\n", stats.Sent, stats.Retries, stats.Duplicates)
+	fmt.Printf("engine: %v\n", eng.Metrics())
+	fmt.Printf("fault soak complete: %d waves, %d operations, semantics + conservation verified after every wave ✓\n",
+		waves, h.Trace().Len())
 }

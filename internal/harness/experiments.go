@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -747,7 +748,78 @@ func ApproxQuantileTradeoff(sz Sizes) Table {
 	return t
 }
 
+// FaultToleranceOverhead: the reliable transport restores §1.1's reliable
+// channels on a lossy network; this measures what that costs per drop rate.
+func FaultToleranceOverhead(sz Sizes) Table {
+	t := Table{
+		ID:     "E22",
+		Title:  "Fault tolerance: retry overhead vs drop rate",
+		Claim:  "with a seq/ack/retry transport, Skeap and Seap keep their semantics on a network that drops, duplicates and delays messages and crash-recovers nodes; the cost is retransmissions proportional to the drop rate",
+		Header: []string{"protocol", "fault profile", "runs passed", "drops", "dups", "crashes", "retries", "retry overhead"},
+	}
+	profiles := []struct {
+		name string
+		p    sim.FaultProfile
+	}{
+		{"lossless", sim.FaultProfile{}},
+		{"drop 5%", sim.FaultProfile{DropRate: 0.05}},
+		{"drop 10%", sim.FaultProfile{DropRate: 0.10}},
+		{"drop 20% + dup 10% + crash", sim.FaultProfile{DropRate: 0.20, DupRate: 0.10, DelayRate: 0.05, CrashRate: 0.002}},
+	}
+	const opsPerRun = 30
+	for _, pr := range profiles {
+		pass := 0
+		var drops, dups, crashes, retries, sent int64
+		for s := 0; s < sz.Repeats; s++ {
+			h := skeap.New(skeap.Config{N: 6, P: 3, Seed: uint64(5000 + s)})
+			injectRandom(h.InjectInsert, h.InjectDelete, 6, 3, opsPerRun, uint64(5100+s))
+			prof := pr.p
+			prof.Seed = uint64(5200 + s)
+			eng, transports := h.NewFaultyAsyncEngine(3.0, sim.NewFaultPlan(prof))
+			if eng.RunUntil(h.Done, 20_000_000) && semantics.CheckAll(h.Trace(), semantics.FIFO).Ok() {
+				pass++
+			}
+			d, du, _, cr := eng.Faults().Counts()
+			drops, dups, crashes = drops+d, dups+du, crashes+cr
+			st := sim.SumTransportStats(transports)
+			retries, sent = retries+st.Retries, sent+st.Sent
+		}
+		t.AddRow("Skeap", pr.name, fmt.Sprintf("%d/%d", pass, sz.Repeats), drops, dups, crashes, retries,
+			fmt.Sprintf("%.3f", float64(retries)/float64(maxI64(sent, 1))))
+	}
+	for _, pr := range profiles {
+		pass := 0
+		var drops, dups, crashes, retries, sent int64
+		for s := 0; s < sz.Repeats; s++ {
+			h := seap.New(seap.Config{N: 4, PrioBound: 500, Seed: uint64(6000 + s)})
+			injectRandomSeap(h, 4, opsPerRun, uint64(6100+s))
+			prof := pr.p
+			prof.Seed = uint64(6200 + s)
+			eng, transports := h.NewFaultyAsyncEngine(3.0, sim.NewFaultPlan(prof))
+			if eng.RunUntil(h.Done, 30_000_000) && semantics.CheckSerializable(h.Trace(), semantics.ByID).Ok() {
+				pass++
+			}
+			d, du, _, cr := eng.Faults().Counts()
+			drops, dups, crashes = drops+d, dups+du, crashes+cr
+			st := sim.SumTransportStats(transports)
+			retries, sent = retries+st.Retries, sent+st.Sent
+		}
+		t.AddRow("Seap", pr.name, fmt.Sprintf("%d/%d", pass, sz.Repeats), drops, dups, crashes, retries,
+			fmt.Sprintf("%.3f", float64(retries)/float64(maxI64(sent, 1))))
+	}
+	t.Notef("fault model: per-message i.i.d. drop/duplicate/delay-spike decisions and fail-recover node crashes (durable state, missed activations), all drawn from a seeded stream keyed by the engine's event sequence — every run is replayable from its recorded FaultTrace.")
+	t.Notef("retry overhead = retransmissions / transport sends; every run is checked with the full semantics battery, so the table doubles as a fault soak.")
+	return t
+}
+
 // ---- helpers ----------------------------------------------------------------
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
 
 func sum(xs []int) int {
 	t := 0

@@ -1,4 +1,4 @@
-// Package harness runs the reproduction experiments E-F2 and E1–E21 of
+// Package harness runs the reproduction experiments E-F2 and E1–E22 of
 // DESIGN.md and renders their tables: for every quantitative claim of the
 // paper it measures the corresponding quantity on the simulator and
 // reports the observed scaling next to the claim. cmd/benchall uses it to
@@ -108,6 +108,7 @@ func RunAll(sz Sizes, progress io.Writer) *Report {
 		{"E19 shared-memory contention", SharedMemoryContention},
 		{"E20 membership migration", MembershipMigration},
 		{"E21 approx quantile tradeoff", ApproxQuantileTradeoff},
+		{"E22 fault tolerance overhead", FaultToleranceOverhead},
 	}
 	for _, s := range steps {
 		if progress != nil {

@@ -11,8 +11,8 @@ import (
 // sanity-checks every table's shape.
 func TestQuickSuiteRuns(t *testing.T) {
 	rep := RunAll(Quick(), nil)
-	if len(rep.Tables) != 22 {
-		t.Fatalf("expected 22 experiment tables, got %d", len(rep.Tables))
+	if len(rep.Tables) != 23 {
+		t.Fatalf("expected 23 experiment tables, got %d", len(rep.Tables))
 	}
 	for _, tab := range rep.Tables {
 		if tab.ID == "" || tab.Claim == "" || len(tab.Header) == 0 {
@@ -71,6 +71,23 @@ func TestQuickSuiteRuns(t *testing.T) {
 		moved, err := strconv.Atoi(row[3])
 		if err != nil || moved >= m/2 {
 			t.Fatalf("leave moved %d of %d elements — should be ≈ m/n: %v", moved, m, row)
+		}
+	}
+
+	// E22: every faulty run must keep its semantics, and the lossy
+	// profiles must actually inject drops and trigger retransmissions.
+	for i, row := range byID["E22"].Rows {
+		want := strconv.Itoa(Quick().Repeats)
+		if row[2] != want+"/"+want {
+			t.Fatalf("fault-tolerance run failed semantics: %v", row)
+		}
+		if row[1] != "lossless" {
+			if row[3] == "0" {
+				t.Fatalf("lossy profile injected no drops: %v", row)
+			}
+			if row[6] == "0" {
+				t.Fatalf("drops injected but nothing retried (row %d): %v", i, row)
+			}
 		}
 	}
 

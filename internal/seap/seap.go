@@ -219,6 +219,20 @@ func (h *Heap) NewConcEngine() *sim.ConcEngine {
 	return sim.NewConc(h.Handlers(), h.cfg.Seed+1, groups, group)
 }
 
+// NewFaultyAsyncEngine wires the heap into an asynchronous engine governed
+// by the given fault plan, wrapping every virtual node in a
+// sim.ReliableTransport so dropped, duplicated and crash-swallowed
+// messages are retried and suppressed. Drive it in autoRepeat mode (the
+// default): manual StartCycle sends bypass the transports and would not
+// survive a drop. The transports are returned for overhead stats.
+func (h *Heap) NewFaultyAsyncEngine(maxDelay float64, plan *sim.FaultPlan) (*sim.AsyncEngine, []*sim.ReliableTransport) {
+	groups, group := h.ov.Group()
+	handlers, transports := sim.WrapAllReliable(h.Handlers(), sim.DefaultTransportConfig())
+	eng := sim.NewAsync(handlers, h.cfg.Seed+1, maxDelay, groups, group)
+	eng.SetFaultPlan(plan)
+	return eng, transports
+}
+
 // InjectInsert buffers Insert(e) at host's middle virtual node.
 func (h *Heap) InjectInsert(host int, id prio.ElemID, p uint64, payload string) {
 	if p < 1 || p > h.cfg.PrioBound {

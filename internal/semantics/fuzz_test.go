@@ -1,0 +1,103 @@
+package semantics
+
+import (
+	"testing"
+
+	"dpq/internal/prio"
+)
+
+// fuzzTrace decodes a byte stream into an adversarial trace: operations of
+// either kind, completed or not, with arbitrary (possibly colliding)
+// element ids, results and serialization values. This deliberately covers
+// malformed executions — double inserts, deletes of unknown elements,
+// duplicate values — that a buggy protocol could emit.
+func fuzzTrace(data []byte) *Trace {
+	t := NewTrace()
+	for len(data) >= 4 {
+		b0, b1, b2, b3 := data[0], data[1], data[2], data[3]
+		data = data[4:]
+		node := int(b0 % 5)
+		if b0%2 == 0 {
+			e := prio.Element{ID: prio.ElemID(b1%32 + 1), Prio: prio.Priority(b2 % 8)}
+			op := t.Issue(node, Insert, e)
+			if b3%4 != 0 {
+				t.Complete(op, prio.Element{}, int64(b3))
+			}
+		} else {
+			op := t.Issue(node, DeleteMin, prio.Element{})
+			switch b3 % 3 {
+			case 0: // incomplete
+			case 1: // ⊥ result
+				t.Complete(op, prio.Element{}, int64(b3))
+			default: // arbitrary (possibly never-inserted) element
+				t.Complete(op, prio.Element{ID: prio.ElemID(b1 % 40), Prio: prio.Priority(b2 % 8)}, int64(b3))
+			}
+		}
+	}
+	return t
+}
+
+// FuzzBuildMatching: the matching reconstruction and every checker built
+// on it must never panic on arbitrary traces, and the matching must obey
+// its structural invariants regardless of how broken the execution is.
+func FuzzBuildMatching(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 1, 0, 1, 1, 1, 0, 2})                          // insert then delete it
+	f.Add([]byte{2, 5, 1, 1, 2, 5, 1, 1, 3, 9, 0, 2, 3, 9, 0, 2})  // double insert, double delete
+	f.Add([]byte{1, 30, 0, 2, 0, 1, 1, 0, 1, 2, 0, 1, 2, 4, 3, 3}) // unknown delete, incomplete ops
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := fuzzTrace(data)
+		rep := &Report{}
+		m := BuildMatching(tr, rep)
+
+		seenIns := map[*Op]bool{}
+		seenDel := map[*Op]bool{}
+		for _, p := range m.Pairs {
+			if p.Ins.Kind != Insert || p.Del.Kind != DeleteMin {
+				t.Fatalf("pair with wrong kinds: %+v", p)
+			}
+			if !p.Ins.Done || !p.Del.Done {
+				t.Fatalf("pair with incomplete op: %+v", p)
+			}
+			if p.Ins.Elem.ID != p.Del.Result.ID {
+				t.Fatalf("pair ids disagree: ins %v del %v", p.Ins.Elem, p.Del.Result)
+			}
+			if seenIns[p.Ins] || seenDel[p.Del] {
+				t.Fatalf("op matched twice: %+v", p)
+			}
+			seenIns[p.Ins] = true
+			seenDel[p.Del] = true
+		}
+		for _, op := range m.UnmatchedDel {
+			if !op.Result.Nil() {
+				t.Fatalf("unmatched delete with non-bottom result: %+v", op)
+			}
+		}
+		for _, op := range m.UnmatchedIns {
+			if op.Kind != Insert || !op.Done {
+				t.Fatalf("bad unmatched insert: %+v", op)
+			}
+			if seenIns[op] {
+				t.Fatalf("insert both matched and unmatched: %+v", op)
+			}
+		}
+		doneDels := 0
+		for _, op := range tr.Ops() {
+			if op.Kind == DeleteMin && op.Done {
+				doneDels++
+			}
+		}
+		if len(m.Pairs)+len(m.UnmatchedDel) > doneDels {
+			t.Fatalf("matching claims %d+%d deletes, trace has %d",
+				len(m.Pairs), len(m.UnmatchedDel), doneDels)
+		}
+
+		// The full checker battery must also never panic; failing reports
+		// are expected and fine on adversarial traces.
+		_ = CheckHeapConsistency(tr)
+		_ = CheckHeapConsistencyMax(tr)
+		_ = CheckAll(tr, FIFO)
+		_ = CheckSerializable(tr, ByID)
+	})
+}

@@ -11,18 +11,25 @@ import "dpq/internal/hashutil"
 // The engine is deterministic for a fixed seed, which makes adversarial
 // semantics tests reproducible. Rounds and congestion are not meaningful in
 // this model; the engine still counts messages and bits.
+//
+// An optional FaultPlan (SetFaultPlan) weakens the model beyond §1.1:
+// messages may be dropped, duplicated or delay-spiked and nodes may crash
+// and restart. Protocols survive such runs by wrapping their handlers in a
+// ReliableTransport; the plan stays deterministic per seed and records a
+// replayable trace of every injected fault.
 type AsyncEngine struct {
 	handlers []Handler
 	contexts []*Context
 	group    func(NodeID) int
 
-	events   eventQueue
+	events   minHeap[event]
 	now      float64
 	seq      int64
 	rand     *hashutil.Rand
 	pending  int // message deliveries scheduled but not yet processed
 	metrics  Metrics
 	maxDelay float64
+	faults   *FaultPlan
 }
 
 type event struct {
@@ -34,51 +41,11 @@ type event struct {
 	msg  Message
 }
 
-type eventQueue []event
-
-func (q eventQueue) less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+func eventLess(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q *eventQueue) push(e event) {
-	*q = append(*q, e)
-	i := len(*q) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !q.less(i, p) {
-			break
-		}
-		(*q)[i], (*q)[p] = (*q)[p], (*q)[i]
-		i = p
-	}
-}
-
-func (q *eventQueue) pop() event {
-	h := *q
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	*q = h[:last]
-	i, n := 0, last
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && q.less(l, small) {
-			small = l
-		}
-		if r < n && q.less(r, small) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h[i], h[small] = h[small], h[i]
-		i = small
-	}
-	return top
+	return a.seq < b.seq
 }
 
 // NewAsync creates an asynchronous engine. maxDelay bounds the random
@@ -95,6 +62,7 @@ func NewAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, gro
 		handlers: handlers,
 		contexts: make([]*Context, n),
 		group:    group,
+		events:   newMinHeap(eventLess),
 		rand:     hashutil.NewRand(seed),
 		maxDelay: maxDelay,
 	}
@@ -106,20 +74,45 @@ func NewAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, gro
 	return e
 }
 
+// SetFaultPlan installs a fault plan consulted on every send and node
+// activation. It must be set before the first RunUntil; nil disables fault
+// injection (the default §1.1 model).
+func (e *AsyncEngine) SetFaultPlan(p *FaultPlan) { e.faults = p }
+
+// Faults returns the installed fault plan (nil when fault-free).
+func (e *AsyncEngine) Faults() *FaultPlan { return e.faults }
+
 func (e *AsyncEngine) send(from, to NodeID, msg Message) {
 	if int(to) < 0 || int(to) >= len(e.handlers) {
 		panic("sim: send to unknown node")
 	}
 	e.seq++
+	seq := e.seq
 	delay := e.rand.Float64()*e.maxDelay + 1e-9
-	e.events.push(event{time: e.now + delay, seq: e.seq, node: to, from: from, msg: msg})
+	if e.faults != nil {
+		d := e.faults.decideSend(seq, to)
+		if d.drop {
+			return // the message is lost in transit
+		}
+		if d.delayFactor > 1 {
+			delay *= d.delayFactor
+		}
+		if d.dup {
+			// The duplicate travels independently, with its own delay.
+			e.seq++
+			dupDelay := e.rand.Float64()*e.maxDelay + 1e-9
+			e.events.Push(event{time: e.now + dupDelay, seq: e.seq, node: to, from: from, msg: msg})
+			e.pending++
+		}
+	}
+	e.events.Push(event{time: e.now + delay, seq: seq, node: to, from: from, msg: msg})
 	e.pending++
 }
 
 func (e *AsyncEngine) scheduleActivation(id NodeID) {
 	e.seq++
 	delay := 0.5 + e.rand.Float64() // jittered node speeds
-	e.events.push(event{time: e.now + delay, seq: e.seq, node: id})
+	e.events.Push(event{time: e.now + delay, seq: e.seq, node: id})
 }
 
 // RunUntil processes events until done() holds or maxEvents events have
@@ -132,16 +125,26 @@ func (e *AsyncEngine) RunUntil(done func() bool, maxEvents int) bool {
 		if done() {
 			return true
 		}
-		if len(e.events) == 0 {
+		if e.events.Len() == 0 {
 			return done()
 		}
-		ev := e.events.pop()
+		ev := e.events.Pop()
 		e.now = ev.time
 		if ev.msg != nil {
 			e.pending--
+			if e.faults != nil && e.faults.down(ev.node, e.now) {
+				continue // deliveries to a crashed node are lost
+			}
 			e.metrics.observe(e.group(ev.node), ev.msg.Bits())
 			e.handlers[ev.node].HandleMessage(e.contexts[ev.node], ev.from, ev.msg)
 		} else {
+			if e.faults != nil {
+				e.faults.decideActivation(ev.seq, ev.node, e.now)
+				if e.faults.down(ev.node, e.now) {
+					e.scheduleActivation(ev.node) // the node sleeps through the crash
+					continue
+				}
+			}
 			e.handlers[ev.node].Activate(e.contexts[ev.node])
 			e.scheduleActivation(ev.node)
 		}

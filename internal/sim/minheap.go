@@ -1,0 +1,67 @@
+package sim
+
+// minHeap is the hand-rolled binary min-heap shared by the asynchronous
+// engine's event queue and the reliable transport's retry scheduler. It is
+// a plain slice-backed sift-up/sift-down heap rather than container/heap
+// because the event loop pushes and pops millions of times per run and the
+// interface indirection shows up in profiles; minheap_test.go checks it
+// against container/heap property-style.
+//
+// less must be a strict total order for deterministic pop sequences (both
+// users tie-break on a unique sequence number).
+type minHeap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// newMinHeap returns an empty heap ordered by less.
+func newMinHeap[T any](less func(a, b T) bool) minHeap[T] {
+	return minHeap[T]{less: less}
+}
+
+// Len returns the number of stored items.
+func (h *minHeap[T]) Len() int { return len(h.items) }
+
+// Peek returns the minimum item without removing it.
+func (h *minHeap[T]) Peek() T { return h.items[0] }
+
+// Push inserts x.
+func (h *minHeap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the minimum item.
+func (h *minHeap[T]) Pop() T {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release references for GC
+	h.items = h.items[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(h.items[l], h.items[small]) {
+			small = l
+		}
+		if r < n && h.less(h.items[r], h.items[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

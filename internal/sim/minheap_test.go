@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+
+	"dpq/internal/hashutil"
+)
+
+// intHeap is the container/heap reference implementation the property test
+// compares against.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// TestMinHeapMatchesContainerHeap drives random push/pop sequences through
+// minHeap and container/heap in lockstep: every pop must agree.
+func TestMinHeapMatchesContainerHeap(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rnd := hashutil.NewRand(seed)
+		mh := newMinHeap(func(a, b int) bool { return a < b })
+		ref := &intHeap{}
+		heap.Init(ref)
+		for op := 0; op < 2000; op++ {
+			if ref.Len() == 0 || rnd.Bool(0.6) {
+				v := rnd.Intn(500) // duplicates likely: order among equals is unspecified but values must agree
+				mh.Push(v)
+				heap.Push(ref, v)
+			} else {
+				got := mh.Pop()
+				want := heap.Pop(ref).(int)
+				if got != want {
+					t.Fatalf("seed %d op %d: minHeap popped %d, container/heap %d", seed, op, got, want)
+				}
+			}
+			if mh.Len() != ref.Len() {
+				t.Fatalf("seed %d op %d: lengths diverged %d vs %d", seed, op, mh.Len(), ref.Len())
+			}
+			if mh.Len() > 0 && mh.Peek() != (*ref)[0] {
+				t.Fatalf("seed %d op %d: peek %d vs %d", seed, op, mh.Peek(), (*ref)[0])
+			}
+		}
+		// Drain: the remaining pop sequences must match exactly.
+		for ref.Len() > 0 {
+			if got, want := mh.Pop(), heap.Pop(ref).(int); got != want {
+				t.Fatalf("seed %d drain: %d vs %d", seed, got, want)
+			}
+		}
+		if mh.Len() != 0 {
+			t.Fatalf("seed %d: minHeap not drained", seed)
+		}
+	}
+}
+
+// TestMinHeapTotalOrderDeterministic: with a strict total order (the
+// engines' (time, seq) comparators), the pop sequence is the sorted order
+// regardless of push order.
+func TestMinHeapTotalOrderDeterministic(t *testing.T) {
+	less := func(a, b event) bool { return eventLess(a, b) }
+	rnd := hashutil.NewRand(7)
+	h := newMinHeap(less)
+	const n = 500
+	for _, i := range rnd.Perm(n) {
+		h.Push(event{time: float64(i / 10), seq: int64(i)})
+	}
+	prev := event{time: -1, seq: -1}
+	for h.Len() > 0 {
+		e := h.Pop()
+		if !eventLess(prev, e) {
+			t.Fatalf("pop order violated: %+v after %+v", e, prev)
+		}
+		prev = e
+	}
+}

@@ -1,0 +1,241 @@
+package sim
+
+// The reliable transport turns the lossy channel of a fault-injected
+// AsyncEngine back into the "never lost or duplicated" channel of §1.1, so
+// the unmodified protocols survive drops, duplicates and crash windows:
+//
+//	inner Handler ──Send──▶ ReliableTransport ──TransportMsg{seq}──▶ wire
+//	                              ▲   │ retry (exponential backoff)
+//	                              │   ▼
+//	wire ──TransportMsg{seq}──▶ dedup ──▶ inner Handler   (exactly once)
+//	                              │
+//	                              └──TransportAck{seq}──▶ sender
+//
+// Every payload gets a per-(sender,destination) sequence number; the
+// receiver acks every copy and delivers the first only; the sender
+// retransmits unacked payloads on its activations with exponential
+// backoff. At-least-once on the wire plus receiver-side suppression gives
+// exactly-once delivery to the wrapped handler (FuzzReliableTransport).
+
+// transportHeaderBits is the wire overhead per transport frame: a 64-bit
+// sequence number and an 8-bit frame tag.
+const transportHeaderBits = 72
+
+// TransportMsg carries one protocol message under a per-(sender,
+// destination) sequence number.
+type TransportMsg struct {
+	Seq     uint64
+	Payload Message
+}
+
+// Bits counts the payload plus the transport header.
+func (m *TransportMsg) Bits() int { return m.Payload.Bits() + transportHeaderBits }
+
+// TransportAck acknowledges receipt of the sender's TransportMsg Seq.
+type TransportAck struct{ Seq uint64 }
+
+// Bits counts the transport header only.
+func (a *TransportAck) Bits() int { return transportHeaderBits }
+
+// TransportConfig tunes the retransmission schedule. Ticks are activations
+// of the sending node (activation spacing is ≈1 sim-time unit), so the
+// initial timeout should exceed one round trip: 2·maxDelay plus ack
+// processing.
+type TransportConfig struct {
+	RetryTicks      int // initial retransmission timeout, in activations
+	MaxBackoffTicks int // cap for the exponential backoff
+}
+
+// DefaultTransportConfig matches the engines' usual maxDelay of ≈3.
+func DefaultTransportConfig() TransportConfig {
+	return TransportConfig{RetryTicks: 8, MaxBackoffTicks: 128}
+}
+
+// TransportStats aggregates a transport's (or a whole network's) traffic.
+type TransportStats struct {
+	Sent       int64 // distinct payloads accepted from the inner handler
+	Retries    int64 // retransmissions of unacked payloads
+	Duplicates int64 // received duplicate frames suppressed
+}
+
+// Add accumulates other into s.
+func (s *TransportStats) Add(other TransportStats) {
+	s.Sent += other.Sent
+	s.Retries += other.Retries
+	s.Duplicates += other.Duplicates
+}
+
+// outEntry is one unacked payload awaiting retransmission.
+type outEntry struct {
+	to      NodeID
+	seq     uint64
+	msg     Message
+	backoff int64
+	acked   bool
+}
+
+// retryItem schedules an outEntry's next retransmission; ord makes the
+// schedule a strict total order so runs stay deterministic.
+type retryItem struct {
+	due int64
+	ord uint64
+	e   *outEntry
+}
+
+func retryLess(a, b retryItem) bool {
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.ord < b.ord
+}
+
+// outKey identifies an unacked payload by destination and sequence number.
+type outKey struct {
+	to  NodeID
+	seq uint64
+}
+
+// ReliableTransport wraps a Handler with sequence numbers, acks,
+// exponential-backoff retransmission and duplicate suppression. Wrap every
+// handler of a network (WrapAllReliable) — frames are only understood by
+// another transport. The wrapper is transparent to the inner handler: it
+// sees original payloads, original sender ids and its own Context.
+type ReliableTransport struct {
+	inner Handler
+	cfg   TransportConfig
+
+	outer  *Context // the engine's context, bound on every upcall
+	shadow *Context // the inner handler's view; its sends come to us
+
+	ticks       int64
+	ord         uint64
+	nextSeq     map[NodeID]uint64          // per-destination sender sequence
+	seen        map[NodeID]map[uint64]bool // per-sender delivered frames
+	outstanding map[outKey]*outEntry
+	retries     minHeap[retryItem]
+
+	stats TransportStats
+}
+
+// WrapReliable wraps one handler. A zero cfg uses DefaultTransportConfig.
+func WrapReliable(h Handler, cfg TransportConfig) *ReliableTransport {
+	if cfg.RetryTicks <= 0 {
+		cfg = DefaultTransportConfig()
+	}
+	if cfg.MaxBackoffTicks < cfg.RetryTicks {
+		cfg.MaxBackoffTicks = cfg.RetryTicks
+	}
+	return &ReliableTransport{
+		inner:       h,
+		cfg:         cfg,
+		nextSeq:     make(map[NodeID]uint64),
+		seen:        make(map[NodeID]map[uint64]bool),
+		outstanding: make(map[outKey]*outEntry),
+		retries:     newMinHeap(retryLess),
+	}
+}
+
+// WrapAllReliable wraps every handler of a network, returning the wrapped
+// handler slice (pass to NewAsync) and the transports for stats access.
+func WrapAllReliable(hs []Handler, cfg TransportConfig) ([]Handler, []*ReliableTransport) {
+	wrapped := make([]Handler, len(hs))
+	transports := make([]*ReliableTransport, len(hs))
+	for i, h := range hs {
+		t := WrapReliable(h, cfg)
+		wrapped[i] = t
+		transports[i] = t
+	}
+	return wrapped, transports
+}
+
+// Stats returns this node's transport counters.
+func (t *ReliableTransport) Stats() TransportStats { return t.stats }
+
+// Outstanding returns the number of payloads sent but not yet acked.
+func (t *ReliableTransport) Outstanding() int { return len(t.outstanding) }
+
+// Inner returns the wrapped handler.
+func (t *ReliableTransport) Inner() Handler { return t.inner }
+
+// SumTransportStats totals the counters of a wrapped network.
+func SumTransportStats(ts []*ReliableTransport) TransportStats {
+	var s TransportStats
+	for _, t := range ts {
+		s.Add(t.Stats())
+	}
+	return s
+}
+
+// bind captures the engine context of the current upcall and (once)
+// builds the shadow context handed to the inner handler.
+func (t *ReliableTransport) bind(ctx *Context) {
+	if t.shadow == nil {
+		t.shadow = &Context{id: ctx.id, rand: ctx.rand, engine: t}
+	}
+	t.outer = ctx
+}
+
+// HandleMessage implements Handler: frames are acked, deduped and
+// unwrapped; raw messages (from an unwrapped sender, e.g. a driver
+// injection) pass through untouched.
+func (t *ReliableTransport) HandleMessage(ctx *Context, from NodeID, msg Message) {
+	t.bind(ctx)
+	switch m := msg.(type) {
+	case *TransportMsg:
+		ctx.Send(from, &TransportAck{Seq: m.Seq}) // ack every copy
+		s := t.seen[from]
+		if s == nil {
+			s = make(map[uint64]bool)
+			t.seen[from] = s
+		}
+		if s[m.Seq] {
+			t.stats.Duplicates++
+			return
+		}
+		s[m.Seq] = true
+		t.inner.HandleMessage(t.shadow, from, m.Payload)
+	case *TransportAck:
+		k := outKey{to: from, seq: m.Seq}
+		if e, ok := t.outstanding[k]; ok {
+			e.acked = true
+			delete(t.outstanding, k)
+		}
+	default:
+		t.inner.HandleMessage(t.shadow, from, msg)
+	}
+}
+
+// Activate implements Handler: due unacked payloads are retransmitted with
+// doubled backoff, then the inner handler is activated.
+func (t *ReliableTransport) Activate(ctx *Context) {
+	t.bind(ctx)
+	t.ticks++
+	for t.retries.Len() > 0 && t.retries.Peek().due <= t.ticks {
+		it := t.retries.Pop()
+		if it.e.acked {
+			continue
+		}
+		ctx.Send(it.e.to, &TransportMsg{Seq: it.e.seq, Payload: it.e.msg})
+		t.stats.Retries++
+		it.e.backoff *= 2
+		if max := int64(t.cfg.MaxBackoffTicks); it.e.backoff > max {
+			it.e.backoff = max
+		}
+		t.ord++
+		t.retries.Push(retryItem{due: t.ticks + it.e.backoff, ord: t.ord, e: it.e})
+	}
+	t.inner.Activate(t.shadow)
+}
+
+// send implements the engine interface for the shadow context: the inner
+// handler's sends are framed, tracked and scheduled for retransmission.
+func (t *ReliableTransport) send(from, to NodeID, msg Message) {
+	t.nextSeq[to]++
+	seq := t.nextSeq[to]
+	e := &outEntry{to: to, seq: seq, msg: msg, backoff: int64(t.cfg.RetryTicks)}
+	t.outstanding[outKey{to: to, seq: seq}] = e
+	t.ord++
+	t.retries.Push(retryItem{due: t.ticks + e.backoff, ord: t.ord, e: e})
+	t.stats.Sent++
+	t.outer.Send(to, &TransportMsg{Seq: seq, Payload: msg})
+}

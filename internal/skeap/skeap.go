@@ -187,6 +187,20 @@ func (h *Heap) NewConcEngine() *sim.ConcEngine {
 	return sim.NewConc(h.Handlers(), h.cfg.Seed+1, groups, group)
 }
 
+// NewFaultyAsyncEngine wires the heap into an asynchronous engine governed
+// by the given fault plan, wrapping every virtual node in a
+// sim.ReliableTransport so dropped, duplicated and crash-swallowed
+// messages are retried and suppressed. Drive it in autoRepeat mode (the
+// default): manual StartIteration sends bypass the transports and would
+// not survive a drop. The transports are returned for overhead stats.
+func (h *Heap) NewFaultyAsyncEngine(maxDelay float64, plan *sim.FaultPlan) (*sim.AsyncEngine, []*sim.ReliableTransport) {
+	groups, group := h.ov.Group()
+	handlers, transports := sim.WrapAllReliable(h.Handlers(), sim.DefaultTransportConfig())
+	eng := sim.NewAsync(handlers, h.cfg.Seed+1, maxDelay, groups, group)
+	eng.SetFaultPlan(plan)
+	return eng, transports
+}
+
 // InjectInsert buffers Insert(e) at host's middle virtual node. p is the
 // 0-based priority; the element id must be unique across the run.
 func (h *Heap) InjectInsert(host int, id prio.ElemID, p int, payload string) {
