@@ -24,6 +24,7 @@ import (
 
 	"dpq/internal/hashutil"
 	"dpq/internal/mathx"
+	"dpq/internal/obs"
 	"dpq/internal/prio"
 	"dpq/internal/seap"
 	"dpq/internal/semantics"
@@ -38,6 +39,7 @@ type churnable interface {
 	Trace() *semantics.Trace
 	StoreSizes() []int
 	MigratedLastChange() int
+	SetObs(c *obs.Collector)
 }
 
 func main() {
@@ -50,10 +52,22 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (0 = derive from -seed)")
 	traceOut := flag.String("trace-out", "", "write the injected fault trace to this file")
 	traceIn := flag.String("trace-in", "", "replay a recorded fault trace instead of sampling faults")
+	of := obs.AddFlags()
 	flag.Parse()
 
+	if *traceIn != "" && (*faults != "" || *faultSeed != 0) {
+		fmt.Fprintln(os.Stderr, "churnsim: -trace-in replays a recorded fault schedule and cannot be combined with -faults or -fault-seed (the replayed trace already fixes every fault decision)")
+		os.Exit(2)
+	}
+
+	sess, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churnsim:", err)
+		os.Exit(1)
+	}
+
 	if *faults != "" || *traceIn != "" {
-		faultMain(*proto, *n, *waves, *ops, *seed, *faults, *faultSeed, *traceOut, *traceIn)
+		faultMain(*proto, *n, *waves, *ops, *seed, *faults, *faultSeed, *traceOut, *traceIn, sess)
 		return
 	}
 
@@ -135,6 +149,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	eng.SetObserver(sess.Observer())
+	h.SetObs(sess.Collector())
+
 	pickHost := func() int {
 		for {
 			host := rnd.Intn(hosts())
@@ -178,6 +195,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := sess.Close(eng.Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, "churnsim:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("churn complete: %d waves, %d operations, semantics verified after every wave ✓\n",
 		*waves, h.Trace().Len())
 }
@@ -185,7 +206,7 @@ func main() {
 // faultMain runs the fault-injection mode: waves of operations on the
 // asynchronous engine under a FaultPlan, every node behind a reliable
 // transport, with semantics and data conservation checked per wave.
-func faultMain(proto string, n, waves, ops int, seed uint64, faults string, faultSeed uint64, traceOut, traceIn string) {
+func faultMain(proto string, n, waves, ops int, seed uint64, faults string, faultSeed uint64, traceOut, traceIn string, sess *obs.Session) {
 	var plan *sim.FaultPlan
 	if traceIn != "" {
 		f, err := os.Open(traceIn)
@@ -250,6 +271,8 @@ func faultMain(proto string, n, waves, ops int, seed uint64, faults string, faul
 		fmt.Fprintln(os.Stderr, "churnsim: unknown -proto")
 		os.Exit(2)
 	}
+	eng.SetObserver(sess.Observer())
+	h.SetObs(sess.Collector())
 
 	// An operation can complete before its DHT Put lands (phase 4 traffic
 	// overlaps the next iteration), so a wave is drained only once every
@@ -320,6 +343,10 @@ func faultMain(proto string, n, waves, ops int, seed uint64, faults string, faul
 		}
 	}
 
+	if err := sess.Close(eng.Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, "churnsim:", err)
+		os.Exit(1)
+	}
 	stats := sim.SumTransportStats(transports)
 	fmt.Printf("faults injected: %v\n", plan)
 	fmt.Printf("transport: sent=%d retries=%d dups-suppressed=%d\n", stats.Sent, stats.Retries, stats.Duplicates)

@@ -16,6 +16,7 @@ import (
 	"dpq/internal/kselect"
 	"dpq/internal/ldb"
 	"dpq/internal/mathx"
+	"dpq/internal/obs"
 )
 
 func main() {
@@ -23,18 +24,30 @@ func main() {
 	m := flag.Int("m", 4096, "number of elements (poly(n))")
 	k := flag.Int64("k", 0, "target rank (default m/2)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	of := obs.AddFlags()
 	flag.Parse()
 	if *k == 0 {
 		*k = int64(*m / 2)
 	}
 
+	sess, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kselectsim:", err)
+		os.Exit(1)
+	}
 	ov := ldb.New(*n, hashutil.New(*seed))
 	sel := kselect.New(ov, hashutil.New(*seed+1))
 	elems := sel.LoadUniform(*m, uint64(*m)*4, *seed+2)
 	eng := sel.NewSyncEngine(*seed + 3)
+	eng.SetObserver(sess.Observer())
+	sel.SetObs(sess.Collector())
 	sel.Start(eng.Context(sel.Anchor()), *k)
 	if !eng.RunUntil(sel.Done, 50000*(mathx.Log2Ceil(*n)+3)) {
 		fmt.Fprintln(os.Stderr, "kselectsim: selection did not terminate")
+		os.Exit(1)
+	}
+	if err := sess.Close(eng.Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, "kselectsim:", err)
 		os.Exit(1)
 	}
 

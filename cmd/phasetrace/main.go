@@ -15,8 +15,10 @@ import (
 
 	"dpq/internal/hashutil"
 	"dpq/internal/mathx"
+	"dpq/internal/obs"
 	"dpq/internal/prio"
 	"dpq/internal/seap"
+	"dpq/internal/sim"
 	"dpq/internal/skeap"
 	"dpq/internal/viz"
 )
@@ -26,11 +28,18 @@ func main() {
 	n := flag.Int("n", 16, "number of processes")
 	ops := flag.Int("ops", 3, "operations buffered per process")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	of := obs.AddFlags()
 	flag.Parse()
 
+	sess, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasetrace:", err)
+		os.Exit(1)
+	}
 	tl := viz.NewTimeline()
 	budget := 100000 * (mathx.Log2Ceil(*n) + 3)
 	var rounds int
+	var metrics *sim.Metrics
 
 	switch *proto {
 	case "skeap":
@@ -44,13 +53,15 @@ func main() {
 			}
 		})
 		eng := h.NewSyncEngine()
-		eng.SetObserver(tl.Observer())
+		eng.SetObserver(obs.Multi(tl.Observer(), sess.Observer()))
+		h.SetObs(sess.Collector())
 		h.StartIteration(eng.Context(h.Overlay().Anchor))
 		if !eng.RunQuiescent(h.Done, budget) {
 			fmt.Fprintln(os.Stderr, "phasetrace: batch did not complete")
 			os.Exit(1)
 		}
 		rounds = eng.Metrics().Rounds
+		metrics = eng.Metrics()
 	case "seap":
 		h := seap.New(seap.Config{N: *n, PrioBound: 1 << 20, Seed: *seed})
 		h.SetAutoRepeat(false)
@@ -62,16 +73,22 @@ func main() {
 			}
 		})
 		eng := h.NewSyncEngine()
-		eng.SetObserver(tl.Observer())
+		eng.SetObserver(obs.Multi(tl.Observer(), sess.Observer()))
+		h.SetObs(sess.Collector())
 		h.StartCycle(eng.Context(h.Overlay().Anchor))
 		if !eng.RunQuiescent(h.Done, budget) {
 			fmt.Fprintln(os.Stderr, "phasetrace: cycle did not complete")
 			os.Exit(1)
 		}
 		rounds = eng.Metrics().Rounds
+		metrics = eng.Metrics()
 	default:
 		fmt.Fprintln(os.Stderr, "phasetrace: unknown -proto (want skeap or seap)")
 		os.Exit(2)
+	}
+	if err := sess.Close(metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "phasetrace:", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("%s batch anatomy: n=%d, %d ops/node, %d rounds\n\n", *proto, *n, *ops, rounds)

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"dpq/internal/mathx"
+	"dpq/internal/obs"
 	"dpq/internal/seap"
 	"dpq/internal/semantics"
 	"dpq/internal/workload"
@@ -28,10 +29,18 @@ func main() {
 	record := flag.String("record", "", "write the generated workload to FILE")
 	replay := flag.String("replay", "", "replay a recorded workload from FILE (overrides generation)")
 	seqCons := flag.Bool("seqconsistent", false, "run the §6 sequentially consistent variant (one op per node per phase)")
+	of := obs.AddFlags()
 	flag.Parse()
 
+	sess, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seapsim:", err)
+		os.Exit(1)
+	}
 	h := seap.New(seap.Config{N: *n, PrioBound: *prios, Seed: *seed, SeqConsistent: *seqCons})
 	eng := h.NewSyncEngine()
+	eng.SetObserver(sess.Observer())
+	h.SetObs(sess.Collector())
 	stream := loadOrGenerate(*replay, *record, *rounds, workload.Config{
 		N: *n, Rate: *lambda, InsertFrac: *mix,
 		Dist: workload.Uniform, Bound: *prios, Seed: *seed + 1,
@@ -48,6 +57,10 @@ func main() {
 	}
 	if !eng.RunUntil(h.Done, 200000*(mathx.Log2Ceil(*n)+3)) {
 		fmt.Fprintln(os.Stderr, "seapsim: protocol did not drain the workload")
+		os.Exit(1)
+	}
+	if err := sess.Close(eng.Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, "seapsim:", err)
 		os.Exit(1)
 	}
 

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"dpq/internal/mathx"
+	"dpq/internal/obs"
 	"dpq/internal/semantics"
 	"dpq/internal/skeap"
 	"dpq/internal/workload"
@@ -29,10 +30,18 @@ func main() {
 	replay := flag.String("replay", "", "replay a recorded workload from FILE (overrides generation)")
 	maxHeap := flag.Bool("maxheap", false, "invert the delete preference (DeleteMax, §1.2)")
 	lifo := flag.Bool("lifo", false, "pop the newest element per priority (stack variant)")
+	of := obs.AddFlags()
 	flag.Parse()
 
+	sess, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skeapsim:", err)
+		os.Exit(1)
+	}
 	h := skeap.New(skeap.Config{N: *n, P: *p, Seed: *seed, MaxHeap: *maxHeap, LIFO: *lifo})
 	eng := h.NewSyncEngine()
+	eng.SetObserver(sess.Observer())
+	h.SetObs(sess.Collector())
 	stream := loadOrGenerate(*replay, *record, *rounds, workload.Config{
 		N: *n, Rate: *lambda, InsertFrac: *mix,
 		Dist: workload.Uniform, Bound: uint64(*p), Seed: *seed + 1,
@@ -49,6 +58,10 @@ func main() {
 	}
 	if !eng.RunUntil(h.Done, 100000*(mathx.Log2Ceil(*n)+3)) {
 		fmt.Fprintln(os.Stderr, "skeapsim: protocol did not drain the workload")
+		os.Exit(1)
+	}
+	if err := sess.Close(eng.Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, "skeapsim:", err)
 		os.Exit(1)
 	}
 

@@ -1,0 +1,99 @@
+// Command tracecheck validates a JSONL delivery trace (schema dpq-trace/1,
+// as written by the simulators' -trace-jsonl flag): header, field set, seq
+// contiguity and round monotonicity. With -metrics it cross-checks the
+// trace against the run's -metrics-out document — per-kind counts and the
+// engine totals must agree, catching accounting drift between the trace
+// exporter and the metrics collector.
+//
+// Usage:
+//
+//	tracecheck [-metrics run.json] trace.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dpq/internal/obs"
+)
+
+func main() {
+	metricsPath := flag.String("metrics", "", "cross-check against this -metrics-out JSON file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics run.json] trace.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sum, err := obs.ValidateTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: invalid trace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace ok: %d deliveries, %d bits, %d kinds (%s)\n",
+		sum.Deliveries, sum.TotalBits, len(sum.Kinds), obs.TraceSchema)
+	names := make([]string, 0, len(sum.Kinds))
+	for k := range sum.Kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  %-18s %d\n", k, sum.Kinds[k])
+	}
+
+	if *metricsPath == "" {
+		return
+	}
+	if err := crossCheck(*metricsPath, sum); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: metrics mismatch:", err)
+		os.Exit(1)
+	}
+	fmt.Println("metrics cross-check ok: per-kind counts and engine totals agree")
+}
+
+// crossCheck verifies the trace summary against a -metrics-out document.
+func crossCheck(path string, sum *obs.TraceSummary) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Engine struct {
+			Messages  int64 `json:"messages"`
+			TotalBits int64 `json:"totalBits"`
+		} `json:"engine"`
+		Kinds map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"kinds"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Engine.Messages != sum.Deliveries {
+		return fmt.Errorf("engine.messages=%d but trace has %d deliveries", doc.Engine.Messages, sum.Deliveries)
+	}
+	if doc.Engine.TotalBits != sum.TotalBits {
+		return fmt.Errorf("engine.totalBits=%d but trace sums to %d", doc.Engine.TotalBits, sum.TotalBits)
+	}
+	for k, ks := range doc.Kinds {
+		if ks.Count != sum.Kinds[k] {
+			return fmt.Errorf("kind %q: metrics count %d, trace count %d", k, ks.Count, sum.Kinds[k])
+		}
+	}
+	for k, c := range sum.Kinds {
+		if _, ok := doc.Kinds[k]; !ok {
+			return fmt.Errorf("kind %q (%d deliveries) missing from metrics", k, c)
+		}
+	}
+	return nil
+}

@@ -25,6 +25,21 @@ func runCmd(t *testing.T, args ...string) string {
 	return string(out)
 }
 
+// runCmdFail runs a binary expecting a non-zero exit and returns its output.
+func runCmdFail(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI smoke test in -short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go run %v succeeded, want failure\n%s", args, out)
+	}
+	return string(out)
+}
+
 func TestCmdSkeapsim(t *testing.T) {
 	out := runCmd(t, "./cmd/skeapsim", "-n", "8", "-rounds", "8", "-lambda", "2")
 	if !strings.Contains(out, "sequentially consistent") {
@@ -76,9 +91,12 @@ func TestCmdChurnsimFaultTraceReplayIdentical(t *testing.T) {
 	}
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "faults.txt")
-	args := []string{"./cmd/churnsim", "-proto", "seap", "-n", "4", "-faults", "drop5", "-fault-seed", "3", "-waves", "2", "-ops", "6"}
+	base := []string{"./cmd/churnsim", "-proto", "seap", "-n", "4", "-waves", "2", "-ops", "6"}
+	args := append(append([]string{}, base...), "-faults", "drop5", "-fault-seed", "3")
 	out1 := runCmd(t, append(args, "-trace-out", trace)...)
-	out2 := runCmd(t, append(args, "-trace-in", trace)...)
+	// Replay mode takes the schedule from the trace alone; combining it
+	// with -faults/-fault-seed is rejected (see TestCmdChurnsimConflictingFlags).
+	out2 := runCmd(t, append(append([]string{}, base...), "-trace-in", trace)...)
 	if out1 != out2 {
 		t.Fatalf("fault replay differs from recording:\n--- record\n%s\n--- replay\n%s", out1, out2)
 	}
@@ -99,8 +117,62 @@ func TestCmdBenchallQuickSubset(t *testing.T) {
 		t.Skip("skipping in -short mode")
 	}
 	out := runCmd(t, "./cmd/benchall", "-quick")
-	if !strings.Contains(out, "### E-F2") || !strings.Contains(out, "### E22") {
+	if !strings.Contains(out, "### E-F2") || !strings.Contains(out, "### E24") {
 		t.Fatalf("benchall output truncated:\n%.600s", out)
+	}
+}
+
+func TestCmdChurnsimConflictingFlags(t *testing.T) {
+	out := runCmdFail(t, "./cmd/churnsim", "-trace-in", "whatever.txt", "-faults", "drop5")
+	if !strings.Contains(out, "cannot be combined") {
+		t.Fatalf("churnsim conflict message:\n%s", out)
+	}
+	out = runCmdFail(t, "./cmd/churnsim", "-trace-in", "whatever.txt", "-fault-seed", "3")
+	if !strings.Contains(out, "cannot be combined") {
+		t.Fatalf("churnsim conflict message:\n%s", out)
+	}
+}
+
+func TestCmdTracedRunValidates(t *testing.T) {
+	// End-to-end instrumentation: a traced skeapsim run must produce a
+	// JSONL trace and a metrics document that tracecheck accepts and
+	// cross-checks against each other.
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.jsonl")
+	metrics := filepath.Join(dir, "run.json")
+	runCmd(t, "./cmd/skeapsim", "-n", "8", "-rounds", "6", "-lambda", "2",
+		"-trace-jsonl", trace, "-metrics-out", metrics)
+	out := runCmd(t, "./cmd/tracecheck", "-metrics", metrics, trace)
+	if !strings.Contains(out, "trace ok") || !strings.Contains(out, "cross-check ok") {
+		t.Fatalf("tracecheck output:\n%s", out)
+	}
+}
+
+func TestCmdTracedFaultyRunByteIdentical(t *testing.T) {
+	// Acceptance criterion: a same-seed faulty async run writes a
+	// byte-identical JSONL trace on every invocation.
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	dir := t.TempDir()
+	t1 := filepath.Join(dir, "a.jsonl")
+	t2 := filepath.Join(dir, "b.jsonl")
+	args := []string{"./cmd/churnsim", "-faults", "drop20dup", "-fault-seed", "7", "-n", "6", "-waves", "2", "-ops", "8"}
+	runCmd(t, append(append([]string{}, args...), "-trace-jsonl", t1)...)
+	runCmd(t, append(append([]string{}, args...), "-trace-jsonl", t2)...)
+	b1, err := os.ReadFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("same-seed faulty runs produced different traces")
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty trace")
 	}
 }
 

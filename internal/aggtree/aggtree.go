@@ -82,6 +82,9 @@ type StartMsg struct {
 	Params Value
 }
 
+// Kind names the message for instrumentation, per instance tag.
+func (m *StartMsg) Kind() string { return fmt.Sprintf("tree/start[%d]", m.Tag) }
+
 // Bits accounts a small header plus the parameters.
 func (m *StartMsg) Bits() int {
 	b := 16 + 64
@@ -98,6 +101,9 @@ type UpMsg struct {
 	V   Value
 }
 
+// Kind names the message for instrumentation, per instance tag.
+func (m *UpMsg) Kind() string { return fmt.Sprintf("tree/up[%d]", m.Tag) }
+
 // Bits accounts a small header plus the value.
 func (m *UpMsg) Bits() int { return 16 + 64 + m.V.Bits() }
 
@@ -107,6 +113,9 @@ type DownMsg struct {
 	Seq uint64
 	V   Value
 }
+
+// Kind names the message for instrumentation, per instance tag.
+func (m *DownMsg) Kind() string { return fmt.Sprintf("tree/down[%d]", m.Tag) }
 
 // Bits accounts a small header plus the value.
 func (m *DownMsg) Bits() int { return 16 + 64 + m.V.Bits() }

@@ -32,6 +32,9 @@ type PutMsg struct {
 // Bits accounts key, element, and the ack reference.
 func (m *PutMsg) Bits() int { return 64 + m.Elem.Bits() + 64 + 64 }
 
+// Kind names the message for instrumentation (routed: "route/put").
+func (m *PutMsg) Kind() string { return "put" }
+
 // GetMsg retrieves (and removes) the element stored under Key, replying to
 // ReplyTo. If the element is not present yet, the request waits at the
 // responsible node.
@@ -44,6 +47,9 @@ type GetMsg struct {
 // Bits accounts key, reference and request id.
 func (m *GetMsg) Bits() int { return 64 + 64 + 64 }
 
+// Kind names the message for instrumentation (routed: "route/get").
+func (m *GetMsg) Kind() string { return "get" }
+
 // ReplyMsg answers a Get (Found=true) or confirms a Put (Ack=true).
 type ReplyMsg struct {
 	ReqID uint64
@@ -54,6 +60,9 @@ type ReplyMsg struct {
 
 // Bits accounts the request id, the element and two flags.
 func (m *ReplyMsg) Bits() int { return 64 + m.Elem.Bits() + 2 }
+
+// Kind names the message for instrumentation.
+func (m *ReplyMsg) Kind() string { return "dht/reply" }
 
 type waiter struct {
 	replyTo sim.NodeID

@@ -1,4 +1,4 @@
-// Package harness runs the reproduction experiments E-F2 and E1–E22 of
+// Package harness runs the reproduction experiments E-F2 and E1–E24 of
 // DESIGN.md and renders their tables: for every quantitative claim of the
 // paper it measures the corresponding quantity on the simulator and
 // reports the observed scaling next to the claim. cmd/benchall uses it to
@@ -109,6 +109,8 @@ func RunAll(sz Sizes, progress io.Writer) *Report {
 		{"E20 membership migration", MembershipMigration},
 		{"E21 approx quantile tradeoff", ApproxQuantileTradeoff},
 		{"E22 fault tolerance overhead", FaultToleranceOverhead},
+		{"E23 Skeap phase breakdown", SkeapPhaseBreakdown},
+		{"E24 KSelect phase breakdown", KSelectPhaseBreakdown},
 	}
 	for _, s := range steps {
 		if progress != nil {

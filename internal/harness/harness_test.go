@@ -11,8 +11,8 @@ import (
 // sanity-checks every table's shape.
 func TestQuickSuiteRuns(t *testing.T) {
 	rep := RunAll(Quick(), nil)
-	if len(rep.Tables) != 23 {
-		t.Fatalf("expected 23 experiment tables, got %d", len(rep.Tables))
+	if len(rep.Tables) != 25 {
+		t.Fatalf("expected 25 experiment tables, got %d", len(rep.Tables))
 	}
 	for _, tab := range rep.Tables {
 		if tab.ID == "" || tab.Claim == "" || len(tab.Header) == 0 {
@@ -88,6 +88,17 @@ func TestQuickSuiteRuns(t *testing.T) {
 			if row[6] == "0" {
 				t.Fatalf("drops injected but nothing retried (row %d): %v", i, row)
 			}
+		}
+	}
+
+	// E23/E24: the per-phase breakdowns must name the protocol phases.
+	names := map[string]bool{}
+	for _, row := range append(byID["E23"].Rows, byID["E24"].Rows...) {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"skeap:gather", "skeap:dht", "ks:p1-window", "ks:p3-answer"} {
+		if !names[want] {
+			t.Fatalf("phase %q missing from the E23/E24 breakdowns: %v", want, names)
 		}
 	}
 

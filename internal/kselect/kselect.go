@@ -37,6 +37,7 @@ import (
 	"dpq/internal/hashutil"
 	"dpq/internal/ldb"
 	"dpq/internal/mathx"
+	"dpq/internal/obs"
 	"dpq/internal/prio"
 	"dpq/internal/sim"
 )
@@ -107,6 +108,7 @@ type Selector struct {
 	haveCl bool
 	haveCr bool
 	onDone func(ctx *sim.Context, res Result)
+	col    *obs.Collector // optional phase-timeline collector (nil-safe)
 	// fullWindow counts consecutive rounds whose δ-window covered every
 	// sample (no pruning possible); bounded resampling avoids an
 	// expensive premature exact phase.
@@ -172,6 +174,11 @@ func (s *Selector) NewAsyncEngine(seed uint64, maxDelay float64) *sim.AsyncEngin
 // OnDone, when set, is invoked in the anchor's context as soon as the
 // selection completes — host protocols (Seap) chain their next phase here.
 func (s *Selector) SetOnDone(f func(ctx *sim.Context, res Result)) { s.onDone = f }
+
+// SetObs attaches a phase-timeline collector: every anchor-driven phase
+// transition (window, prune, sort, boundary, rank, answer) is marked on it
+// so delivered messages attribute to the paper's phases. nil detaches.
+func (s *Selector) SetObs(c *obs.Collector) { s.col = c }
 
 // NodeAt exposes the per-virtual-node KSelect state for host protocols
 // that embed the selector and dispatch its messages themselves.

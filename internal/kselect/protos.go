@@ -43,11 +43,17 @@ func (v elemVal) Bits() int { return v.E.Bits() + 1 }
 func (s *Selector) anchorNode() *Node { return s.nodes[s.ov.Anchor] }
 
 func (s *Selector) startWindow(ctx *sim.Context) {
+	s.col.Phase("ks:p1-window")
 	s.phase = phase1Window
 	s.anchorNode().runner.Start(ctx, s.ov.Info(s.ov.Anchor), tagWindow, s.nextSeq(), aggtree.IntVal(s.k))
 }
 
 func (s *Selector) startPrune(ctx *sim.Context, lo, hi prio.Key, next phase) {
+	if next == phase1Prune {
+		s.col.Phase("ks:p1-prune")
+	} else {
+		s.col.Phase("ks:p2-prune")
+	}
 	s.phase = next
 	s.anchorNode().runner.Start(ctx, s.ov.Info(s.ov.Anchor), tagPrune, s.nextSeq(),
 		aggtree.KeyRangeVal{Lo: lo, Hi: hi})
@@ -57,9 +63,11 @@ func (s *Selector) startSample(ctx *sim.Context, exact bool) {
 	s.exact = exact
 	s.epoch++
 	if exact {
+		s.col.Phase("ks:p3-sort")
 		s.phase = phase3Poll
 		s.result.CandidatesAtP3 = s.n
 	} else {
+		s.col.Phase("ks:p2-sort")
 		s.phase = phase2Poll
 	}
 	s.anchorNode().runner.Start(ctx, s.ov.Info(s.ov.Anchor), tagSample, s.nextSeq(),
@@ -71,18 +79,21 @@ func (s *Selector) startPoll(ctx *sim.Context) {
 }
 
 func (s *Selector) startBoundary(ctx *sim.Context) {
+	s.col.Phase("ks:p2-boundary")
 	s.phase = phase2Boundary
 	s.anchorNode().runner.Start(ctx, s.ov.Info(s.ov.Anchor), tagBoundary, s.nextSeq(),
 		aggtree.Int2Val{A: s.lOrder, B: s.rOrder})
 }
 
 func (s *Selector) startRank(ctx *sim.Context) {
+	s.col.Phase("ks:p2-rank")
 	s.phase = phase2Rank
 	s.anchorNode().runner.Start(ctx, s.ov.Info(s.ov.Anchor), tagRank, s.nextSeq(),
 		aggtree.KeyRangeVal{Lo: s.clKey, Hi: s.crKey})
 }
 
 func (s *Selector) startAnswer(ctx *sim.Context) {
+	s.col.Phase("ks:p3-answer")
 	s.phase = phase3Answer
 	s.anchorNode().runner.Start(ctx, s.ov.Info(s.ov.Anchor), tagAnswer, s.nextSeq(), aggtree.IntVal(s.k))
 }

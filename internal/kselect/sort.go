@@ -31,6 +31,9 @@ type SampleRootMsg struct {
 // Bits accounts epoch, position, n′ and the candidate.
 func (m *SampleRootMsg) Bits() int { return 3*64 + m.Elem.Bits() }
 
+// Kind names the message for instrumentation (routed: "route/sample-root").
+func (m *SampleRootMsg) Kind() string { return "sample-root" }
+
 // DistSeekMsg walks pred-ward to the nearest middle node, which then takes
 // the de Bruijn step for the [Lo,Hi] subtree of root Root's distribution
 // tree.
@@ -47,6 +50,9 @@ type DistSeekMsg struct {
 // Bits accounts the subtree descriptor.
 func (m *DistSeekMsg) Bits() int { return 5*64 + keyBits + 1 }
 
+// Kind names the message for instrumentation.
+func (m *DistSeekMsg) Kind() string { return "sort/seek" }
+
 // DistArriveMsg lands on the new holder of the [Lo,Hi] subtree (the left
 // or right virtual node reached by the de Bruijn step).
 type DistArriveMsg struct {
@@ -61,6 +67,9 @@ type DistArriveMsg struct {
 // Bits accounts the subtree descriptor.
 func (m *DistArriveMsg) Bits() int { return 5*64 + keyBits }
 
+// Kind names the message for instrumentation.
+func (m *DistArriveMsg) Kind() string { return "sort/arrive" }
+
 // CopyMsg (routed) carries copy (I,J) — root I's key, copy index J — to
 // the meeting point h(I,J).
 type CopyMsg struct {
@@ -72,6 +81,9 @@ type CopyMsg struct {
 
 // Bits accounts indices, key and the holder reference.
 func (m *CopyMsg) Bits() int { return 4*64 + keyBits }
+
+// Kind names the message for instrumentation (routed: "route/copy").
+func (m *CopyMsg) Kind() string { return "copy" }
 
 // VecMsg carries a comparison-outcome vector (L,R) to the holder of copy
 // (Root, J) — either a single comparison result from a meeting point or an
@@ -85,6 +97,9 @@ type VecMsg struct {
 
 // Bits accounts the indices and the vector.
 func (m *VecMsg) Bits() int { return 5 * 64 }
+
+// Kind names the message for instrumentation.
+func (m *VecMsg) Kind() string { return "sort/vector" }
 
 // rootPoint is the pseudorandom point of a sorting root for a position.
 func (s *Selector) rootPoint(epoch uint64, pos int64) float64 {

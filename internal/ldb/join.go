@@ -24,6 +24,9 @@ type SpliceMsg struct {
 // Bits: one label plus one identifier.
 func (m *SpliceMsg) Bits() int { return 2 * labelBits }
 
+// Kind names the message for instrumentation.
+func (m *SpliceMsg) Kind() string { return "ldb/splice" }
+
 // LeaveMsg notifies a cycle neighbour that the sender's virtual node is
 // departing and carries the replacement link.
 type LeaveMsg struct {
@@ -32,6 +35,9 @@ type LeaveMsg struct {
 
 // Bits: one node reference.
 func (m *LeaveMsg) Bits() int { return labelBits }
+
+// Kind names the message for instrumentation.
+func (m *LeaveMsg) Kind() string { return "ldb/leave" }
 
 // dynNode relays routed splice requests and counts completed splices and
 // leave notifications.

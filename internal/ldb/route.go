@@ -39,6 +39,20 @@ const labelBits = 64
 // payload.
 func (m *RouteMsg) Bits() int { return labelBits + 8 + m.Payload.Bits() }
 
+// Kind classifies the routed message by its payload. The names are part of
+// the trace schema (and cmd/phasetrace's output): the payload kinds that
+// predate the instrumentation layer keep their historical "route/<kind>"
+// names; anything else is "route/other".
+func (m *RouteMsg) Kind() string {
+	if k, ok := m.Payload.(interface{ Kind() string }); ok {
+		switch kind := k.Kind(); kind {
+		case "put", "get", "sample-root", "copy":
+			return "route/" + kind
+		}
+	}
+	return "route/other"
+}
+
 // RouteHops returns the number of de Bruijn steps used for an overlay of n
 // real processes: d ≈ log₂(3n) puts the point within 2^-d of the target;
 // two extra steps shorten the final walk.

@@ -1,0 +1,147 @@
+// CLI wiring shared by the cmd/* binaries: every simulator registers the
+// same three instrumentation flags and forwards its engine's observer and
+// final metrics here.
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux; served only with -pprof
+	"os"
+
+	"dpq/internal/sim"
+)
+
+// Flags holds the instrumentation flag values of one binary.
+type Flags struct {
+	TraceJSONL string
+	MetricsOut string
+	PProfAddr  string
+}
+
+// AddFlags registers -trace-jsonl, -metrics-out and -pprof on the default
+// flag set and returns the destination struct. Call before flag.Parse.
+func AddFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.TraceJSONL, "trace-jsonl", "", "write a JSONL delivery trace (schema dpq-trace/1) to FILE")
+	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write metrics JSON (engine totals, per-kind counters, per-phase stats) to FILE")
+	flag.StringVar(&f.PProfAddr, "pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
+	return f
+}
+
+// Session is the live instrumentation of one simulator run.
+type Session struct {
+	flags     *Flags
+	col       *Collector
+	tw        *TraceWriter
+	traceFile *os.File
+}
+
+// Start opens the requested outputs and, with -pprof, serves the profiling
+// endpoints in the background. The returned session is ready to observe;
+// call Close when the run ends.
+func (f *Flags) Start() (*Session, error) {
+	s := &Session{flags: f, col: NewCollector()}
+	if f.TraceJSONL != "" {
+		file, err := os.Create(f.TraceJSONL)
+		if err != nil {
+			return nil, fmt.Errorf("obs: %v", err)
+		}
+		s.traceFile = file
+		s.tw = NewTraceWriter(file)
+	}
+	ServePProf(f.PProfAddr)
+	return s, nil
+}
+
+// ServePProf serves net/http/pprof on addr in the background; empty addr is
+// a no-op. Binaries without per-run outputs (cmd/benchall) use it directly.
+func ServePProf(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+		}
+	}()
+}
+
+// Collector returns the session's collector, for protocols' SetObs hooks.
+func (s *Session) Collector() *Collector { return s.col }
+
+// Observer returns the engine observer for this session, or nil when no
+// output was requested (so engines skip the callback entirely).
+func (s *Session) Observer() func(sim.Delivery) {
+	if s.flags.TraceJSONL == "" && s.flags.MetricsOut == "" {
+		return nil
+	}
+	return Multi(s.col.Observer(), s.tw.Observer())
+}
+
+// metricsJSON is the -metrics-out document.
+type metricsJSON struct {
+	Engine struct {
+		Rounds        int   `json:"rounds"`
+		Messages      int64 `json:"messages"`
+		TotalBits     int64 `json:"totalBits"`
+		MaxMessageBit int   `json:"maxMessageBit"`
+		Congestion    int   `json:"congestion"`
+		Dropped       int64 `json:"dropped"`
+		LostToCrash   int64 `json:"lostToCrash"`
+	} `json:"engine"`
+	Kinds  map[string]kindJSON `json:"kinds"`
+	Phases []PhaseStats        `json:"phases"`
+}
+
+type kindJSON struct {
+	KindStats
+	Hist map[string]int64 `json:"log2Hist,omitempty"`
+}
+
+// Close flushes the trace and writes the metrics JSON. m is the engine's
+// final metrics (nil when the engine totals are unavailable).
+func (s *Session) Close(m *sim.Metrics) error {
+	if s.tw != nil {
+		err := s.tw.Flush()
+		if cerr := s.traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("obs: writing trace: %v", err)
+		}
+	}
+	if s.flags.MetricsOut == "" {
+		return nil
+	}
+	var doc metricsJSON
+	if m != nil {
+		doc.Engine.Rounds = m.Rounds
+		doc.Engine.Messages = m.Messages
+		doc.Engine.TotalBits = m.TotalBits
+		doc.Engine.MaxMessageBit = m.MaxMessageBit
+		doc.Engine.Congestion = m.Congestion
+		doc.Engine.Dropped = m.Dropped
+		doc.Engine.LostToCrash = m.LostToCrash
+	}
+	doc.Kinds = map[string]kindJSON{}
+	for name, ks := range s.col.Kinds() {
+		kj := kindJSON{KindStats: ks, Hist: map[string]int64{}}
+		for b, c := range ks.HistNonZero() {
+			kj.Hist[fmt.Sprintf("%d", b)] = c
+		}
+		doc.Kinds[name] = kj
+	}
+	doc.Phases = s.col.Phases()
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(s.flags.MetricsOut, out, 0o644); err != nil {
+		return fmt.Errorf("obs: writing metrics: %v", err)
+	}
+	return nil
+}

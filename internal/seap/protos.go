@@ -48,7 +48,28 @@ func (n *Node) register() {
 func (h *Heap) anchorNode() *Node { return h.nodes[h.ov.Anchor] }
 
 func (h *Heap) start(ctx *sim.Context, tag aggtree.Tag, params aggtree.Value) {
+	h.col.Phase(phaseName(tag))
 	h.anchorNode().runner.Start(ctx, h.ov.Info(h.ov.Anchor), tag, h.nextSeq(), params)
+}
+
+// phaseName maps an aggtree tag to its timeline phase name (§5's cycle
+// structure as seen by the anchor).
+func phaseName(tag aggtree.Tag) string {
+	switch tag {
+	case tagInsCount:
+		return "seap:ins-count"
+	case tagInsPoll:
+		return "seap:ins-poll"
+	case tagDelCount:
+		return "seap:del-count"
+	case tagLoad:
+		return "seap:load"
+	case tagAssign:
+		return "seap:assign"
+	case tagDelPoll:
+		return "seap:del-poll"
+	}
+	return "seap:other"
 }
 
 func (h *Heap) startInsCount(ctx *sim.Context) { h.start(ctx, tagInsCount, cycleVal(h.cycle)) }

@@ -34,6 +34,7 @@ import (
 	"dpq/internal/hashutil"
 	"dpq/internal/kselect"
 	"dpq/internal/ldb"
+	"dpq/internal/obs"
 	"dpq/internal/prio"
 	"dpq/internal/semantics"
 	"dpq/internal/sim"
@@ -136,6 +137,9 @@ type Heap struct {
 	// lastMigrated counts elements that changed hosts in the most recent
 	// membership change (experiment E20).
 	lastMigrated int
+	// col, when set, receives the phase timeline of each cycle (one mark
+	// per aggtree exchange the anchor starts).
+	col *obs.Collector
 }
 
 // New builds a Seap network.
@@ -191,6 +195,15 @@ func (h *Heap) Size() int64 { return h.m }
 
 // SetAutoRepeat controls the anchor's continuous cycling.
 func (h *Heap) SetAutoRepeat(on bool) { h.autoRepeat = on }
+
+// SetObs attaches a phase-timeline collector: the anchor marks each
+// aggtree exchange it starts (ins-count, ins-poll, del-count, load,
+// assign, del-poll) and the embedded selector marks its own KSelect
+// phases. nil detaches.
+func (h *Heap) SetObs(c *obs.Collector) {
+	h.col = c
+	h.selector.SetObs(c)
+}
 
 // Handlers returns the per-virtual-node sim handlers.
 func (h *Heap) Handlers() []sim.Handler {

@@ -9,8 +9,9 @@ import "dpq/internal/hashutil"
 // unbounded relative execution speeds.
 //
 // The engine is deterministic for a fixed seed, which makes adversarial
-// semantics tests reproducible. Rounds and congestion are not meaningful in
-// this model; the engine still counts messages and bits.
+// semantics tests reproducible. Rounds and congestion have no exact meaning
+// in this model; the engine approximates them by unit-sim-time windows
+// (see noteWindow) and counts messages and bits exactly.
 //
 // An optional FaultPlan (SetFaultPlan) weakens the model beyond §1.1:
 // messages may be dropped, duplicated or delay-spiked and nodes may crash
@@ -21,6 +22,7 @@ type AsyncEngine struct {
 	handlers []Handler
 	contexts []*Context
 	group    func(NodeID) int
+	nGrp     int
 
 	events   minHeap[event]
 	now      float64
@@ -30,6 +32,14 @@ type AsyncEngine struct {
 	metrics  Metrics
 	maxDelay float64
 	faults   *FaultPlan
+
+	observer func(Delivery)
+	strict   bool
+	// Rounds/congestion approximation: deliveries inside one unit of
+	// sim-time (≈ one activation period) form a window; winLoad counts the
+	// current window's per-group deliveries.
+	window  int
+	winLoad []int
 }
 
 type event struct {
@@ -62,9 +72,12 @@ func NewAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, gro
 		handlers: handlers,
 		contexts: make([]*Context, n),
 		group:    group,
+		nGrp:     groups,
 		events:   newMinHeap(eventLess),
 		rand:     hashutil.NewRand(seed),
 		maxDelay: maxDelay,
+		strict:   strictDefault(),
+		winLoad:  make([]int, groups),
 	}
 	e.metrics.Deliveries = make([]int64, groups)
 	for i := range handlers {
@@ -78,6 +91,36 @@ func NewAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, gro
 // activation. It must be set before the first RunUntil; nil disables fault
 // injection (the default §1.1 model).
 func (e *AsyncEngine) SetFaultPlan(p *FaultPlan) { e.faults = p }
+
+// SetObserver installs a callback invoked for every delivered message
+// (after metric accounting, before the handler runs). Crash-suppressed
+// deliveries are not observed — they are counted in Metrics.LostToCrash.
+func (e *AsyncEngine) SetObserver(f func(Delivery)) { e.observer = f }
+
+// SetStrictAccounting overrides the strict-mode default (panic on an
+// out-of-range congestion group under `go test`, count into
+// Metrics.Dropped otherwise).
+func (e *AsyncEngine) SetStrictAccounting(on bool) { e.strict = on }
+
+// AddHandler grows the network by one node (dynamic membership), growing
+// the congestion-group accounting alongside, and schedules the new node's
+// periodic activations. It returns the new node's id.
+func (e *AsyncEngine) AddHandler(h Handler, seed uint64) NodeID {
+	id := NodeID(len(e.handlers))
+	e.handlers = append(e.handlers, h)
+	e.contexts = append(e.contexts, &Context{id: id, rand: hashutil.NewRand(hashutil.Mix2(seed, uint64(id))), engine: e})
+	if g := e.group(id); g >= e.nGrp {
+		e.nGrp = g + 1
+	}
+	for len(e.metrics.Deliveries) < e.nGrp {
+		e.metrics.Deliveries = append(e.metrics.Deliveries, 0)
+	}
+	for len(e.winLoad) < e.nGrp {
+		e.winLoad = append(e.winLoad, 0)
+	}
+	e.scheduleActivation(id)
+	return id
+}
 
 // Faults returns the installed fault plan (nil when fault-free).
 func (e *AsyncEngine) Faults() *FaultPlan { return e.faults }
@@ -133,9 +176,18 @@ func (e *AsyncEngine) RunUntil(done func() bool, maxEvents int) bool {
 		if ev.msg != nil {
 			e.pending--
 			if e.faults != nil && e.faults.down(ev.node, e.now) {
-				continue // deliveries to a crashed node are lost
+				// Deliveries to a crashed node are lost; record the loss so
+				// fault assertions can tell it from "never sent".
+				e.metrics.LostToCrash++
+				continue
 			}
-			e.metrics.observe(e.group(ev.node), ev.msg.Bits())
+			g := e.group(ev.node)
+			bits := ev.msg.Bits()
+			e.metrics.observe(g, bits, e.strict)
+			e.noteWindow(g)
+			if e.observer != nil {
+				e.observer(Delivery{Round: e.window, Time: e.now, From: ev.from, To: ev.node, Group: g, Bits: bits, Msg: ev.msg})
+			}
 			e.handlers[ev.node].HandleMessage(e.contexts[ev.node], ev.from, ev.msg)
 		} else {
 			if e.faults != nil {
@@ -152,8 +204,31 @@ func (e *AsyncEngine) RunUntil(done func() bool, maxEvents int) bool {
 	return done()
 }
 
-// Metrics returns the accumulated cost measures (rounds/congestion are not
-// populated in the asynchronous model).
+// noteWindow attributes one delivery for group g to the current unit-time
+// window, maintaining the round/congestion approximation: Rounds is the
+// number of elapsed windows and Congestion the maximum per-group load of
+// any single window. Activation spacing is ≈1 sim-time unit, so a window
+// approximates one synchronous round.
+func (e *AsyncEngine) noteWindow(g int) {
+	if w := int(e.now); w != e.window {
+		e.window = w
+		for i := range e.winLoad {
+			e.winLoad[i] = 0
+		}
+	}
+	e.metrics.Rounds = e.window + 1
+	if g < 0 || g >= len(e.winLoad) {
+		return
+	}
+	e.winLoad[g]++
+	if e.winLoad[g] > e.metrics.Congestion {
+		e.metrics.Congestion = e.winLoad[g]
+	}
+}
+
+// Metrics returns the accumulated cost measures. Rounds and Congestion are
+// approximated by unit-sim-time windows (one activation period ≈ one
+// synchronous round); exact round accounting needs the SyncEngine.
 func (e *AsyncEngine) Metrics() *Metrics { return &e.metrics }
 
 // Context returns node id's context, for injecting initial actions.

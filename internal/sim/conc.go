@@ -28,9 +28,13 @@ type ConcEngine struct {
 	inflight atomic.Int64 // protocol messages sent but not yet handled
 	stop     chan struct{}
 	wg       sync.WaitGroup
+	started  bool
 
-	mu      sync.Mutex
-	metrics Metrics
+	mu       sync.Mutex
+	metrics  Metrics
+	observer func(Delivery)
+	strict   bool
+	nGrp     int
 }
 
 // NewConc creates a goroutine-backed engine over the handlers.
@@ -47,6 +51,8 @@ func NewConc(handlers []Handler, seed uint64, groups int, group func(NodeID) int
 		inboxes:  make([]chan envelope, n),
 		group:    group,
 		stop:     make(chan struct{}),
+		strict:   strictDefault(),
+		nGrp:     groups,
 	}
 	e.metrics.Deliveries = make([]int64, groups)
 	for i := range handlers {
@@ -56,6 +62,48 @@ func NewConc(handlers []Handler, seed uint64, groups int, group func(NodeID) int
 		e.inboxes[i] = make(chan envelope, 4096)
 	}
 	return e
+}
+
+// SetObserver installs a callback invoked for every delivered message
+// (after metric accounting, under the engine's metrics lock). Must be set
+// before Run.
+func (e *ConcEngine) SetObserver(f func(Delivery)) {
+	if e.started {
+		panic("sim: ConcEngine.SetObserver after Run")
+	}
+	e.observer = f
+}
+
+// SetStrictAccounting overrides the strict-mode default (panic on an
+// out-of-range congestion group under `go test`, count into
+// Metrics.Dropped otherwise). Must be set before Run.
+func (e *ConcEngine) SetStrictAccounting(on bool) {
+	if e.started {
+		panic("sim: ConcEngine.SetStrictAccounting after Run")
+	}
+	e.strict = on
+}
+
+// AddHandler grows the network by one node (dynamic membership), growing
+// the congestion-group accounting alongside. The goroutine layout is fixed
+// once Run starts, so AddHandler panics afterwards. It returns the new
+// node's id.
+func (e *ConcEngine) AddHandler(h Handler, seed uint64) NodeID {
+	if e.started {
+		panic("sim: ConcEngine.AddHandler after Run")
+	}
+	id := NodeID(len(e.handlers))
+	e.handlers = append(e.handlers, h)
+	e.contexts = append(e.contexts, &Context{id: id, rand: hashutil.NewRand(hashutil.Mix2(seed, uint64(id))), engine: e})
+	e.locks = append(e.locks, sync.Mutex{})
+	e.inboxes = append(e.inboxes, make(chan envelope, 4096))
+	if g := e.group(id); g >= e.nGrp {
+		e.nGrp = g + 1
+	}
+	for len(e.metrics.Deliveries) < e.nGrp {
+		e.metrics.Deliveries = append(e.metrics.Deliveries, 0)
+	}
+	return id
 }
 
 func (e *ConcEngine) send(from, to NodeID, msg Message) {
@@ -84,13 +132,18 @@ func (e *ConcEngine) nodeLoop(i int) {
 		case <-e.stop:
 			return
 		case env := <-e.inboxes[i]:
+			g := e.group(id)
+			bits := env.msg.Bits()
+			e.mu.Lock()
+			e.metrics.observe(g, bits, e.strict)
+			if e.observer != nil {
+				e.observer(Delivery{From: env.from, To: id, Group: g, Bits: bits, Msg: env.msg})
+			}
+			e.mu.Unlock()
 			e.locks[i].Lock()
 			e.handlers[i].HandleMessage(e.contexts[i], env.from, env.msg)
 			e.handlers[i].Activate(e.contexts[i])
 			e.locks[i].Unlock()
-			e.mu.Lock()
-			e.metrics.observe(e.group(id), env.msg.Bits())
-			e.mu.Unlock()
 			e.inflight.Add(-1)
 		case <-idle.C:
 			// Periodic activation, as in the asynchronous model.
@@ -108,6 +161,7 @@ func (e *ConcEngine) nodeLoop(i int) {
 // channels). Run returns whether completion was reached, and shuts the
 // goroutines down in either case. An engine cannot be re-run.
 func (e *ConcEngine) Run(done func() bool, timeout time.Duration) bool {
+	e.started = true
 	for i := range e.handlers {
 		e.wg.Add(1)
 		go e.nodeLoop(i)

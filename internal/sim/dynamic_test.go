@@ -103,8 +103,8 @@ func TestObserverSeesDeliveries(t *testing.T) {
 	hs := newPingPair()
 	eng := NewSync(hs, 1, 0, nil)
 	var seen []NodeID
-	eng.SetObserver(func(round int, from, to NodeID, msg Message) {
-		seen = append(seen, to)
+	eng.SetObserver(func(d Delivery) {
+		seen = append(seen, d.To)
 	})
 	eng.Context(0).Send(1, &ping{TTL: 2})
 	for i := 0; i < 5; i++ {

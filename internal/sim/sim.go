@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"testing"
 
 	"dpq/internal/hashutil"
 )
@@ -35,6 +36,35 @@ const None NodeID = -1
 // message in bits, the unit of Lemmas 3.8 and 5.5.
 type Message interface {
 	Bits() int
+}
+
+// KindOf classifies a message for instrumentation. Messages may expose a
+// stable protocol-level name via a Kind() string method (e.g. "tree/up[1]",
+// "route/put"); messages without one fall back to their Go type. Kind names
+// are part of the trace schema: they must stay stable across runs of the
+// same build for replay comparison.
+func KindOf(msg Message) string {
+	if k, ok := msg.(interface{ Kind() string }); ok {
+		return k.Kind()
+	}
+	return fmt.Sprintf("%T", msg)
+}
+
+// Delivery describes one delivered message, as seen by an engine observer
+// immediately after metric accounting and before the handler runs.
+//
+// Round is the synchronous round (SyncEngine), the unit-sim-time window
+// ⌊now⌋ (AsyncEngine) or 0 (ConcEngine, which has no global clock). Time is
+// the simulation time of the delivery (0 in the synchronous and concurrent
+// engines). Group is the congestion group (real process) of the receiver.
+type Delivery struct {
+	Round int
+	Time  float64
+	From  NodeID
+	To    NodeID
+	Group int
+	Bits  int
+	Msg   Message
 }
 
 // Handler is the behaviour of a node: HandleMessage consumes one message
@@ -87,21 +117,47 @@ type Metrics struct {
 	// Deliveries[g] counts messages handled by group g over the run; used
 	// by fairness and participation experiments.
 	Deliveries []int64
+	// Dropped counts deliveries whose group fell outside Deliveries — an
+	// accounting bug (a group function not covered by AddHandler growth),
+	// never a legitimate outcome. Engines panic instead when running under
+	// `go test` (see SetStrictAccounting).
+	Dropped int64
+	// LostToCrash counts deliveries suppressed because the destination was
+	// inside a crash window (AsyncEngine with a FaultPlan). These messages
+	// were sent but never handled, so fault-soak assertions can tell "lost
+	// at the receiver" from "never sent".
+	LostToCrash int64
 }
 
-func (m *Metrics) observe(group int, bits int) {
+// strictDefault reports whether out-of-range congestion groups should panic
+// rather than be counted into Dropped: loud in tests, counted in binaries.
+func strictDefault() bool { return testing.Testing() }
+
+func (m *Metrics) observe(group int, bits int, strict bool) {
 	m.Messages++
 	m.TotalBits += int64(bits)
 	if bits > m.MaxMessageBit {
 		m.MaxMessageBit = bits
 	}
-	if group >= 0 && group < len(m.Deliveries) {
+	switch {
+	case group >= 0 && group < len(m.Deliveries):
 		m.Deliveries[group]++
+	case strict:
+		panic(fmt.Sprintf("sim: delivery to out-of-range congestion group %d (have %d groups); AddHandler must grow Deliveries", group, len(m.Deliveries)))
+	default:
+		m.Dropped++
 	}
 }
 
 // String summarizes the metrics.
 func (m *Metrics) String() string {
-	return fmt.Sprintf("rounds=%d msgs=%d congestion=%d maxMsgBits=%d totalBits=%d",
+	s := fmt.Sprintf("rounds=%d msgs=%d congestion=%d maxMsgBits=%d totalBits=%d",
 		m.Rounds, m.Messages, m.Congestion, m.MaxMessageBit, m.TotalBits)
+	if m.LostToCrash > 0 {
+		s += fmt.Sprintf(" lostToCrash=%d", m.LostToCrash)
+	}
+	if m.Dropped > 0 {
+		s += fmt.Sprintf(" dropped=%d", m.Dropped)
+	}
+	return s
 }

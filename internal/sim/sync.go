@@ -17,7 +17,8 @@ type SyncEngine struct {
 	inbox [][]envelope // messages deliverable this round
 	next  [][]envelope // messages sent this round, deliverable next round
 
-	observer func(round int, from, to NodeID, msg Message)
+	observer func(Delivery)
+	strict   bool
 	metrics  Metrics
 }
 
@@ -37,6 +38,7 @@ func NewSync(handlers []Handler, seed uint64, groups int, group func(NodeID) int
 		nGrp:     groups,
 		inbox:    make([][]envelope, n),
 		next:     make([][]envelope, n),
+		strict:   strictDefault(),
 	}
 	e.metrics.Deliveries = make([]int64, groups)
 	root := hashutil.NewRand(seed)
@@ -94,10 +96,13 @@ func (e *SyncEngine) Step() int {
 		e.inbox[i] = nil
 		for _, env := range box {
 			g := e.group(id)
-			e.metrics.observe(g, env.msg.Bits())
-			roundLoad[g]++
+			bits := env.msg.Bits()
+			e.metrics.observe(g, bits, e.strict)
+			if g >= 0 && g < len(roundLoad) {
+				roundLoad[g]++
+			}
 			if e.observer != nil {
-				e.observer(e.metrics.Rounds, env.from, id, env.msg)
+				e.observer(Delivery{Round: e.metrics.Rounds, From: env.from, To: id, Group: g, Bits: bits, Msg: env.msg})
 			}
 			e.handlers[i].HandleMessage(e.contexts[i], env.from, env.msg)
 			delivered++
@@ -143,9 +148,14 @@ func (e *SyncEngine) RunQuiescent(done func() bool, maxRounds int) bool {
 // SetObserver installs a callback invoked for every delivered message
 // (after metric accounting, before the handler runs). Observability only —
 // protocols must not depend on it.
-func (e *SyncEngine) SetObserver(f func(round int, from, to NodeID, msg Message)) {
+func (e *SyncEngine) SetObserver(f func(Delivery)) {
 	e.observer = f
 }
+
+// SetStrictAccounting overrides the strict-mode default (panic on an
+// out-of-range congestion group under `go test`, count into
+// Metrics.Dropped otherwise).
+func (e *SyncEngine) SetStrictAccounting(on bool) { e.strict = on }
 
 // Metrics returns the accumulated cost measures.
 func (e *SyncEngine) Metrics() *Metrics { return &e.metrics }

@@ -31,11 +31,17 @@ type TransportMsg struct {
 // Bits counts the payload plus the transport header.
 func (m *TransportMsg) Bits() int { return m.Payload.Bits() + transportHeaderBits }
 
+// Kind classifies the frame by its payload: "xport/<payload kind>".
+func (m *TransportMsg) Kind() string { return "xport/" + KindOf(m.Payload) }
+
 // TransportAck acknowledges receipt of the sender's TransportMsg Seq.
 type TransportAck struct{ Seq uint64 }
 
 // Bits counts the transport header only.
 func (a *TransportAck) Bits() int { return transportHeaderBits }
+
+// Kind names the ack frame.
+func (a *TransportAck) Kind() string { return "xport/ack" }
 
 // TransportConfig tunes the retransmission schedule. Ticks are activations
 // of the sending node (activation spacing is ≈1 sim-time unit), so the

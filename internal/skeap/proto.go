@@ -28,6 +28,7 @@ func (n *Node) batchProto() *aggtree.Proto {
 			return batch.Combine(all...)
 		},
 		AtRoot: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, _ aggtree.Value, combined aggtree.Value) aggtree.Value {
+			n.heap.col.Phase("skeap:scatter")
 			asn := n.anchorState.AssignPositions(combined.(*batch.Batch))
 			n.inFlight = false // the anchor may start the next iteration
 			return asn
@@ -106,6 +107,7 @@ func (n *Node) apply(ctx *sim.Context, self *ldb.VInfo, seq uint64, asn *batch.A
 	if len(slots) == 0 {
 		return
 	}
+	n.heap.col.Phase("skeap:dht")
 	// Pre-expand each entry's delete pieces into (priority, position)
 	// lists so the i-th delete of an entry takes the i-th position.
 	delPositions := make([][]batch.Piece, len(asn.Entries))

@@ -29,6 +29,7 @@ import (
 	"dpq/internal/dht"
 	"dpq/internal/hashutil"
 	"dpq/internal/ldb"
+	"dpq/internal/obs"
 	"dpq/internal/prio"
 	"dpq/internal/semantics"
 	"dpq/internal/sim"
@@ -107,6 +108,9 @@ type Heap struct {
 	// lastMigrated counts elements that changed hosts in the most recent
 	// membership change (experiment E20).
 	lastMigrated int
+	// col, when set, receives the phase timeline of each iteration:
+	// gather (phase 1), scatter (phases 2–3) and dht (phase 4).
+	col *obs.Collector
 }
 
 // MigratedLastChange returns how many stored elements changed hosts during
@@ -158,6 +162,11 @@ func (h *Heap) Iterations() int { return h.nodes[h.ov.Anchor].iterations }
 // its own (the protocol's continuous mode). Disable for single-batch
 // measurements and drive iterations with StartIteration.
 func (h *Heap) SetAutoRepeat(on bool) { h.autoRepeat = on }
+
+// SetObs attaches a phase-timeline collector: the anchor marks the
+// gather/scatter/dht phase transitions of each iteration on it. nil
+// detaches.
+func (h *Heap) SetObs(c *obs.Collector) { h.col = c }
 
 // Handlers returns the per-virtual-node sim handlers.
 func (h *Heap) Handlers() []sim.Handler {
@@ -287,6 +296,7 @@ func (n *Node) startIteration(ctx *sim.Context, self *ldb.VInfo) {
 	}
 	n.inFlight = true
 	n.iterations++
+	n.heap.col.Phase("skeap:gather")
 	seq := n.nextSeq
 	n.nextSeq++
 	n.runner.Start(ctx, self, tagBatch, seq, nil)

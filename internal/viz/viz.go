@@ -11,47 +11,14 @@ import (
 	"sort"
 	"strings"
 
-	"dpq/internal/aggtree"
-	"dpq/internal/dht"
-	"dpq/internal/kselect"
-	"dpq/internal/ldb"
 	"dpq/internal/sim"
 )
 
-// TypeName classifies a message for display, unwrapping routed payloads.
-func TypeName(msg sim.Message) string {
-	switch m := msg.(type) {
-	case *aggtree.StartMsg:
-		return fmt.Sprintf("tree/start[%d]", m.Tag)
-	case *aggtree.UpMsg:
-		return fmt.Sprintf("tree/up[%d]", m.Tag)
-	case *aggtree.DownMsg:
-		return fmt.Sprintf("tree/down[%d]", m.Tag)
-	case *ldb.RouteMsg:
-		switch m.Payload.(type) {
-		case *dht.PutMsg:
-			return "route/put"
-		case *dht.GetMsg:
-			return "route/get"
-		case *kselect.SampleRootMsg:
-			return "route/sample-root"
-		case *kselect.CopyMsg:
-			return "route/copy"
-		default:
-			return "route/other"
-		}
-	case *dht.ReplyMsg:
-		return "dht/reply"
-	case *kselect.DistSeekMsg:
-		return "sort/seek"
-	case *kselect.DistArriveMsg:
-		return "sort/arrive"
-	case *kselect.VecMsg:
-		return "sort/vector"
-	default:
-		return fmt.Sprintf("%T", msg)
-	}
-}
+// TypeName classifies a message for display. Since the instrumentation
+// layer, the classification lives on the messages themselves (their Kind
+// methods, see sim.KindOf); routed payloads keep their historical
+// "route/<kind>" names via ldb.RouteMsg.Kind.
+func TypeName(msg sim.Message) string { return sim.KindOf(msg) }
 
 // Timeline accumulates per-round message tallies.
 type Timeline struct {
@@ -64,17 +31,17 @@ func NewTimeline() *Timeline {
 	return &Timeline{perRound: map[int]map[string]int{}}
 }
 
-// Observer returns a sim.SyncEngine observer feeding this timeline.
-func (tl *Timeline) Observer() func(round int, from, to sim.NodeID, msg sim.Message) {
-	return func(round int, from, to sim.NodeID, msg sim.Message) {
-		t, ok := tl.perRound[round]
+// Observer returns an engine observer feeding this timeline.
+func (tl *Timeline) Observer() func(sim.Delivery) {
+	return func(d sim.Delivery) {
+		t, ok := tl.perRound[d.Round]
 		if !ok {
 			t = map[string]int{}
-			tl.perRound[round] = t
+			tl.perRound[d.Round] = t
 		}
-		t[TypeName(msg)]++
-		if round > tl.rounds {
-			tl.rounds = round
+		t[TypeName(d.Msg)]++
+		if d.Round > tl.rounds {
+			tl.rounds = d.Round
 		}
 	}
 }

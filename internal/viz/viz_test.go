@@ -11,6 +11,7 @@ import (
 	"dpq/internal/kselect"
 	"dpq/internal/ldb"
 	"dpq/internal/prio"
+	"dpq/internal/sim"
 	"dpq/internal/skeap"
 )
 
@@ -79,10 +80,10 @@ func TestSpansCompress(t *testing.T) {
 	obs := tl.Observer()
 	// Rounds 1-3 identical, round 4 different.
 	for r := 1; r <= 3; r++ {
-		obs(r, 0, 1, &fakeMsg{})
+		obs(sim.Delivery{Round: r, Msg: &fakeMsg{}})
 	}
-	obs(4, 0, 1, &fakeMsg{})
-	obs(4, 0, 1, &fakeMsg{})
+	obs(sim.Delivery{Round: 4, Msg: &fakeMsg{}})
+	obs(sim.Delivery{Round: 4, Msg: &fakeMsg{}})
 	spans := tl.Spans()
 	if len(spans) != 2 {
 		t.Fatalf("spans %+v", spans)
@@ -94,7 +95,7 @@ func TestSpansCompress(t *testing.T) {
 
 func TestRenderFormat(t *testing.T) {
 	tl := NewTimeline()
-	tl.Observer()(1, 0, 1, &fakeMsg{})
+	tl.Observer()(sim.Delivery{Round: 1, Msg: &fakeMsg{}})
 	var buf bytes.Buffer
 	tl.Render(&buf)
 	if !strings.Contains(buf.String(), "rounds") || !strings.Contains(buf.String(), "×1") {
