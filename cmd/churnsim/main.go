@@ -34,7 +34,7 @@ import (
 
 // churnable abstracts the two protocols for the driver.
 type churnable interface {
-	InjectDelete(host int)
+	InjectDelete(host int) *semantics.Op
 	Done() bool
 	Trace() *semantics.Trace
 	StoreSizes() []int

@@ -1,0 +1,385 @@
+// Command dpqd hosts one shard of a distributed priority queue: it runs
+// the virtual nodes of the hosts assigned to this process on the netrun
+// TCP engine (peer daemons run the rest) and serves the clientproto
+// Insert/DeleteMin protocol to clients. Operations are buffered into the
+// protocol's batches exactly like simulator injections; a client gets its
+// response when the heap protocol completes the operation, so pipelined
+// clients are batched per the paper's batch model.
+//
+// Every client connection is pinned to one local host. Requests of a
+// connection are injected in arrival order, so a connection's responses
+// carry monotonically increasing serialization values (the property
+// cmd/dpqload verifies as local consistency).
+//
+// A 2-process loopback cluster:
+//
+//	dpqd -proc 0 -peers 127.0.0.1:9101,127.0.0.1:9102 -client 127.0.0.1:9201 &
+//	dpqd -proc 1 -peers 127.0.0.1:9101,127.0.0.1:9102 -client 127.0.0.1:9202 &
+//	dpqload -servers 127.0.0.1:9201,127.0.0.1:9202 -quick
+//
+// SIGTERM/SIGINT drain in-flight operations, flush the observability
+// outputs (-trace-jsonl traces are per-daemon and per-node round-monotone:
+// validate with `tracecheck -per-node`) and exit 0.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"dpq/internal/clientproto"
+	"dpq/internal/ldb"
+	"dpq/internal/netrun"
+	"dpq/internal/obs"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/semantics"
+	"dpq/internal/sim"
+	"dpq/internal/skeap"
+)
+
+// pq abstracts the two heap protocols for the daemon.
+type pq interface {
+	Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op
+	Delete(host int) *semantics.Op
+	Trace() *semantics.Trace
+	Handlers() []sim.Handler
+	Overlay() *ldb.Overlay
+	SetObs(c *obs.Collector)
+}
+
+// skeapPQ adapts skeap: client priorities map onto the constant universe
+// by index modulo |𝒫|.
+type skeapPQ struct {
+	h *skeap.Heap
+	p int
+}
+
+func (q skeapPQ) Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
+	return q.h.InjectInsert(host, id, int(p%uint64(q.p)), payload)
+}
+func (q skeapPQ) Delete(host int) *semantics.Op  { return q.h.InjectDelete(host) }
+func (q skeapPQ) Trace() *semantics.Trace        { return q.h.Trace() }
+func (q skeapPQ) Handlers() []sim.Handler        { return q.h.Handlers() }
+func (q skeapPQ) Overlay() *ldb.Overlay          { return q.h.Overlay() }
+func (q skeapPQ) SetObs(c *obs.Collector)        { q.h.SetObs(c) }
+
+// seapPQ adapts seap (sequentially consistent variant): client priorities
+// map into [1, bound].
+type seapPQ struct {
+	h     *seap.Heap
+	bound uint64
+}
+
+func (q seapPQ) Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
+	return q.h.InjectInsert(host, id, p%q.bound+1, payload)
+}
+func (q seapPQ) Delete(host int) *semantics.Op  { return q.h.InjectDelete(host) }
+func (q seapPQ) Trace() *semantics.Trace        { return q.h.Trace() }
+func (q seapPQ) Handlers() []sim.Handler        { return q.h.Handlers() }
+func (q seapPQ) Overlay() *ldb.Overlay          { return q.h.Overlay() }
+func (q seapPQ) SetObs(c *obs.Collector)        { q.h.SetObs(c) }
+
+// client is one connected clientproto session with an asynchronous
+// response writer: heap completions enqueue responses without ever
+// blocking the protocol goroutine on a slow client socket.
+type client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*clientproto.Response
+	closed bool
+}
+
+func newClient(conn net.Conn) *client {
+	c := &client{conn: conn, bw: bufio.NewWriter(conn)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *client) send(resp *clientproto.Response) {
+	c.mu.Lock()
+	if !c.closed {
+		c.queue = append(c.queue, resp)
+	}
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+func (c *client) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.conn.Close()
+}
+
+// writeLoop drains the response queue onto the socket.
+func (c *client) writeLoop() {
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		batch := c.queue
+		c.queue = nil
+		closed := c.closed
+		c.mu.Unlock()
+		for _, resp := range batch {
+			if err := clientproto.WriteResponse(c.bw, resp); err != nil {
+				c.close()
+				return
+			}
+		}
+		if len(batch) > 0 {
+			if err := c.bw.Flush(); err != nil {
+				c.close()
+				return
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// daemon routes heap completions back to the issuing client.
+type daemon struct {
+	heap pq
+
+	mu      sync.Mutex
+	pending map[*semantics.Op]pendingRef
+	served  int64
+}
+
+type pendingRef struct {
+	c     *client
+	reqID uint64
+}
+
+// onComplete answers the client that issued op (if any — ops injected by
+// other drivers complete silently).
+func (d *daemon) onComplete(op *semantics.Op) {
+	d.mu.Lock()
+	ref, ok := d.pending[op]
+	if ok {
+		delete(d.pending, op)
+		d.served++
+	}
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	resp := &clientproto.Response{ReqID: ref.reqID, Value: op.Value}
+	switch {
+	case op.Kind == semantics.Insert:
+		resp.Status = clientproto.StatusInserted
+		resp.ID = uint64(op.Elem.ID)
+	case op.Result.Nil():
+		resp.Status = clientproto.StatusBottom
+	default:
+		resp.Status = clientproto.StatusElem
+		resp.ID = uint64(op.Result.ID)
+		resp.Prio = uint64(op.Result.Prio)
+	}
+	ref.c.send(resp)
+}
+
+// serveClient reads one connection's requests and injects them, in order,
+// on the pinned host.
+func (d *daemon) serveClient(c *client, host int, nextID func() prio.ElemID) {
+	defer c.close()
+	br := bufio.NewReader(c.conn)
+	for {
+		req, err := clientproto.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		// Holding d.mu across inject+track closes the window in which the
+		// protocol could complete the op before it is tracked.
+		d.mu.Lock()
+		var op *semantics.Op
+		if req.Op == clientproto.OpInsert {
+			op = d.heap.Insert(host, nextID(), req.Prio, req.Payload)
+		} else {
+			op = d.heap.Delete(host)
+		}
+		d.pending[op] = pendingRef{c: c, reqID: req.ReqID}
+		d.mu.Unlock()
+	}
+}
+
+func main() {
+	proc := flag.Int("proc", 0, "this daemon's index into -peers")
+	peers := flag.String("peers", "", "comma-separated netrun addresses, one per daemon (required)")
+	clientAddr := flag.String("client", "", "client protocol listen address (required)")
+	hosts := flag.Int("hosts", 4, "total hosts across the whole cluster")
+	prios := flag.Int("prios", 3, "skeap: |𝒫|; seap: priority bound")
+	proto := flag.String("proto", "skeap", "heap protocol: skeap or seap")
+	seed := flag.Uint64("seed", 1, "cluster seed (must match on every daemon)")
+	tick := flag.Duration("tick", time.Millisecond, "activation period")
+	of := obs.AddFlags()
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dpqd: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	addrs := strings.Split(*peers, ",")
+	procs := len(addrs)
+	if *peers == "" || *clientAddr == "" {
+		fail("-peers and -client are required")
+	}
+	if *proc < 0 || *proc >= procs {
+		fail("-proc %d out of range for %d peers", *proc, procs)
+	}
+	if *hosts < procs {
+		fail("need at least one host per daemon (%d hosts, %d daemons)", *hosts, procs)
+	}
+
+	// Every daemon builds the identical full heap from the shared seed and
+	// runs only its shard; the protocol state of remote nodes is never
+	// touched because their handlers never run here.
+	var heap pq
+	switch *proto {
+	case "skeap":
+		heap = skeapPQ{h: skeap.New(skeap.Config{N: *hosts, P: *prios, Seed: *seed}), p: *prios}
+	case "seap":
+		if procs > 1 {
+			// Seap's per-cycle serialization finalize is anchored: the root
+			// sorts the cycle's delete results by key to assign values
+			// (Lemma 5.2), which needs every delete record of the cycle in
+			// one place. Distributing that sort is future work; until then a
+			// seap shard must be a single process.
+			fail("-proto seap requires a single-process cluster (got %d peers)", procs)
+		}
+		heap = seapPQ{
+			h:     seap.New(seap.Config{N: *hosts, PrioBound: uint64(*prios), Seed: *seed, SeqConsistent: true}),
+			bound: uint64(*prios),
+		}
+	default:
+		fail("unknown -proto %q", *proto)
+	}
+
+	// Contiguous host sharding: daemon p owns hosts [p·H/P, (p+1)·H/P).
+	hostOwner := make([]int, *hosts)
+	for p := 0; p < procs; p++ {
+		for h := p * *hosts / procs; h < (p+1)**hosts/procs; h++ {
+			hostOwner[h] = p
+		}
+	}
+	var localHosts []int
+	for h, p := range hostOwner {
+		if p == *proc {
+			localHosts = append(localHosts, h)
+		}
+	}
+
+	sess, err := of.Start()
+	if err != nil {
+		fail("%v", err)
+	}
+	heap.SetObs(sess.Collector())
+
+	handlers, _ := sim.WrapAllReliable(heap.Handlers(), sim.DefaultTransportConfig())
+	groups, group := heap.Overlay().Group()
+	eng, err := netrun.New(netrun.Config{
+		Proc:     *proc,
+		Addrs:    addrs,
+		Handlers: handlers,
+		Owner:    func(id sim.NodeID) int { return hostOwner[ldb.HostOf(id)] },
+		Seed:     *seed + 1,
+		Groups:   groups,
+		Group:    group,
+		Tick:     *tick,
+		Observer: sess.Observer(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dpqd[%d]: "+format+"\n", append([]any{*proc}, args...)...)
+		},
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	eng.Start()
+
+	d := &daemon{heap: heap, pending: make(map[*semantics.Op]pendingRef)}
+	heap.Trace().SetOnComplete(d.onComplete)
+
+	ln, err := net.Listen("tcp", *clientAddr)
+	if err != nil {
+		fail("client listen: %v", err)
+	}
+	fmt.Printf("dpqd[%d]: serving clients on %s, peers on %s, %d local hosts (%s)\n",
+		*proc, ln.Addr(), eng.Addr(), len(localHosts), *proto)
+
+	// Element ids: (proc+1) in the high bits keeps ids unique per daemon.
+	var idMu sync.Mutex
+	idCtr := uint64(0)
+	nextID := func() prio.ElemID {
+		idMu.Lock()
+		defer idMu.Unlock()
+		idCtr++
+		return prio.ElemID(uint64(*proc+1)<<40 | idCtr)
+	}
+
+	var clientsMu sync.Mutex
+	clients := make(map[*client]bool)
+	go func() {
+		connCtr := 0
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c := newClient(conn)
+			host := localHosts[connCtr%len(localHosts)]
+			connCtr++
+			clientsMu.Lock()
+			clients[c] = true
+			clientsMu.Unlock()
+			go c.writeLoop()
+			go d.serveClient(c, host, nextID)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+
+	// Graceful drain: no new clients, let in-flight operations complete,
+	// then flush the engine and the observability outputs.
+	ln.Close()
+	tr := heap.Trace()
+	deadline := time.Now().Add(10 * time.Second)
+	for tr.DoneCount() < tr.Len() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	clientsMu.Lock()
+	for c := range clients {
+		c.close()
+	}
+	clientsMu.Unlock()
+	eng.Close()
+	m := eng.Metrics()
+	if err := sess.Close(&m); err != nil {
+		fail("%v", err)
+	}
+	d.mu.Lock()
+	served := d.served
+	d.mu.Unlock()
+	drained := tr.DoneCount() == tr.Len()
+	fmt.Printf("dpqd[%d]: served %d ops, %d ops local, ticks=%d msgs=%d drained=%v\n",
+		*proc, served, tr.Len(), m.Rounds, m.Messages, drained)
+	if !drained {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,308 @@
+// Command dpqload is the closed-loop load generator and checker for a
+// dpqd cluster. It opens -conns pipelined connections per daemon, runs an
+// insert phase followed by a delete phase of equal size, and then verifies
+// the cluster behaved like one priority queue:
+//
+//   - every inserted element id is deleted exactly once and nothing else
+//     appears (exactly-once end to end, through the reliable transport's
+//     dedup and the daemons' completion routing);
+//   - no delete returns ⊥ while the queue is non-empty, and one trailing
+//     delete after the drain does return ⊥;
+//   - each connection's serialization values are strictly increasing
+//     (local consistency: a connection is pinned to one host, so its
+//     responses follow that host's issue order).
+//
+// It reports per-phase throughput and response latency percentiles.
+// -quick (6000 inserts + 6000 deletes + 1 drain probe) is the CI preset.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dpq/internal/clientproto"
+)
+
+// seqVal pairs a response's serialization value with its request's
+// per-connection issue sequence.
+type seqVal struct {
+	seq uint64
+	v   int64
+}
+
+// conn is one pipelined client connection with its recorded outcomes.
+type conn struct {
+	idx  int
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	seq  uint64
+	sent map[uint64]time.Time // reqID → send time, in flight
+
+	values    []seqVal // serialization values tagged with issue order
+	insertIDs []uint64
+	deleteIDs []uint64
+	bottoms   int
+	latencies []time.Duration
+}
+
+func (c *conn) nextReqID() uint64 {
+	c.seq++
+	return uint64(c.idx)<<32 | c.seq
+}
+
+// sendOne issues one request (insert below the priority bound, or delete).
+func (c *conn) sendOne(insert bool, prios uint64) error {
+	req := &clientproto.Request{ReqID: c.nextReqID()}
+	if insert {
+		req.Op = clientproto.OpInsert
+		// Spread priorities deterministically; the daemon maps them into
+		// its protocol's universe.
+		req.Prio = c.seq * 2654435761 % prios
+		req.Payload = "w"
+	} else {
+		req.Op = clientproto.OpDelete
+	}
+	c.sent[req.ReqID] = time.Now()
+	if err := clientproto.WriteRequest(c.bw, req); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// readOne consumes one response and records its outcome.
+func (c *conn) readOne() error {
+	resp, err := clientproto.ReadResponse(c.br)
+	if err != nil {
+		return err
+	}
+	sent, ok := c.sent[resp.ReqID]
+	if !ok {
+		return fmt.Errorf("response for unknown reqID %d", resp.ReqID)
+	}
+	delete(c.sent, resp.ReqID)
+	c.latencies = append(c.latencies, time.Since(sent))
+	c.values = append(c.values, seqVal{seq: resp.ReqID & (1<<32 - 1), v: resp.Value})
+	switch resp.Status {
+	case clientproto.StatusInserted:
+		c.insertIDs = append(c.insertIDs, resp.ID)
+	case clientproto.StatusElem:
+		c.deleteIDs = append(c.deleteIDs, resp.ID)
+	case clientproto.StatusBottom:
+		c.bottoms++
+	}
+	return nil
+}
+
+// runPhase pushes quota requests through the connection with at most
+// window outstanding, then drains the in-flight tail.
+func (c *conn) runPhase(insert bool, quota, window int, prios uint64) error {
+	for i := 0; i < quota; i++ {
+		if len(c.sent) >= window {
+			if err := c.readOne(); err != nil {
+				return err
+			}
+		}
+		if err := c.sendOne(insert, prios); err != nil {
+			return err
+		}
+	}
+	for len(c.sent) > 0 {
+		if err := c.readOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phaseStats summarizes one phase across all connections; lo[i] and hi[i]
+// bound conn i's latency records for the phase.
+func phaseStats(conns []*conn, lo, hi []int, elapsed time.Duration) string {
+	var lat []time.Duration
+	n := 0
+	for i, c := range conns {
+		for _, d := range c.latencies[lo[i]:hi[i]] {
+			lat = append(lat, d)
+			n++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return fmt.Sprintf("%d ops in %v (%.0f ops/s), latency p50=%v p90=%v p99=%v max=%v",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(),
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func main() {
+	servers := flag.String("servers", "", "comma-separated dpqd client addresses (required)")
+	connsPer := flag.Int("conns", 4, "connections per server")
+	inserts := flag.Int("inserts", 2000, "total inserts (deletes match)")
+	window := flag.Int("window", 128, "outstanding requests per connection")
+	prios := flag.Uint64("prios", 3, "priority spread of generated inserts")
+	quick := flag.Bool("quick", false, "CI preset: 6000 inserts + 6000 deletes")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dpqload: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *servers == "" {
+		fail("-servers is required")
+	}
+	if *quick {
+		*inserts = 6000
+	}
+	addrs := strings.Split(*servers, ",")
+
+	var conns []*conn
+	for _, addr := range addrs {
+		for i := 0; i < *connsPer; i++ {
+			nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				fail("dial %s: %v", addr, err)
+			}
+			defer nc.Close()
+			conns = append(conns, &conn{
+				idx: len(conns), c: nc,
+				br:   bufio.NewReader(nc),
+				bw:   bufio.NewWriter(nc),
+				sent: map[uint64]time.Time{},
+			})
+		}
+	}
+
+	// Phase quotas: spread inserts across connections, remainder on the
+	// first ones; deletes mirror the insert quotas so totals match.
+	quota := make([]int, len(conns))
+	for i := 0; i < *inserts; i++ {
+		quota[i%len(conns)]++
+	}
+	runAll := func(insert bool) error {
+		var wg sync.WaitGroup
+		errs := make([]error, len(conns))
+		for i, c := range conns {
+			wg.Add(1)
+			go func(i int, c *conn) {
+				defer wg.Done()
+				errs[i] = c.runPhase(insert, quota[i], *window, *prios)
+			}(i, c)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("conn %d: %v", i, err)
+			}
+		}
+		return nil
+	}
+
+	latMark := func() []int {
+		m := make([]int, len(conns))
+		for i, c := range conns {
+			m[i] = len(c.latencies)
+		}
+		return m
+	}
+
+	phaseStart := latMark()
+	start := time.Now()
+	if err := runAll(true); err != nil {
+		fail("insert phase: %v", err)
+	}
+	insertElapsed := time.Since(start)
+	insertEnd := latMark()
+
+	start = time.Now()
+	if err := runAll(false); err != nil {
+		fail("delete phase: %v", err)
+	}
+	deleteElapsed := time.Since(start)
+	deleteEnd := latMark()
+
+	// Drain probe: the queue must now be empty, so one more delete gets ⊥.
+	probe := conns[0]
+	preBottoms := probe.bottoms
+	if err := probe.sendOne(false, *prios); err != nil {
+		fail("drain probe: %v", err)
+	}
+	if err := probe.readOne(); err != nil {
+		fail("drain probe: %v", err)
+	}
+	drained := probe.bottoms == preBottoms+1
+
+	// Verdicts.
+	inserted := map[uint64]bool{}
+	deleted := map[uint64]bool{}
+	bottoms := 0
+	for _, c := range conns {
+		for _, id := range c.insertIDs {
+			if inserted[id] {
+				fail("element %d inserted twice", id)
+			}
+			inserted[id] = true
+		}
+		for _, id := range c.deleteIDs {
+			if deleted[id] {
+				fail("element %d deleted twice", id)
+			}
+			deleted[id] = true
+		}
+		bottoms += c.bottoms
+		// Local consistency: in issue order (responses arrive out of order
+		// under pipelining), a connection's serialization values must be
+		// strictly increasing, because the connection is pinned to one host
+		// and the cluster serialization respects each host's program order.
+		sort.Slice(c.values, func(i, j int) bool { return c.values[i].seq < c.values[j].seq })
+		for i := 1; i < len(c.values); i++ {
+			if c.values[i].v <= c.values[i-1].v {
+				fail("conn %d: serialization values not increasing in issue order: op %d→%d, op %d→%d",
+					c.idx, c.values[i-1].seq, c.values[i-1].v, c.values[i].seq, c.values[i].v)
+			}
+		}
+	}
+	for id := range deleted {
+		if !inserted[id] {
+			fail("deleted element %d was never inserted", id)
+		}
+	}
+	if len(inserted) != *inserts {
+		fail("%d inserts acknowledged, want %d", len(inserted), *inserts)
+	}
+	if len(deleted) != *inserts {
+		fail("%d elements deleted, want %d (%d ⊥ responses)", len(deleted), *inserts, bottoms)
+	}
+	if !drained {
+		fail("drain probe did not return ⊥")
+	}
+	if bottoms != probe.bottoms-preBottoms {
+		// Any ⊥ before the probe means a delete raced past the inserts,
+		// which the two-phase barrier should have excluded.
+		fail("unexpected ⊥ responses during the phases: %d", bottoms-1)
+	}
+
+	fmt.Printf("dpqload: insert phase: %s\n", phaseStats(conns, phaseStart, insertEnd, insertElapsed))
+	fmt.Printf("dpqload: delete phase: %s\n", phaseStats(conns, insertEnd, deleteEnd, deleteElapsed))
+	fmt.Printf("dpqload: OK inserts=%d deletes=%d conns=%d drained=%v\n",
+		len(inserted), len(deleted), len(conns), drained)
+}

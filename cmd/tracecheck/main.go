@@ -5,9 +5,14 @@
 // engine totals must agree, catching accounting drift between the trace
 // exporter and the metrics collector.
 //
+// With -per-node, round monotonicity is checked per sending node instead
+// of globally: traces from the network runtime (cmd/dpqd) stamp each
+// delivery with the sender's local activation tick, so ticks of different
+// processes interleave while each sender's stay ordered.
+//
 // Usage:
 //
-//	tracecheck [-metrics run.json] trace.jsonl
+//	tracecheck [-metrics run.json] [-per-node] trace.jsonl
 package main
 
 import (
@@ -22,9 +27,10 @@ import (
 
 func main() {
 	metricsPath := flag.String("metrics", "", "cross-check against this -metrics-out JSON file")
+	perNode := flag.Bool("per-node", false, "check round monotonicity per sending node (network-runtime traces)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics run.json] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics run.json] [-per-node] trace.jsonl")
 		os.Exit(2)
 	}
 
@@ -34,7 +40,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	sum, err := obs.ValidateTrace(f)
+	sum, err := obs.ValidateTraceOpts(f, obs.TraceOptions{PerNodeRounds: *perNode})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck: invalid trace:", err)
 		os.Exit(1)

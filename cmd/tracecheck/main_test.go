@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"dpq/internal/obs"
+)
+
+// The fixture interleaves two senders whose own rounds only grow while the
+// global sequence jumps backwards — the shape every network-runtime trace
+// has, because deliveries carry the sender's local tick.
+func openFixture(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Open("testdata/per_node_rounds.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestPerNodeFixturePassesRelaxedCheck(t *testing.T) {
+	sum, err := obs.ValidateTraceOpts(openFixture(t), obs.TraceOptions{PerNodeRounds: true})
+	if err != nil {
+		t.Fatalf("per-node validation rejected the fixture: %v", err)
+	}
+	if sum.Deliveries != 5 {
+		t.Fatalf("got %d deliveries, want 5", sum.Deliveries)
+	}
+}
+
+func TestPerNodeFixtureFailsGlobalCheck(t *testing.T) {
+	_, err := obs.ValidateTrace(openFixture(t))
+	if err == nil || !strings.Contains(err.Error(), "round 1 after round 5") {
+		t.Fatalf("global validation should reject the interleaved fixture, got %v", err)
+	}
+}
+
+func TestPerNodeCheckStillCatchesSenderRegression(t *testing.T) {
+	trace := `{"schema":"dpq-trace/1"}
+{"seq":1,"round":7,"time":0.001,"from":0,"to":1,"kind":"xport/msg","bits":64,"group":0}
+{"seq":2,"round":6,"time":0.002,"from":0,"to":1,"kind":"xport/msg","bits":64,"group":0}
+`
+	_, err := obs.ValidateTraceOpts(strings.NewReader(trace), obs.TraceOptions{PerNodeRounds: true})
+	if err == nil || !strings.Contains(err.Error(), "node 0 round 6 after round 7") {
+		t.Fatalf("per-node validation should reject a sender's round regression, got %v", err)
+	}
+}

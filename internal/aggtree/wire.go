@@ -1,0 +1,113 @@
+package aggtree
+
+// Wire registrations for the tree messages and the shared scalar values.
+// The tree messages carry nested protocol values, so their codecs recurse
+// through the registry.
+
+import (
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+	"dpq/internal/wire"
+)
+
+func init() {
+	wire.Register("tree/start", &StartMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*StartMsg)
+			w.U8(uint8(m.Tag))
+			w.U64(m.Seq)
+			w.Message(m.Params) // nilable: parameterless instances
+		},
+		func(r *wire.Reader) sim.Message {
+			m := &StartMsg{}
+			m.Tag = Tag(r.U8())
+			m.Seq = r.U64()
+			m.Params = r.Message()
+			return m
+		},
+		&StartMsg{Tag: 1, Seq: 3},
+		&StartMsg{Tag: 2, Seq: 0, Params: IntVal(17)},
+	)
+	wire.Register("tree/up", &UpMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*UpMsg)
+			w.U8(uint8(m.Tag))
+			w.U64(m.Seq)
+			w.Message(m.V)
+		},
+		func(r *wire.Reader) sim.Message {
+			m := &UpMsg{}
+			m.Tag = Tag(r.U8())
+			m.Seq = r.U64()
+			m.V = r.MustMessage()
+			return m
+		},
+		&UpMsg{Tag: 1, Seq: 7, V: Int2Val{A: -4, B: 9}},
+	)
+	wire.Register("tree/down", &DownMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*DownMsg)
+			w.U8(uint8(m.Tag))
+			w.U64(m.Seq)
+			w.Message(m.V)
+		},
+		func(r *wire.Reader) sim.Message {
+			m := &DownMsg{}
+			m.Tag = Tag(r.U8())
+			m.Seq = r.U64()
+			m.V = r.MustMessage()
+			return m
+		},
+		&DownMsg{Tag: 3, Seq: 2, V: IntervalVal{Lo: 1, Hi: 0}},
+	)
+
+	wire.Register("val/int", IntVal(0),
+		func(w *wire.Writer, msg sim.Message) { w.I64(int64(msg.(IntVal))) },
+		func(r *wire.Reader) sim.Message { return IntVal(r.I64()) },
+		IntVal(0), IntVal(-1), IntVal(1<<40),
+	)
+	wire.Register("val/int2", Int2Val{},
+		func(w *wire.Writer, msg sim.Message) {
+			v := msg.(Int2Val)
+			w.I64(v.A)
+			w.I64(v.B)
+		},
+		func(r *wire.Reader) sim.Message {
+			return Int2Val{A: r.I64(), B: r.I64()}
+		},
+		Int2Val{A: 5, B: -7},
+	)
+	wire.Register("val/key", KeyVal{},
+		func(w *wire.Writer, msg sim.Message) { w.Key(prio.Key(msg.(KeyVal))) },
+		func(r *wire.Reader) sim.Message { return KeyVal(r.Key()) },
+		KeyVal(prio.Key{Prio: 3, ID: 101}),
+	)
+	wire.Register("val/keyrange", KeyRangeVal{},
+		func(w *wire.Writer, msg sim.Message) {
+			v := msg.(KeyRangeVal)
+			w.Key(v.Lo)
+			w.Key(v.Hi)
+		},
+		func(r *wire.Reader) sim.Message {
+			return KeyRangeVal{Lo: r.Key(), Hi: r.Key()}
+		},
+		KeyRangeVal{Lo: prio.Key{Prio: 1, ID: 2}, Hi: prio.Key{Prio: 8, ID: 4}},
+	)
+	wire.Register("val/interval", IntervalVal{},
+		func(w *wire.Writer, msg sim.Message) {
+			v := msg.(IntervalVal)
+			w.I64(v.Lo)
+			w.I64(v.Hi)
+		},
+		func(r *wire.Reader) sim.Message {
+			return IntervalVal{Lo: r.I64(), Hi: r.I64()}
+		},
+		IntervalVal{Lo: 10, Hi: 20},
+		IntervalVal{Lo: 1, Hi: 0},
+	)
+	wire.Register("val/nil", NilVal{},
+		func(w *wire.Writer, msg sim.Message) {},
+		func(r *wire.Reader) sim.Message { return NilVal{} },
+		NilVal{},
+	)
+}

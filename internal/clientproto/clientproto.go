@@ -1,0 +1,155 @@
+// Package clientproto is the client-facing protocol of cmd/dpqd: framed
+// Insert/DeleteMin requests and completion responses over one TCP
+// connection. Requests on a connection are served in order and pipelining
+// is expected — the daemon answers when the heap protocol completes the
+// operation, so many requests are usually in flight; the per-connection
+// FIFO plus the daemon's per-connection host pinning makes response
+// serialization values monotone per connection, which the load generator
+// verifies.
+//
+// Frames reuse the internal/wire primitives: a u32 length prefix followed
+// by the body. All decoding errors are returned, never panicked, so a
+// daemon survives malformed clients.
+package clientproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dpq/internal/wire"
+)
+
+// Op codes.
+const (
+	OpInsert = 1
+	OpDelete = 2
+)
+
+// Response statuses.
+const (
+	StatusInserted = 1 // insert completed; ID echoes the assigned element id
+	StatusElem     = 2 // delete returned an element
+	StatusBottom   = 3 // delete returned ⊥ (empty heap)
+)
+
+// maxFrame bounds any client protocol frame.
+const maxFrame = 1 << 20
+
+// Request is one client operation.
+type Request struct {
+	Op      uint8
+	ReqID   uint64
+	Prio    uint64 // insert only; Skeap interprets it as a 0-based index
+	Payload string // insert only
+}
+
+// Response reports one completed operation.
+type Response struct {
+	ReqID  uint64
+	Status uint8
+	ID     uint64 // element id (inserted or deleted)
+	Prio   uint64 // deleted element's priority
+	Value  int64  // protocol serialization value of the operation
+}
+
+func writeFrame(w io.Writer, body []byte) error {
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(body)))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (*wire.Reader, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("clientproto: implausible frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return wire.NewReader(body), nil
+}
+
+// WriteRequest frames and writes one request.
+func WriteRequest(w io.Writer, req *Request) error {
+	b := &wire.Writer{}
+	b.U8(req.Op)
+	b.U64(req.ReqID)
+	if req.Op == OpInsert {
+		b.U64(req.Prio)
+		b.String(req.Payload)
+	}
+	return writeFrame(w, b.Bytes())
+}
+
+// ReadRequest reads one framed request.
+func ReadRequest(r io.Reader) (*Request, error) {
+	fr, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{}
+	req.Op = fr.U8()
+	req.ReqID = fr.U64()
+	switch req.Op {
+	case OpInsert:
+		req.Prio = fr.U64()
+		req.Payload = fr.String()
+	case OpDelete:
+	default:
+		return nil, fmt.Errorf("clientproto: unknown op %d", req.Op)
+	}
+	if err := fr.Err(); err != nil {
+		return nil, err
+	}
+	if fr.Remaining() > 0 {
+		return nil, fmt.Errorf("clientproto: %d trailing bytes in request", fr.Remaining())
+	}
+	return req, nil
+}
+
+// WriteResponse frames and writes one response.
+func WriteResponse(w io.Writer, resp *Response) error {
+	b := &wire.Writer{}
+	b.U64(resp.ReqID)
+	b.U8(resp.Status)
+	b.U64(resp.ID)
+	b.U64(resp.Prio)
+	b.I64(resp.Value)
+	return writeFrame(w, b.Bytes())
+}
+
+// ReadResponse reads one framed response.
+func ReadResponse(r io.Reader) (*Response, error) {
+	fr, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{}
+	resp.ReqID = fr.U64()
+	resp.Status = fr.U8()
+	resp.ID = fr.U64()
+	resp.Prio = fr.U64()
+	resp.Value = fr.I64()
+	if err := fr.Err(); err != nil {
+		return nil, err
+	}
+	if fr.Remaining() > 0 {
+		return nil, fmt.Errorf("clientproto: %d trailing bytes in response", fr.Remaining())
+	}
+	switch resp.Status {
+	case StatusInserted, StatusElem, StatusBottom:
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("clientproto: unknown status %d", resp.Status)
+	}
+}

@@ -1,0 +1,81 @@
+package clientproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []*Request{
+		{Op: OpInsert, ReqID: 7, Prio: 3, Payload: "hello"},
+		{Op: OpInsert, ReqID: 0, Prio: 0},
+		{Op: OpDelete, ReqID: 9},
+	}
+	for _, req := range cases {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *req {
+			t.Fatalf("round trip: sent %+v got %+v", req, got)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []*Response{
+		{ReqID: 7, Status: StatusInserted, ID: 12, Value: 3},
+		{ReqID: 8, Status: StatusElem, ID: 12, Prio: 2, Value: 9},
+		{ReqID: 9, Status: StatusBottom, Value: 11},
+	}
+	for _, resp := range cases {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *resp {
+			t.Fatalf("round trip: sent %+v got %+v", resp, got)
+		}
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Op: OpInsert, ReqID: 1, Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadRequest(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	// Unknown op code.
+	bad := append([]byte(nil), full...)
+	bad[4] = 99
+	if _, err := ReadRequest(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	// Unknown status.
+	buf.Reset()
+	if err := WriteResponse(&buf, &Response{ReqID: 1, Status: StatusElem}); err != nil {
+		t.Fatal(err)
+	}
+	bad = buf.Bytes()
+	bad[4+8] = 77
+	if _, err := ReadResponse(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+	// Oversized frame length.
+	if _, err := ReadRequest(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package dht
+
+// Wire registrations for the storage messages (§2.3/§3.2.4). Puts and Gets
+// usually travel nested inside ldb/route frames; Replies go direct.
+
+import (
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+	"dpq/internal/wire"
+)
+
+func init() {
+	wire.Register("dht/put", &PutMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*PutMsg)
+			w.U64(m.Key)
+			w.Element(m.Elem)
+			w.I64(int64(m.AckTo))
+			w.U64(m.ReqID)
+		},
+		func(r *wire.Reader) sim.Message {
+			m := &PutMsg{}
+			m.Key = r.U64()
+			m.Elem = r.Element()
+			m.AckTo = sim.NodeID(r.I64())
+			m.ReqID = r.U64()
+			return m
+		},
+		&PutMsg{Key: 77, Elem: prio.Element{ID: 4, Prio: 1, Payload: "x"}, AckTo: sim.None},
+		&PutMsg{Key: 1 << 50, Elem: prio.Element{ID: 9, Prio: 0}, AckTo: 3, ReqID: 12},
+	)
+	wire.Register("dht/get", &GetMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*GetMsg)
+			w.U64(m.Key)
+			w.I64(int64(m.ReplyTo))
+			w.U64(m.ReqID)
+		},
+		func(r *wire.Reader) sim.Message {
+			m := &GetMsg{}
+			m.Key = r.U64()
+			m.ReplyTo = sim.NodeID(r.I64())
+			m.ReqID = r.U64()
+			return m
+		},
+		&GetMsg{Key: 77, ReplyTo: 2, ReqID: 5},
+	)
+	wire.Register("dht/reply", &ReplyMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*ReplyMsg)
+			w.U64(m.ReqID)
+			w.Element(m.Elem)
+			w.Bool(m.Found)
+			w.Bool(m.Ack)
+		},
+		func(r *wire.Reader) sim.Message {
+			m := &ReplyMsg{}
+			m.ReqID = r.U64()
+			m.Elem = r.Element()
+			m.Found = r.Bool()
+			m.Ack = r.Bool()
+			return m
+		},
+		&ReplyMsg{ReqID: 5, Elem: prio.Element{ID: 4, Prio: 1, Payload: "x"}, Found: true},
+		&ReplyMsg{ReqID: 12, Ack: true},
+	)
+}

@@ -861,7 +861,7 @@ func measurePut(n int, seed uint64) int {
 	return eng.Metrics().Rounds
 }
 
-func injectRandom(ins func(host int, id prio.ElemID, p int, payload string), del func(host int), n, prios, ops int, seed uint64) {
+func injectRandom(ins func(host int, id prio.ElemID, p int, payload string) *semantics.Op, del func(host int) *semantics.Op, n, prios, ops int, seed uint64) {
 	rnd := hashutil.NewRand(seed)
 	id := prio.ElemID(1)
 	for i := 0; i < ops; i++ {

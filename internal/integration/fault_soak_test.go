@@ -30,7 +30,7 @@ func soakSeedCount(t *testing.T) uint64 {
 
 // faultSoakTarget abstracts the two protocols for the soak driver.
 type faultSoakTarget interface {
-	InjectDelete(host int)
+	InjectDelete(host int) *semantics.Op
 	Done() bool
 	Trace() *semantics.Trace
 	StoreSizes() []int

@@ -1,0 +1,316 @@
+package netrun
+
+// TCP plumbing: the connection handshake, length-prefixed frames, the
+// accept loop for inbound peers and the per-peer writer with exponential
+// reconnect backoff. Connections are unidirectional — the sending process
+// dials, the owning process only reads — so each ordered pair of processes
+// shares one FIFO byte stream and per-sender frame order is preserved
+// (the property the per-node trace monotonicity check relies on).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dpq/internal/sim"
+	"dpq/internal/wire"
+)
+
+// handshake layout: magic, codec version, sender process id.
+const (
+	magic        = uint32(0x44505157) // "DPQW"
+	maxFrameSize = 1 << 24
+	// frameHeader is the per-frame body prefix: from, to, sender tick.
+	frameHeaderBytes = 24
+)
+
+// encodeFrame builds a frame body: from, to, sender tick, encoded message.
+// Unregistered message types panic — a registration gap is a build defect,
+// caught by the wire inventory test.
+func encodeFrame(from, to sim.NodeID, tick int64, msg sim.Message) []byte {
+	w := &wire.Writer{}
+	w.I64(int64(from))
+	w.I64(int64(to))
+	w.I64(tick)
+	data, err := wire.Marshal(msg)
+	if err != nil {
+		panic(fmt.Sprintf("netrun: %v", err))
+	}
+	return append(w.Bytes(), data...)
+}
+
+// decodeFrame parses a frame body.
+func decodeFrame(body []byte) (inEnv, error) {
+	r := wire.NewReader(body)
+	env := inEnv{}
+	env.from = sim.NodeID(r.I64())
+	env.to = sim.NodeID(r.I64())
+	env.senderTick = r.I64()
+	env.msg = r.MustMessage()
+	if err := r.Err(); err != nil {
+		return inEnv{}, err
+	}
+	if r.Remaining() > 0 {
+		return inEnv{}, fmt.Errorf("netrun: %d trailing bytes in frame", r.Remaining())
+	}
+	return env, nil
+}
+
+func writeHandshake(w io.Writer, proc int) error {
+	var b [10]byte
+	binary.BigEndian.PutUint32(b[0:], magic)
+	binary.BigEndian.PutUint16(b[4:], wire.Version)
+	binary.BigEndian.PutUint32(b[6:], uint32(proc))
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readHandshake(r io.Reader) (proc int, err error) {
+	var b [10]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	if got := binary.BigEndian.Uint32(b[0:]); got != magic {
+		return 0, fmt.Errorf("netrun: bad handshake magic %#x", got)
+	}
+	if v := binary.BigEndian.Uint16(b[4:]); v != wire.Version {
+		return 0, fmt.Errorf("netrun: codec version mismatch: got %d, want %d", v, wire.Version)
+	}
+	return int(binary.BigEndian.Uint32(b[6:])), nil
+}
+
+func writeFrame(w io.Writer, body []byte) error {
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(body)))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n < frameHeaderBytes || n > maxFrameSize {
+		return nil, fmt.Errorf("netrun: implausible frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// acceptLoop admits inbound peer connections until the listener closes.
+func (e *Engine) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				e.cfg.Logf("netrun: accept: %v", err)
+			}
+			return
+		}
+		e.connMu.Lock()
+		e.conns[conn] = true
+		e.connMu.Unlock()
+		e.wg.Add(1)
+		go e.serveConn(conn)
+	}
+}
+
+// serveConn reads frames from one inbound peer connection and enqueues
+// them for delivery. Any protocol violation closes the connection; the
+// dialing side reconnects.
+func (e *Engine) serveConn(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.connMu.Lock()
+		delete(e.conns, conn)
+		e.connMu.Unlock()
+	}()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	peerProc, err := readHandshake(br)
+	if err != nil {
+		e.cfg.Logf("netrun: inbound handshake: %v", err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	e.cfg.Logf("netrun: proc %d connected from %s", peerProc, conn.RemoteAddr())
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				e.cfg.Logf("netrun: read from proc %d: %v", peerProc, err)
+			}
+			return
+		}
+		env, err := decodeFrame(body)
+		if err != nil {
+			e.cfg.Logf("netrun: bad frame from proc %d: %v", peerProc, err)
+			return
+		}
+		e.enqueue(env)
+	}
+}
+
+// peer is the outbound side toward one remote process: an unbounded frame
+// queue drained by a writer goroutine that (re)dials with exponential
+// backoff. On a write error the unflushed batch is requeued, so frames can
+// be duplicated across reconnects — sim.ReliableTransport (or an
+// idempotent protocol) absorbs that.
+type peer struct {
+	proc int
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+}
+
+func newPeer(proc int, addr string) *peer {
+	p := &peer{proc: proc, addr: addr}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *peer) enqueue(frame []byte) {
+	p.mu.Lock()
+	if !p.closed {
+		p.queue = append(p.queue, frame)
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// waitBatch blocks until frames are queued or the peer closes, then takes
+// the whole queue. It returns nil only when closed with an empty queue.
+func (p *peer) waitBatch() [][]byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	batch := p.queue
+	p.queue = nil
+	return batch
+}
+
+// requeue pushes an unflushed batch back to the front of the queue.
+func (p *peer) requeue(batch [][]byte) {
+	p.mu.Lock()
+	p.queue = append(batch, p.queue...)
+	p.mu.Unlock()
+}
+
+// run is the peer's writer goroutine.
+func (p *peer) run(e *Engine) {
+	defer e.wg.Done()
+	var conn net.Conn
+	var bw *bufio.Writer
+	backoff := e.cfg.DialBackoffMin
+	deadline := time.Time{} // flush deadline once closing
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		batch := p.waitBatch()
+		if batch == nil {
+			return // closed and drained
+		}
+		p.mu.Lock()
+		closing := p.closed
+		p.mu.Unlock()
+		if closing && deadline.IsZero() {
+			deadline = time.Now().Add(e.cfg.FlushTimeout)
+		}
+		for conn == nil {
+			if closing && time.Now().After(deadline) {
+				e.cfg.Logf("netrun: dropping %d unsent frames for proc %d at shutdown", len(batch), p.proc)
+				return
+			}
+			c, err := net.DialTimeout("tcp", p.addr, time.Second)
+			if err == nil {
+				bw = bufio.NewWriter(c)
+				if err = writeHandshake(bw, e.cfg.Proc); err == nil {
+					conn = c
+					backoff = e.cfg.DialBackoffMin
+					break
+				}
+				c.Close()
+			}
+			e.cfg.Logf("netrun: dial proc %d (%s): %v (retry in %v)", p.proc, p.addr, err, backoff)
+			if closing {
+				// stop has already fired, so the interruptible sleep would
+				// return immediately and spin the dial loop; sleep plainly,
+				// bounded by the flush deadline.
+				if d := min(backoff, time.Until(deadline)); d > 0 {
+					time.Sleep(d)
+				}
+			} else if !sleepInterruptible(backoff, e.stop) {
+				// Engine stopping: switch to flush mode.
+				closing = true
+				deadline = time.Now().Add(e.cfg.FlushTimeout)
+			}
+			backoff *= 2
+			if backoff > e.cfg.DialBackoffMax {
+				backoff = e.cfg.DialBackoffMax
+			}
+		}
+		err := func() error {
+			if closing {
+				conn.SetWriteDeadline(deadline)
+			}
+			for _, frame := range batch {
+				if err := writeFrame(bw, frame); err != nil {
+					return err
+				}
+			}
+			return bw.Flush()
+		}()
+		if err != nil {
+			e.cfg.Logf("netrun: write to proc %d: %v", p.proc, err)
+			conn.Close()
+			conn, bw = nil, nil
+			if closing {
+				return
+			}
+			p.requeue(batch)
+		}
+	}
+}
+
+// sleepInterruptible sleeps for d unless stop closes first; it reports
+// whether the full duration elapsed.
+func sleepInterruptible(d time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

@@ -1,0 +1,375 @@
+// Package netrun runs sim.Handler networks over real TCP connections: the
+// virtual nodes of one network are partitioned among one or more OS
+// processes, and every cross-process Send is encoded with internal/wire and
+// carried in a length-prefixed frame. Handlers are the exact objects the
+// in-memory engines drive — communication-closed-rounds theory
+// (arXiv:1804.07078) is what licenses running the round-structured
+// protocols on an asynchronous wire unchanged; pair the engine with
+// sim.WrapAllReliable when the deployment must survive connection resets
+// (a reconnect can replay frames, which the transport layer deduplicates).
+//
+// Model mapping. The engine has no global rounds; instead every process
+// counts local activation ticks (one Activate of every local handler per
+// Config.Tick). A delivery's Delivery.Round is the *sender's* tick when the
+// message was sent, so traces taken on one process are round-monotone per
+// sending node (TCP is FIFO per connection) but not globally — exactly the
+// per-node monotonicity cmd/tracecheck verifies for netrun traces.
+// Metrics.Rounds counts local ticks and congestion windows are local ticks
+// too, making the numbers comparable with the simulators' per-round
+// accounting.
+package netrun
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/sim"
+)
+
+// Config describes one process's share of a network.
+type Config struct {
+	// Proc is this process's index in Addrs.
+	Proc int
+	// Addrs lists every process's listen address, indexed by process.
+	Addrs []string
+	// Listener, when non-nil, is the pre-bound listener to use instead of
+	// listening on Addrs[Proc] — tests bind ":0" and exchange the real
+	// addresses before building configs.
+	Listener net.Listener
+	// Handlers is the whole network's handler slice (index = sim.NodeID).
+	// Only the handlers this process owns are ever run; the others may be
+	// inert copies or nil.
+	Handlers []sim.Handler
+	// Owner maps a node to the process that runs it. nil means process 0
+	// owns everything (single-process deployment).
+	Owner func(sim.NodeID) int
+	// Seed derives the per-node PRNG streams.
+	Seed uint64
+	// Groups/Group define congestion accounting like the sim engines; nil
+	// Group means identity.
+	Groups int
+	Group  func(sim.NodeID) int
+	// Tick is the activation period (default 1ms).
+	Tick time.Duration
+	// Observer, when set, sees every local delivery (after accounting,
+	// before the handler runs) — wire it to obs exactly like a simulator.
+	Observer func(sim.Delivery)
+	// Strict panics on out-of-range congestion groups (tests); the default
+	// counts them into Metrics.Dropped.
+	Strict bool
+	// DialBackoffMin/Max bound the per-peer reconnect backoff
+	// (defaults 10ms and 1s).
+	DialBackoffMin time.Duration
+	DialBackoffMax time.Duration
+	// FlushTimeout bounds how long Close waits for unsent frames per peer
+	// (default 2s).
+	FlushTimeout time.Duration
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// inEnv is one message awaiting local delivery.
+type inEnv struct {
+	from       sim.NodeID
+	to         sim.NodeID
+	senderTick int64
+	msg        sim.Message
+}
+
+// Engine is a sim-compatible engine for one process of a network. It
+// implements sim.Sender for the contexts of its local handlers.
+type Engine struct {
+	cfg      Config
+	ln       net.Listener
+	localIDs []sim.NodeID
+	ctxs     map[sim.NodeID]*sim.Context
+
+	mu     sync.Mutex // guards inbox
+	inbox  []inEnv
+	notify chan struct{}
+
+	peers map[int]*peer
+
+	connMu sync.Mutex // guards inbound conns for shutdown
+	conns  map[net.Conn]bool
+
+	statsMu sync.Mutex // guards metrics
+	metrics sim.Metrics
+
+	tick     int64 // owned by the run goroutine
+	tickLoad []int // per-group deliveries in the current tick window
+
+	start    time.Time
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// New validates cfg, binds the listener and prepares the local contexts.
+// The engine is inert until Start.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("netrun: no process addresses")
+	}
+	if cfg.Proc < 0 || cfg.Proc >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("netrun: proc %d out of range for %d processes", cfg.Proc, len(cfg.Addrs))
+	}
+	if len(cfg.Handlers) == 0 {
+		return nil, fmt.Errorf("netrun: no handlers")
+	}
+	if cfg.Owner == nil {
+		cfg.Owner = func(sim.NodeID) int { return 0 }
+	}
+	if cfg.Group == nil {
+		cfg.Groups = len(cfg.Handlers)
+		cfg.Group = func(id sim.NodeID) int { return int(id) }
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.DialBackoffMin <= 0 {
+		cfg.DialBackoffMin = 10 * time.Millisecond
+	}
+	if cfg.DialBackoffMax < cfg.DialBackoffMin {
+		cfg.DialBackoffMax = time.Second
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	e := &Engine{
+		cfg:    cfg,
+		ctxs:   make(map[sim.NodeID]*sim.Context),
+		notify: make(chan struct{}, 1),
+		peers:  make(map[int]*peer),
+		conns:  make(map[net.Conn]bool),
+		stop:   make(chan struct{}),
+	}
+	e.metrics.Deliveries = make([]int64, cfg.Groups)
+	e.tickLoad = make([]int, cfg.Groups)
+	for i := range cfg.Handlers {
+		id := sim.NodeID(i)
+		if cfg.Owner(id) != cfg.Proc {
+			continue
+		}
+		if cfg.Handlers[i] == nil {
+			return nil, fmt.Errorf("netrun: node %d is owned here but has no handler", i)
+		}
+		e.localIDs = append(e.localIDs, id)
+		rnd := hashutil.NewRand(hashutil.Mix2(cfg.Seed, uint64(id)))
+		e.ctxs[id] = sim.NewExternalContext(id, rnd, e)
+	}
+	if len(e.localIDs) == 0 {
+		return nil, fmt.Errorf("netrun: process %d owns no nodes", cfg.Proc)
+	}
+
+	ln := cfg.Listener
+	if ln == nil && len(cfg.Addrs) > 1 {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Proc])
+		if err != nil {
+			return nil, fmt.Errorf("netrun: listen: %w", err)
+		}
+	}
+	e.ln = ln
+
+	for p := range cfg.Addrs {
+		if p != cfg.Proc {
+			e.peers[p] = newPeer(p, cfg.Addrs[p])
+		}
+	}
+	return e, nil
+}
+
+// Addr returns the engine's bound listen address ("" for a single-process
+// engine with no listener).
+func (e *Engine) Addr() string {
+	if e.ln == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// LocalNodes returns the node ids this process runs.
+func (e *Engine) LocalNodes() []sim.NodeID {
+	return append([]sim.NodeID(nil), e.localIDs...)
+}
+
+// Context returns the context of a local node (drivers use it to issue
+// initial protocol actions). It panics for nodes owned elsewhere.
+func (e *Engine) Context(id sim.NodeID) *sim.Context {
+	ctx := e.ctxs[id]
+	if ctx == nil {
+		panic(fmt.Sprintf("netrun: node %d is not local to process %d", id, e.cfg.Proc))
+	}
+	return ctx
+}
+
+// Start launches the accept loop, the peer writers and the activation loop.
+func (e *Engine) Start() {
+	if e.started {
+		panic("netrun: Start called twice")
+	}
+	e.started = true
+	e.start = time.Now()
+	if e.ln != nil {
+		e.wg.Add(1)
+		go e.acceptLoop()
+	}
+	for _, p := range e.peers {
+		e.wg.Add(1)
+		go p.run(e)
+	}
+	e.wg.Add(1)
+	go e.run()
+}
+
+// Send implements sim.Sender: local destinations are enqueued for the next
+// delivery drain, remote ones are framed and handed to the peer writer.
+// Handlers call it (through their contexts) from the run goroutine;
+// drivers may call it from any goroutine.
+func (e *Engine) Send(from, to sim.NodeID, msg sim.Message) {
+	if int(to) < 0 || int(to) >= len(e.cfg.Handlers) {
+		panic("netrun: send to unknown node")
+	}
+	tick := e.currentTick()
+	owner := e.cfg.Owner(to)
+	if owner == e.cfg.Proc {
+		e.enqueue(inEnv{from: from, to: to, senderTick: tick, msg: msg})
+		return
+	}
+	p := e.peers[owner]
+	if p == nil {
+		panic(fmt.Sprintf("netrun: node %d owned by unknown process %d", to, owner))
+	}
+	p.enqueue(encodeFrame(from, to, tick, msg))
+}
+
+func (e *Engine) currentTick() int64 {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.tick
+}
+
+func (e *Engine) enqueue(env inEnv) {
+	e.mu.Lock()
+	e.inbox = append(e.inbox, env)
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run is the single goroutine that executes handlers: deliveries as they
+// arrive, one activation of every local node per tick.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.notify:
+			e.deliverPending()
+		case <-ticker.C:
+			e.deliverPending()
+			for _, id := range e.localIDs {
+				e.cfg.Handlers[id].Activate(e.ctxs[id])
+			}
+			e.closeTickWindow()
+		}
+	}
+}
+
+// deliverPending drains the inbox and runs the local handlers.
+func (e *Engine) deliverPending() {
+	for {
+		e.mu.Lock()
+		box := e.inbox
+		e.inbox = nil
+		e.mu.Unlock()
+		if len(box) == 0 {
+			return
+		}
+		for _, env := range box {
+			ctx := e.ctxs[env.to]
+			if ctx == nil {
+				e.cfg.Logf("netrun: dropping frame for non-local node %d", env.to)
+				continue
+			}
+			g := e.cfg.Group(env.to)
+			bits := env.msg.Bits()
+			e.statsMu.Lock()
+			e.metrics.Observe(g, bits, e.cfg.Strict)
+			if g >= 0 && g < len(e.tickLoad) {
+				e.tickLoad[g]++
+			}
+			e.statsMu.Unlock()
+			if e.cfg.Observer != nil {
+				e.cfg.Observer(sim.Delivery{
+					Round: int(env.senderTick),
+					Time:  time.Since(e.start).Seconds(),
+					From:  env.from,
+					To:    env.to,
+					Group: g,
+					Bits:  bits,
+					Msg:   env.msg,
+				})
+			}
+			e.cfg.Handlers[env.to].HandleMessage(ctx, env.from, env.msg)
+		}
+	}
+}
+
+// closeTickWindow ends one congestion window and advances the local tick.
+func (e *Engine) closeTickWindow() {
+	e.statsMu.Lock()
+	for g, l := range e.tickLoad {
+		if l > e.metrics.Congestion {
+			e.metrics.Congestion = l
+		}
+		e.tickLoad[g] = 0
+	}
+	e.tick++
+	e.metrics.Rounds = int(e.tick)
+	e.statsMu.Unlock()
+}
+
+// Metrics returns a snapshot of the engine's cost accounting.
+func (e *Engine) Metrics() sim.Metrics {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	m := e.metrics
+	m.Deliveries = append([]int64(nil), e.metrics.Deliveries...)
+	return m
+}
+
+// Close shuts the engine down: the activation loop stops, peers flush
+// queued frames (bounded by FlushTimeout) and all connections close.
+func (e *Engine) Close() error {
+	e.stopOnce.Do(func() {
+		close(e.stop)
+		if e.ln != nil {
+			e.ln.Close()
+		}
+		for _, p := range e.peers {
+			p.close()
+		}
+		e.connMu.Lock()
+		for c := range e.conns {
+			c.Close()
+		}
+		e.connMu.Unlock()
+	})
+	e.wg.Wait()
+	return nil
+}

@@ -7,8 +7,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registered on the default mux; served only with -pprof
+	"net/http/pprof"
 	"os"
 
 	"dpq/internal/sim"
@@ -52,21 +53,43 @@ func (f *Flags) Start() (*Session, error) {
 		s.traceFile = file
 		s.tw = NewTraceWriter(file)
 	}
-	ServePProf(f.PProfAddr)
+	if _, err := ServePProf(f.PProfAddr); err != nil {
+		if s.traceFile != nil {
+			s.traceFile.Close()
+		}
+		return nil, err
+	}
 	return s, nil
 }
 
-// ServePProf serves net/http/pprof on addr in the background; empty addr is
-// a no-op. Binaries without per-run outputs (cmd/benchall) use it directly.
-func ServePProf(addr string) {
+// ServePProf binds addr and serves the net/http/pprof endpoints from a
+// dedicated mux in the background. The bind is synchronous, so a bad or
+// occupied address is an error the caller sees (and with port 0 the
+// returned string carries the actual port). An empty addr is a no-op
+// returning "". Binaries without per-run outputs (cmd/benchall) use it
+// directly.
+func ServePProf(addr string) (string, error) {
 	if addr == "" {
-		return
+		return "", nil
+	}
+	// A dedicated mux rather than http.DefaultServeMux: nothing else the
+	// process registers globally can leak onto the profiling port.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen: %v", err)
 	}
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := http.Serve(ln, mux); err != nil {
 			fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
 		}
 	}()
+	return ln.Addr().String(), nil
 }
 
 // Collector returns the session's collector, for protocols' SetObs hooks.

@@ -1,0 +1,47 @@
+package obs_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"dpq/internal/obs"
+)
+
+func TestServePProf(t *testing.T) {
+	addr, err := obs.ServePProf("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("no bound address returned")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index returned %d: %s", resp.StatusCode, body)
+	}
+
+	// The bind is synchronous: an unusable address must surface as an
+	// error, not a background log line.
+	if _, err := obs.ServePProf("256.0.0.1:0"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+	if _, err := obs.ServePProf(addr); err == nil {
+		t.Fatal("occupied address accepted")
+	}
+}
+
+func TestServePProfEmptyAddrNoOp(t *testing.T) {
+	addr, err := obs.ServePProf("")
+	if err != nil || addr != "" {
+		t.Fatalf("empty addr should no-op, got %q, %v", addr, err)
+	}
+}

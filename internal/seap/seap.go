@@ -246,8 +246,10 @@ func (h *Heap) NewFaultyAsyncEngine(maxDelay float64, plan *sim.FaultPlan) (*sim
 	return eng, transports
 }
 
-// InjectInsert buffers Insert(e) at host's middle virtual node.
-func (h *Heap) InjectInsert(host int, id prio.ElemID, p uint64, payload string) {
+// InjectInsert buffers Insert(e) at host's middle virtual node. The
+// returned op completes (see semantics.Trace.SetOnComplete) once the
+// element is stored.
+func (h *Heap) InjectInsert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
 	if p < 1 || p > h.cfg.PrioBound {
 		panic("seap: priority out of range")
 	}
@@ -261,10 +263,12 @@ func (h *Heap) InjectInsert(host int, id prio.ElemID, p uint64, payload string) 
 		n.insBuf = append(n.insBuf, pendingOp{kind: semantics.Insert, elem: e, op: op})
 	}
 	n.mu.Unlock()
+	return op
 }
 
-// InjectDelete buffers DeleteMin() at host's middle virtual node.
-func (h *Heap) InjectDelete(host int) {
+// InjectDelete buffers DeleteMin() at host's middle virtual node. The
+// returned op carries the deleted element (or ⊥) once complete.
+func (h *Heap) InjectDelete(host int) *semantics.Op {
 	op := h.trace.Issue(host, semantics.DeleteMin, prio.Element{})
 	n := h.nodes[ldb.VID(host, ldb.Middle)]
 	n.mu.Lock()
@@ -274,6 +278,7 @@ func (h *Heap) InjectDelete(host int) {
 		n.delBuf = append(n.delBuf, pendingOp{kind: semantics.DeleteMin, op: op})
 	}
 	n.mu.Unlock()
+	return op
 }
 
 // Done reports whether every injected operation has completed.

@@ -53,9 +53,10 @@ type Op struct {
 // Trace collects operations across all processes. It is safe for
 // concurrent use so the goroutine-backed engine can share one Trace.
 type Trace struct {
-	mu     sync.Mutex
-	ops    []*Op
-	byNode map[int]int
+	mu         sync.Mutex
+	ops        []*Op
+	byNode     map[int]int
+	onComplete func(*Op)
 }
 
 // NewTrace returns an empty trace.
@@ -75,13 +76,45 @@ func (t *Trace) Issue(node int, kind OpKind, elem prio.Element) *Op {
 }
 
 // Complete marks op done with the given result (⊥ for an empty-heap
-// DeleteMin; ignored for Insert) and its serialization value.
+// DeleteMin; ignored for Insert) and its serialization value. An installed
+// completion callback fires after the trace lock is released.
 func (t *Trace) Complete(op *Op, result prio.Element, value int64) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	op.Result = result
 	op.Value = value
 	op.Done = true
+	cb := t.onComplete
+	t.mu.Unlock()
+	if cb != nil {
+		cb(op)
+	}
+}
+
+// SetOnComplete installs a callback invoked after every Complete, outside
+// the trace lock. The network daemon uses it to answer a client as soon as
+// its operation's result is known; nil detaches.
+func (t *Trace) SetOnComplete(f func(*Op)) {
+	t.mu.Lock()
+	t.onComplete = f
+	t.mu.Unlock()
+}
+
+// Merge combines per-process traces into one for the global checkers. The
+// inputs must cover disjoint issuing processes (as the network runtime's
+// shards do); serialization values are protocol-assigned and globally
+// unique, so concatenating the snapshots preserves every property the
+// checkers inspect.
+func Merge(traces ...*Trace) *Trace {
+	out := NewTrace()
+	for _, t := range traces {
+		for _, op := range t.Ops() {
+			if op.Index > out.byNode[op.Node] {
+				out.byNode[op.Node] = op.Index
+			}
+			out.ops = append(out.ops, op)
+		}
+	}
+	return out
 }
 
 // Ops returns a snapshot of all recorded operations.

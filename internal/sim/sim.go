@@ -99,6 +99,26 @@ type engine interface {
 	send(from, to NodeID, msg Message)
 }
 
+// Sender delivers messages on behalf of an engine implemented outside this
+// package (internal/netrun's TCP engine). It is the exported face of the
+// internal engine interface.
+type Sender interface {
+	Send(from, to NodeID, msg Message)
+}
+
+// externalEngine adapts a Sender to the internal engine interface.
+type externalEngine struct{ s Sender }
+
+func (e externalEngine) send(from, to NodeID, msg Message) { e.s.Send(from, to, msg) }
+
+// NewExternalContext builds a node Context bound to an external engine: the
+// context's Send primitive delegates to s. Handlers written against the
+// simulators run unchanged on any engine that can construct their contexts
+// this way.
+func NewExternalContext(id NodeID, rnd *hashutil.Rand, s Sender) *Context {
+	return &Context{id: id, rand: rnd, engine: externalEngine{s: s}}
+}
+
 type envelope struct {
 	from NodeID
 	to   NodeID
@@ -148,6 +168,12 @@ func (m *Metrics) observe(group int, bits int, strict bool) {
 		m.Dropped++
 	}
 }
+
+// Observe accounts one delivered message: group is the receiver's
+// congestion group and bits the message size. It is the exported face of
+// the accounting the in-process engines do on every delivery, for engines
+// implemented outside this package (internal/netrun).
+func (m *Metrics) Observe(group, bits int, strict bool) { m.observe(group, bits, strict) }
 
 // String summarizes the metrics.
 func (m *Metrics) String() string {

@@ -211,8 +211,10 @@ func (h *Heap) NewFaultyAsyncEngine(maxDelay float64, plan *sim.FaultPlan) (*sim
 }
 
 // InjectInsert buffers Insert(e) at host's middle virtual node. p is the
-// 0-based priority; the element id must be unique across the run.
-func (h *Heap) InjectInsert(host int, id prio.ElemID, p int, payload string) {
+// 0-based priority; the element id must be unique across the run. The
+// returned op completes (see semantics.Trace.SetOnComplete) once the
+// element is stored.
+func (h *Heap) InjectInsert(host int, id prio.ElemID, p int, payload string) *semantics.Op {
 	if p < 0 || p >= h.cfg.P {
 		panic("skeap: priority out of range")
 	}
@@ -222,15 +224,18 @@ func (h *Heap) InjectInsert(host int, id prio.ElemID, p int, payload string) {
 	n.mu.Lock()
 	n.buffer = append(n.buffer, pendingOp{kind: semantics.Insert, elem: e, op: op})
 	n.mu.Unlock()
+	return op
 }
 
-// InjectDelete buffers DeleteMin() at host's middle virtual node.
-func (h *Heap) InjectDelete(host int) {
+// InjectDelete buffers DeleteMin() at host's middle virtual node. The
+// returned op carries the deleted element (or ⊥) once complete.
+func (h *Heap) InjectDelete(host int) *semantics.Op {
 	op := h.trace.Issue(host, semantics.DeleteMin, prio.Element{})
 	n := h.nodes[ldb.VID(host, ldb.Middle)]
 	n.mu.Lock()
 	n.buffer = append(n.buffer, pendingOp{kind: semantics.DeleteMin, op: op})
 	n.mu.Unlock()
+	return op
 }
 
 // StartIteration begins one batch iteration from the anchor (manual mode;

@@ -1,0 +1,35 @@
+package wire
+
+// Registrations for the messages defined by internal/sim itself. They live
+// here because sim cannot import wire (wire imports sim); every other
+// protocol package registers its own messages in its wire.go.
+
+import "dpq/internal/sim"
+
+func init() {
+	Register("xport/msg", &sim.TransportMsg{},
+		func(w *Writer, msg sim.Message) {
+			m := msg.(*sim.TransportMsg)
+			w.U64(m.Seq)
+			w.Message(m.Payload)
+		},
+		func(r *Reader) sim.Message {
+			m := &sim.TransportMsg{}
+			m.Seq = r.U64()
+			m.Payload = r.MustMessage()
+			return m
+		},
+		&sim.TransportMsg{Seq: 1, Payload: &sim.TransportAck{Seq: 9}},
+		&sim.TransportMsg{Seq: 1 << 60, Payload: &sim.TransportAck{}},
+	)
+	Register("xport/ack", &sim.TransportAck{},
+		func(w *Writer, msg sim.Message) {
+			w.U64(msg.(*sim.TransportAck).Seq)
+		},
+		func(r *Reader) sim.Message {
+			return &sim.TransportAck{Seq: r.U64()}
+		},
+		&sim.TransportAck{Seq: 0},
+		&sim.TransportAck{Seq: 42},
+	)
+}

@@ -55,24 +55,42 @@ func WriteRounds(w io.Writer, rounds [][]Op) error {
 }
 
 // ReadRounds parses a recorded stream back into per-round operation
-// slices. Blank lines and lines starting with '#' are ignored.
+// slices. Blank lines and lines starting with '#' are ignored. A record
+// line not terminated by a newline is treated as a truncated file — a cut
+// in the middle of a number would otherwise decode into a silently wrong
+// operation — and extra tokens on a record line (two records fused by
+// corruption) are rejected.
 func ReadRounds(r io.Reader) ([][]Op, error) {
-	sc := bufio.NewScanner(r)
+	br := bufio.NewReader(r)
 	rounds := [][]Op{nil}
 	line := 0
-	for sc.Scan() {
+	for {
+		raw, rerr := br.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, rerr
+		}
 		line++
-		text := strings.TrimSpace(sc.Text())
+		text := strings.TrimSpace(raw)
 		if text == "" || strings.HasPrefix(text, "#") {
+			if rerr == io.EOF {
+				return rounds, nil
+			}
 			continue
+		}
+		if rerr == io.EOF {
+			return nil, fmt.Errorf("workload: line %d: truncated record %q (missing newline)", line, text)
 		}
 		if text == "-" {
 			rounds = append(rounds, nil)
 			continue
 		}
+		fields := strings.Fields(text)
 		var op Op
 		switch text[0] {
 		case 'I':
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("workload: line %d: insert needs 4 fields, got %d", line, len(fields))
+			}
 			var id uint64
 			if _, err := fmt.Sscanf(text, "I %d %d %d", &op.Host, &op.Prio, &id); err != nil {
 				return nil, fmt.Errorf("workload: line %d: %w", line, err)
@@ -80,6 +98,9 @@ func ReadRounds(r io.Reader) ([][]Op, error) {
 			op.Kind = OpInsert
 			op.ID = prio.ElemID(id)
 		case 'D':
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("workload: line %d: delete needs 2 fields, got %d", line, len(fields))
+			}
 			if _, err := fmt.Sscanf(text, "D %d", &op.Host); err != nil {
 				return nil, fmt.Errorf("workload: line %d: %w", line, err)
 			}
@@ -93,8 +114,4 @@ func ReadRounds(r io.Reader) ([][]Op, error) {
 		last := len(rounds) - 1
 		rounds[last] = append(rounds[last], op)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return rounds, nil
 }

@@ -91,3 +91,70 @@ func TestMalformedInputs(t *testing.T) {
 		}
 	}
 }
+
+// TestCorruptAndTruncatedFiles feeds damaged recordings to the decoder:
+// every case must come back as an error (with a line number), never a
+// panic and never a silently wrong stream.
+func TestCorruptAndTruncatedFiles(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"op letter only", "I\n"},
+		{"insert missing id", "I 2 7\n"},
+		{"insert non-numeric host", "I x 7 1\n"},
+		{"insert overflowing id", "I 1 2 99999999999999999999999999\n"},
+		{"insert negative priority", "I 1 -2 3\n"},
+		{"delete non-numeric host", "D abc\n"},
+		{"delete negative host", "D -4\n"},
+		{"binary garbage", "\x00\x01\x02\xff\xfe\n"},
+		{"wrong separator", "--\n"},
+		{"fused records", "I 1 2 3 D 0\n"},
+		{"delete with extra tokens", "D 1 2\n"},
+		{"mid-line truncation", "I 2 7 1\nD 0\n-\nI 1 3"},     // cut inside the last record
+		{"mid-number truncation", "I 2 7 1\nD 0\n-\nI 1 3 9"}, // cut inside the id: would misparse as id 9
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadRounds(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("corrupt input %q decoded without error", tc.in)
+			}
+		})
+	}
+}
+
+// TestTruncationNeverPanics cuts a valid recording at every byte offset:
+// the decoder must return cleanly each time — an error for mid-record
+// cuts, a shorter stream for cuts on record boundaries — and every op it
+// does return must be a prefix of the original stream.
+func TestTruncationNeverPanics(t *testing.T) {
+	g := New(Config{N: 4, Rate: 3, InsertFrac: 0.6, Dist: Uniform, Bound: 100, Seed: 7})
+	var rounds [][]Op
+	for i := 0; i < 3; i++ {
+		rounds = append(rounds, g.Round())
+	}
+	var buf bytes.Buffer
+	if err := WriteRounds(&buf, rounds); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	var flat []Op
+	for _, ops := range rounds {
+		flat = append(flat, ops...)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		back, err := ReadRounds(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue
+		}
+		i := 0
+		for _, ops := range back {
+			for _, op := range ops {
+				if i >= len(flat) || op != flat[i] {
+					t.Fatalf("cut at %d: op %d is %+v, not a prefix of the original", cut, i, op)
+				}
+				i++
+			}
+		}
+	}
+}
