@@ -1,0 +1,306 @@
+// Command dpqbench is the reproducible engine micro-benchmark: for each
+// protocol (skeap, seap, kselect) and process count it drives one
+// operation batch to completion on the serial round engine and on the
+// worker-pool engine, and reports rounds/sec, ns per node activation and
+// heap allocations per round. The parallel engine is trace-identical to
+// the serial one, so the two rows of a pair execute the same rounds and
+// messages — any wall-clock difference is pure engine overhead or
+// speedup.
+//
+// Results are written as `dpq-bench/1` JSON (committed as BENCH_5.json).
+// With -baseline the run compares its allocations per round against a
+// previous result file and fails when any matching case regressed by more
+// than 2x — the CI bench-smoke job uses this to keep the hot paths
+// allocation-free.
+//
+// Usage:
+//
+//	dpqbench [-quick] [-json FILE] [-baseline FILE] [-workers N] [-seed S]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/kselect"
+	"dpq/internal/ldb"
+	"dpq/internal/mathx"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/skeap"
+	"dpq/internal/sim"
+)
+
+// Case is one (protocol, n, engine) measurement.
+type Case struct {
+	Proto           string  `json:"proto"`
+	N               int     `json:"n"`
+	Engine          string  `json:"engine"` // "serial" or "parallel"
+	Workers         int     `json:"workers"`
+	Rounds          int     `json:"rounds"`
+	Messages        int64   `json:"messages"`
+	Activations     int64   `json:"activations"` // rounds × virtual nodes
+	WallNs          int64   `json:"wallNs"`
+	RoundsPerSec    float64 `json:"roundsPerSec"`
+	NsPerActivation float64 `json:"nsPerActivation"`
+	AllocsPerRound  float64 `json:"allocsPerRound"`
+	AllocKBPerRound float64 `json:"allocKBPerRound"`
+}
+
+// File is the dpq-bench/1 result schema.
+type File struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"goVersion"`
+	GoMaxProcs int    `json:"goMaxProcs"`
+	Quick      bool   `json:"quick"`
+	Seed       uint64 `json:"seed"`
+	Cases      []Case `json:"cases"`
+}
+
+const schema = "dpq-bench/1"
+
+func maxRounds(n int) int { return 20000 * (mathx.Log2Ceil(n) + 3) }
+
+// batch describes one prepared run: start kicks the protocol off, done
+// reports completion, virt is the virtual node count for the activation
+// metric.
+type batch struct {
+	eng   *sim.SyncEngine
+	start func()
+	done  func() bool
+	virt  int
+}
+
+func prepSkeap(n, opsPerNode, workers int, seed uint64) batch {
+	h := skeap.New(skeap.Config{N: n, P: 4, Seed: seed})
+	h.SetAutoRepeat(false)
+	rnd := hashutil.NewRand(seed + 1)
+	id := prio.ElemID(1)
+	for host := 0; host < n; host++ {
+		for i := 0; i < opsPerNode; i++ {
+			if rnd.Bool(0.6) {
+				h.InjectInsert(host, id, rnd.Intn(4), "")
+				id++
+			} else {
+				h.InjectDelete(host)
+			}
+		}
+	}
+	eng := h.NewSyncEngine()
+	eng.SetParallel(workers)
+	return batch{
+		eng:   eng,
+		start: func() { h.StartIteration(eng.Context(h.Overlay().Anchor)) },
+		done:  h.Done,
+		virt:  h.Overlay().NumVirtual(),
+	}
+}
+
+func prepSeap(n, opsPerNode, workers int, seed uint64) batch {
+	bound := uint64(n) * uint64(n) * 16
+	h := seap.New(seap.Config{N: n, PrioBound: bound, Seed: seed})
+	h.SetAutoRepeat(false)
+	rnd := hashutil.NewRand(seed + 1)
+	id := prio.ElemID(1)
+	for host := 0; host < n; host++ {
+		for i := 0; i < opsPerNode; i++ {
+			if rnd.Bool(0.6) {
+				h.InjectInsert(host, id, rnd.Uint64n(bound)+1, "")
+				id++
+			} else {
+				h.InjectDelete(host)
+			}
+		}
+	}
+	eng := h.NewSyncEngine()
+	eng.SetParallel(workers)
+	return batch{
+		eng:   eng,
+		start: func() { h.StartCycle(eng.Context(h.Overlay().Anchor)) },
+		done:  h.Done,
+		virt:  h.Overlay().NumVirtual(),
+	}
+}
+
+func prepKSelect(n, workers int, seed uint64) batch {
+	ov := ldb.New(n, hashutil.New(seed))
+	sel := kselect.New(ov, hashutil.New(seed+1))
+	m := 4 * n
+	sel.LoadUniform(m, uint64(m)*4, seed+2)
+	eng := sel.NewSyncEngine(seed + 3)
+	eng.SetParallel(workers)
+	return batch{
+		eng:   eng,
+		start: func() { sel.Start(eng.Context(sel.Anchor()), int64(2*n)) },
+		done:  sel.Done,
+		virt:  ov.NumVirtual(),
+	}
+}
+
+// run executes one prepared batch and converts the measurement to a Case.
+func run(proto, engine string, n int, b batch) Case {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	startT := time.Now()
+	b.start()
+	if !b.eng.RunUntil(b.done, maxRounds(n)) {
+		fmt.Fprintf(os.Stderr, "dpqbench: %s n=%d (%s) did not complete\n", proto, n, engine)
+		os.Exit(1)
+	}
+	wall := time.Since(startT)
+	runtime.ReadMemStats(&after)
+
+	met := b.eng.Metrics()
+	c := Case{
+		Proto:       proto,
+		N:           n,
+		Engine:      engine,
+		Workers:     b.eng.Workers(),
+		Rounds:      met.Rounds,
+		Messages:    met.Messages,
+		Activations: int64(met.Rounds) * int64(b.virt),
+		WallNs:      wall.Nanoseconds(),
+	}
+	if wall > 0 {
+		c.RoundsPerSec = float64(c.Rounds) / wall.Seconds()
+	}
+	if c.Activations > 0 {
+		c.NsPerActivation = float64(c.WallNs) / float64(c.Activations)
+	}
+	if c.Rounds > 0 {
+		c.AllocsPerRound = float64(after.Mallocs-before.Mallocs) / float64(c.Rounds)
+		c.AllocKBPerRound = float64(after.TotalAlloc-before.TotalAlloc) / 1024 / float64(c.Rounds)
+	}
+	return c
+}
+
+// checkBaseline compares allocations per round against a previous result
+// file; it returns the number of >2x regressions across matching cases.
+func checkBaseline(path string, cur []Case) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpqbench: baseline: %v\n", err)
+		return 1
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "dpqbench: baseline: %v\n", err)
+		return 1
+	}
+	if base.Schema != schema {
+		fmt.Fprintf(os.Stderr, "dpqbench: baseline schema %q, want %q\n", base.Schema, schema)
+		return 1
+	}
+	type key struct {
+		proto, engine string
+		n             int
+	}
+	ref := map[key]Case{}
+	for _, c := range base.Cases {
+		ref[key{c.Proto, c.Engine, c.N}] = c
+	}
+	bad, matched := 0, 0
+	for _, c := range cur {
+		b, ok := ref[key{c.Proto, c.Engine, c.N}]
+		if !ok {
+			continue
+		}
+		matched++
+		if b.AllocsPerRound > 0 && c.AllocsPerRound > 2*b.AllocsPerRound {
+			fmt.Fprintf(os.Stderr, "dpqbench: REGRESSION %s n=%d (%s): %.0f allocs/round, baseline %.0f (>2x)\n",
+				c.Proto, c.N, c.Engine, c.AllocsPerRound, b.AllocsPerRound)
+			bad++
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "dpqbench: baseline has no cases matching this run")
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "dpqbench: baseline check: %d cases compared, %d regressions\n", matched, bad)
+	return bad
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "CI preset: n=256 only, lighter load")
+	jsonOut := flag.String("json", "", "write dpq-bench/1 JSON to FILE (default stdout)")
+	baseline := flag.String("baseline", "", "compare allocs/round against a previous result FILE; fail on >2x regressions")
+	workers := flag.Int("workers", 0, "worker pool size for the parallel cases (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 1, "deterministic workload seed")
+	flag.Parse()
+
+	sizes := []int{256, 1024, 4096}
+	opsPerNode := 2
+	if *quick {
+		sizes = []int{256}
+	}
+
+	out := File{
+		Schema:     schema,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Seed:       *seed,
+	}
+	// The parallel rows must actually exercise the worker-pool path, so
+	// resolve the worker count here and floor it at 2 (SetParallel would
+	// resolve 0 to GOMAXPROCS, which is 1 on single-core machines and
+	// would silently fall back to the serial path).
+	parW := *workers
+	if parW == 0 {
+		parW = runtime.GOMAXPROCS(0)
+	}
+	if parW < 2 {
+		parW = 2
+	}
+	engines := []struct {
+		label string
+		w     int
+	}{{"serial", 1}, {"parallel", parW}}
+	for _, n := range sizes {
+		for _, e := range engines {
+			for _, proto := range []string{"skeap", "seap", "kselect"} {
+				fmt.Fprintf(os.Stderr, "dpqbench: %s n=%d workers=%d\n", proto, n, e.w)
+				var b batch
+				switch proto {
+				case "skeap":
+					b = prepSkeap(n, opsPerNode, e.w, *seed)
+				case "seap":
+					b = prepSeap(n, opsPerNode, e.w, *seed)
+				default:
+					b = prepKSelect(n, e.w, *seed)
+				}
+				out.Cases = append(out.Cases, run(proto, e.label, n, b))
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpqbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *jsonOut == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "dpqbench:", err)
+		os.Exit(1)
+	}
+
+	for _, c := range out.Cases {
+		fmt.Fprintf(os.Stderr, "  %-8s n=%-5d %-8s rounds=%-6d %9.0f rounds/s %7.0f ns/activation %8.1f allocs/round\n",
+			c.Proto, c.N, c.Engine, c.Rounds, c.RoundsPerSec, c.NsPerActivation, c.AllocsPerRound)
+	}
+
+	if *baseline != "" {
+		if checkBaseline(*baseline, out.Cases) > 0 {
+			os.Exit(1)
+		}
+	}
+}

@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -123,7 +124,19 @@ func (c *client) close() {
 	c.conn.Close()
 }
 
-// writeLoop drains the response queue onto the socket.
+// closeGraceful stops accepting new responses but lets writeLoop flush the
+// queued ones (including a final StatusError) before the socket closes —
+// close() would race the write and could drop the very response explaining
+// the shutdown.
+func (c *client) closeGraceful() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// writeLoop drains the response queue onto the socket and closes it once
+// the client is marked closed and the queue is flushed.
 func (c *client) writeLoop() {
 	for {
 		c.mu.Lock()
@@ -147,6 +160,7 @@ func (c *client) writeLoop() {
 			}
 		}
 		if closed {
+			c.conn.Close()
 			return
 		}
 	}
@@ -156,9 +170,11 @@ func (c *client) writeLoop() {
 type daemon struct {
 	heap pq
 
-	mu      sync.Mutex
-	pending map[*semantics.Op]pendingRef
-	served  int64
+	mu       sync.Mutex
+	pending  map[*semantics.Op]pendingRef
+	served   int64
+	rejected int64
+	draining bool
 }
 
 type pendingRef struct {
@@ -194,19 +210,40 @@ func (d *daemon) onComplete(op *semantics.Op) {
 	ref.c.send(resp)
 }
 
+// reject answers a request with a typed error code instead of serving it.
+func (d *daemon) reject(c *client, reqID uint64, code clientproto.ErrCode) {
+	d.mu.Lock()
+	d.rejected++
+	d.mu.Unlock()
+	c.send(&clientproto.Response{ReqID: reqID, Status: clientproto.StatusError, Code: code})
+}
+
 // serveClient reads one connection's requests and injects them, in order,
-// on the pinned host.
+// on the pinned host. Well-delimited invalid requests (*ReqError) are
+// answered with their typed code and the connection keeps serving; only
+// I/O-level failures end the session.
 func (d *daemon) serveClient(c *client, host int, nextID func() prio.ElemID) {
-	defer c.close()
+	defer c.closeGraceful()
 	br := bufio.NewReader(c.conn)
 	for {
 		req, err := clientproto.ReadRequest(br)
 		if err != nil {
+			var re *clientproto.ReqError
+			if errors.As(err, &re) {
+				d.reject(c, re.ReqID, re.Code)
+				continue
+			}
 			return
 		}
 		// Holding d.mu across inject+track closes the window in which the
 		// protocol could complete the op before it is tracked.
 		d.mu.Lock()
+		if d.draining {
+			d.rejected++
+			d.mu.Unlock()
+			c.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrShuttingDown})
+			continue
+		}
 		var op *semantics.Op
 		if req.Op == clientproto.OpInsert {
 			op = d.heap.Insert(host, nextID(), req.Prio, req.Payload)
@@ -355,9 +392,13 @@ func main() {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	<-sig
 
-	// Graceful drain: no new clients, let in-flight operations complete,
-	// then flush the engine and the observability outputs.
+	// Graceful drain: no new clients or operations (late requests get
+	// ErrShuttingDown), let in-flight operations complete, then flush the
+	// engine and the observability outputs.
 	ln.Close()
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
 	tr := heap.Trace()
 	deadline := time.Now().Add(10 * time.Second)
 	for tr.DoneCount() < tr.Len() && time.Now().Before(deadline) {
@@ -374,11 +415,11 @@ func main() {
 		fail("%v", err)
 	}
 	d.mu.Lock()
-	served := d.served
+	served, rejected := d.served, d.rejected
 	d.mu.Unlock()
 	drained := tr.DoneCount() == tr.Len()
-	fmt.Printf("dpqd[%d]: served %d ops, %d ops local, ticks=%d msgs=%d drained=%v\n",
-		*proc, served, tr.Len(), m.Rounds, m.Messages, drained)
+	fmt.Printf("dpqd[%d]: served %d ops (%d rejected), %d ops local, ticks=%d msgs=%d drained=%v\n",
+		*proc, served, rejected, tr.Len(), m.Rounds, m.Messages, drained)
 	if !drained {
 		os.Exit(1)
 	}

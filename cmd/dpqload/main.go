@@ -88,6 +88,12 @@ func (c *conn) readOne() error {
 		return fmt.Errorf("response for unknown reqID %d", resp.ReqID)
 	}
 	delete(c.sent, resp.ReqID)
+	if err := resp.Err(); err != nil {
+		// A typed server rejection: the load generator never sends invalid
+		// requests, so any error code is a verdict failure — surface which
+		// one, not just that the connection broke.
+		return err
+	}
 	c.latencies = append(c.latencies, time.Since(sent))
 	c.values = append(c.values, seqVal{seq: resp.ReqID & (1<<32 - 1), v: resp.Value})
 	switch resp.Status {

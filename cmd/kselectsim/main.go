@@ -24,6 +24,7 @@ func main() {
 	m := flag.Int("m", 4096, "number of elements (poly(n))")
 	k := flag.Int64("k", 0, "target rank (default m/2)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 1, "round-engine worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
 	of := obs.AddFlags()
 	flag.Parse()
 	if *k == 0 {
@@ -39,7 +40,10 @@ func main() {
 	sel := kselect.New(ov, hashutil.New(*seed+1))
 	elems := sel.LoadUniform(*m, uint64(*m)*4, *seed+2)
 	eng := sel.NewSyncEngine(*seed + 3)
-	eng.SetObserver(sess.Observer())
+	if *workers != 1 {
+		eng.SetParallel(*workers)
+	}
+	eng.SetBatchObserver(sess.BatchObserver())
 	sel.SetObs(sess.Collector())
 	sel.Start(eng.Context(sel.Anchor()), *k)
 	if !eng.RunUntil(sel.Done, 50000*(mathx.Log2Ceil(*n)+3)) {

@@ -29,6 +29,7 @@ func main() {
 	record := flag.String("record", "", "write the generated workload to FILE")
 	replay := flag.String("replay", "", "replay a recorded workload from FILE (overrides generation)")
 	seqCons := flag.Bool("seqconsistent", false, "run the §6 sequentially consistent variant (one op per node per phase)")
+	workers := flag.Int("workers", 1, "round-engine worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
 	of := obs.AddFlags()
 	flag.Parse()
 
@@ -39,7 +40,10 @@ func main() {
 	}
 	h := seap.New(seap.Config{N: *n, PrioBound: *prios, Seed: *seed, SeqConsistent: *seqCons})
 	eng := h.NewSyncEngine()
-	eng.SetObserver(sess.Observer())
+	if *workers != 1 {
+		eng.SetParallel(*workers)
+	}
+	eng.SetBatchObserver(sess.BatchObserver())
 	h.SetObs(sess.Collector())
 	stream := loadOrGenerate(*replay, *record, *rounds, workload.Config{
 		N: *n, Rate: *lambda, InsertFrac: *mix,

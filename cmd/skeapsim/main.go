@@ -30,6 +30,7 @@ func main() {
 	replay := flag.String("replay", "", "replay a recorded workload from FILE (overrides generation)")
 	maxHeap := flag.Bool("maxheap", false, "invert the delete preference (DeleteMax, §1.2)")
 	lifo := flag.Bool("lifo", false, "pop the newest element per priority (stack variant)")
+	workers := flag.Int("workers", 1, "round-engine worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
 	of := obs.AddFlags()
 	flag.Parse()
 
@@ -40,7 +41,10 @@ func main() {
 	}
 	h := skeap.New(skeap.Config{N: *n, P: *p, Seed: *seed, MaxHeap: *maxHeap, LIFO: *lifo})
 	eng := h.NewSyncEngine()
-	eng.SetObserver(sess.Observer())
+	if *workers != 1 {
+		eng.SetParallel(*workers)
+	}
+	eng.SetBatchObserver(sess.BatchObserver())
 	h.SetObs(sess.Collector())
 	stream := loadOrGenerate(*replay, *record, *rounds, workload.Config{
 		N: *n, Rate: *lambda, InsertFrac: *mix,

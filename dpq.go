@@ -16,16 +16,22 @@
 // with its embedded aggregation tree and DHT). See the examples/ directory
 // for runnable programs and DESIGN.md for the system inventory.
 //
-// Quickstart:
+// Quickstart — operations are issued through per-host builders and a
+// batch runs when Drain is called:
 //
 //	pq, _ := dpq.New(dpq.Seap, dpq.Options{Nodes: 16, Seed: 1})
-//	pq.Insert(0, 42, "job-a")
-//	pq.Insert(3, 7, "job-b")
-//	pq.DeleteMin(9)
-//	pq.Run(0)
-//	for _, d := range pq.Results() {
+//	pq.At(0).Insert(42, "job-a")
+//	pq.At(3).Insert(7, "job-b")
+//	pq.At(9).DeleteMin()
+//	deliveries, _ := pq.Drain()
+//	for _, d := range deliveries {
 //		fmt.Println(d.Payload) // "job-b" — the most prioritized element
 //	}
+//
+// Options.Engine selects how the simulated network executes each batch:
+// the serial round engine (EngineSync, the default), the worker-pool round
+// engine with identical traces (EngineSyncParallel), bounded-delay
+// asynchrony (EngineAsync), or real goroutines (EngineConc).
 package dpq
 
 import (
@@ -53,8 +59,29 @@ const (
 // Options configures a PQ.
 type Options = core.Options
 
+// EngineKind selects the execution engine that drives a PQ
+// (Options.Engine).
+type EngineKind = core.EngineKind
+
+// Engine kinds.
+const (
+	// EngineSync is the default serial synchronous round engine.
+	EngineSync = core.EngineSync
+	// EngineSyncParallel partitions rounds across a worker pool
+	// (Options.Workers) with traces and metrics identical to EngineSync.
+	EngineSyncParallel = core.EngineSyncParallel
+	// EngineAsync delivers messages with random bounded delay
+	// (Options.MaxDelay).
+	EngineAsync = core.EngineAsync
+	// EngineConc runs nodes as goroutines; one batch→Drain cycle per PQ.
+	EngineConc = core.EngineConc
+)
+
 // PQ is a distributed priority queue running on a simulated network.
 type PQ = core.PQ
+
+// Host issues operations at one fixed process; see PQ.At.
+type Host = core.Host
 
 // Delivery is the outcome of one DeleteMin.
 type Delivery = core.Delivery

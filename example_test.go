@@ -7,24 +7,29 @@ import (
 )
 
 // ExampleNew shows the complete life cycle of a Seap heap: three processes
-// insert prioritized work, three others pull it, the run is driven to
-// completion and the deliveries come out in priority order.
+// insert prioritized work, three others pull it, each Drain runs the batch
+// to completion and returns its deliveries in priority order.
 func ExampleNew() {
 	pq, err := dpq.New(dpq.Seap, dpq.Options{Nodes: 8, Seed: 1})
 	if err != nil {
 		panic(err)
 	}
-	pq.Insert(0, 300, "write tests")
-	pq.Insert(2, 10, "fix the outage")
-	pq.Insert(5, 70, "review the PR")
-	pq.Run(0)
+	pq.At(0).Insert(300, "write tests")
+	pq.At(2).Insert(10, "fix the outage")
+	pq.At(5).Insert(70, "review the PR")
+	if _, err := pq.Drain(); err != nil {
+		panic(err)
+	}
 
-	pq.DeleteMin(1)
-	pq.DeleteMin(4)
-	pq.DeleteMin(7)
-	pq.Run(0)
+	pq.At(1).DeleteMin()
+	pq.At(4).DeleteMin()
+	pq.At(7).DeleteMin()
+	deliveries, err := pq.Drain()
+	if err != nil {
+		panic(err)
+	}
 
-	for _, d := range pq.Results() {
+	for _, d := range deliveries {
 		fmt.Printf("%s (priority %d)\n", d.Payload, d.Priority)
 	}
 	if err := pq.Verify(); err != nil {
@@ -36,13 +41,39 @@ func ExampleNew() {
 	// write tests (priority 300)
 }
 
+// ExamplePQ_At shows builder chaining and the worker-pool round engine:
+// EngineSyncParallel produces exactly the same deliveries, metrics and
+// traces as the default serial engine, just faster on multicore hosts.
+func ExamplePQ_At() {
+	pq, err := dpq.New(dpq.Skeap, dpq.Options{
+		Nodes:      8,
+		Priorities: 3,
+		Seed:       1,
+		Engine:     dpq.EngineSyncParallel, // Workers: 0 = GOMAXPROCS
+	})
+	if err != nil {
+		panic(err)
+	}
+	pq.At(0).Insert(2, "medium").Insert(1, "urgent")
+	pq.At(3).Insert(3, "background").DeleteMin()
+	deliveries, err := pq.Drain()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(deliveries[0].Payload)
+	// Output:
+	// urgent
+}
+
 // ExamplePQ_Verify demonstrates that every run can be checked against the
 // paper's correctness definitions after the fact.
 func ExamplePQ_Verify() {
 	pq, _ := dpq.New(dpq.Skeap, dpq.Options{Nodes: 4, Priorities: 2, Seed: 3})
-	pq.Insert(0, 1, "a")
-	pq.DeleteMin(2)
-	pq.Run(0)
+	pq.At(0).Insert(1, "a")
+	pq.At(2).DeleteMin()
+	if _, err := pq.Drain(); err != nil {
+		panic(err)
+	}
 	if err := pq.Verify(); err == nil {
 		fmt.Println("sequentially consistent and heap consistent")
 	}

@@ -27,27 +27,28 @@ func main() {
 	// Each process inserts its local shard (value = priority).
 	total := 0
 	for host := 0; host < nodes; host++ {
+		h := pq.At(host)
 		for i := 0; i < perShard; i++ {
-			v := rnd.Uint64n(1_000_000) + 1
-			pq.Insert(host, v, "")
+			h = h.Insert(rnd.Uint64n(1_000_000)+1, "")
 			total++
 		}
 	}
-	if !pq.Run(0) {
-		log.Fatal("insertion did not complete")
+	if _, err := pq.Drain(); err != nil {
+		log.Fatalf("insertion did not complete: %v", err)
 	}
 	fmt.Printf("inserted %d values from %d shards\n", total, nodes)
 
 	// Drain in waves — every process pulls a slice of the output.
 	for i := 0; i < total; i++ {
-		pq.DeleteMin(i % nodes)
+		pq.At(i % nodes).DeleteMin()
 	}
-	if !pq.Run(0) {
-		log.Fatal("drain did not complete")
+	pulls, err := pq.Drain()
+	if err != nil {
+		log.Fatalf("drain did not complete: %v", err)
 	}
 
 	var out []uint64
-	for _, d := range pq.Results() {
+	for _, d := range pulls {
 		if !d.Found {
 			log.Fatal("heap drained early")
 		}

@@ -51,29 +51,30 @@ func main() {
 	for _, c := range classes {
 		for i := 0; i < jobsPerCls; i++ {
 			prio := c.basePrio + rnd.Uint64n(c.jitter)
-			id := pq.Insert(rnd.Intn(nodes), prio, c.name)
+			id := pq.At(rnd.Intn(nodes)).InsertID(prio, c.name)
 			jobs[id] = c.name
 		}
 	}
-	if !pq.Run(0) {
-		log.Fatal("submission did not complete")
+	if _, err := pq.Drain(); err != nil {
+		log.Fatalf("submission did not complete: %v", err)
 	}
 	fmt.Printf("submitted %d jobs across %d processes\n", len(jobs), nodes)
 
 	// Workers: every process pulls until the queue drains.
 	total := len(classes) * jobsPerCls
 	for i := 0; i < total; i++ {
-		pq.DeleteMin(i % nodes)
+		pq.At(i % nodes).DeleteMin()
 	}
-	if !pq.Run(0) {
-		log.Fatal("draining did not complete")
+	pulls, err := pq.Drain()
+	if err != nil {
+		log.Fatalf("draining did not complete: %v", err)
 	}
 
 	// The pull order must respect the class hierarchy: all interactive
 	// jobs before all batch jobs before all maintenance jobs.
 	order := []string{}
 	perWorker := map[int]int{}
-	for _, d := range pq.Results() {
+	for _, d := range pulls {
 		if !d.Found {
 			log.Fatal("queue drained early")
 		}

@@ -18,20 +18,21 @@ func main() {
 		log.Fatal(err)
 	}
 	// Different processes insert; priorities 1 (urgent) … 3 (background).
-	sk.Insert(0, 2, "write report")
-	sk.Insert(3, 1, "fix outage")
-	sk.Insert(5, 3, "clean backlog")
-	sk.Insert(6, 1, "page on-call")
-	if !sk.Run(0) {
-		log.Fatal("skeap run did not complete")
+	sk.At(0).Insert(2, "write report")
+	sk.At(3).Insert(1, "fix outage")
+	sk.At(5).Insert(3, "clean backlog")
+	sk.At(6).Insert(1, "page on-call")
+	if _, err := sk.Drain(); err != nil {
+		log.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		sk.DeleteMin(i) // four other processes pull work
+		sk.At(i).DeleteMin() // four other processes pull work
 	}
-	if !sk.Run(0) {
-		log.Fatal("skeap run did not complete")
+	pulls, err := sk.Drain()
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, d := range sk.Results() {
+	for _, d := range pulls {
 		fmt.Printf("  process %d got %-14q (priority %d)\n", d.Host, d.Payload, d.Priority)
 	}
 	if err := sk.Verify(); err != nil {
@@ -46,18 +47,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	se.Insert(0, 1_000_000, "cold path")
-	se.Insert(1, 17, "hot path")
-	se.Insert(2, 40_000, "warm path")
-	if !se.Run(0) {
-		log.Fatal("seap run did not complete")
+	se.At(0).Insert(1_000_000, "cold path")
+	se.At(1).Insert(17, "hot path")
+	se.At(2).Insert(40_000, "warm path")
+	if _, err := se.Drain(); err != nil {
+		log.Fatal(err)
 	}
-	se.DeleteMin(7)
-	se.DeleteMin(4)
-	if !se.Run(0) {
-		log.Fatal("seap run did not complete")
+	se.At(7).DeleteMin()
+	se.At(4).DeleteMin()
+	pulls, err = se.Drain()
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, d := range se.Results() {
+	for _, d := range pulls {
 		fmt.Printf("  process %d got %-12q (priority %d)\n", d.Host, d.Payload, d.Priority)
 	}
 	if err := se.Verify(); err != nil {

@@ -9,7 +9,11 @@
 //
 // Frames reuse the internal/wire primitives: a u32 length prefix followed
 // by the body. All decoding errors are returned, never panicked, so a
-// daemon survives malformed clients.
+// daemon survives malformed clients. Rejections travel as typed error
+// codes (ErrCode) carried in a StatusError response rather than as closed
+// connections or bare strings: a well-delimited but invalid request frame
+// yields a *ReqError on the server, which answers with the code and keeps
+// serving, and the matching *ProtoError on the client.
 package clientproto
 
 import (
@@ -31,7 +35,83 @@ const (
 	StatusInserted = 1 // insert completed; ID echoes the assigned element id
 	StatusElem     = 2 // delete returned an element
 	StatusBottom   = 3 // delete returned ⊥ (empty heap)
+	StatusError    = 4 // request rejected; Code carries the typed reason
 )
+
+// ErrCode is the typed rejection reason carried on the wire with
+// StatusError. Codes are part of the protocol: never renumber, only
+// append.
+type ErrCode uint8
+
+const (
+	ErrNone            ErrCode = 0 // no error (required outside StatusError)
+	ErrBadOp           ErrCode = 1 // unknown op code
+	ErrMalformed       ErrCode = 2 // request body failed to decode
+	ErrPayloadTooLarge ErrCode = 3 // insert payload exceeds MaxPayload
+	ErrShuttingDown    ErrCode = 4 // daemon is draining; no new operations
+	ErrOverloaded      ErrCode = 5 // too many operations in flight
+)
+
+// errCodeCount is the number of defined codes (fuzz/round-trip tests
+// iterate the full range).
+const errCodeCount = 6
+
+func (c ErrCode) String() string {
+	switch c {
+	case ErrNone:
+		return "none"
+	case ErrBadOp:
+		return "bad-op"
+	case ErrMalformed:
+		return "malformed-request"
+	case ErrPayloadTooLarge:
+		return "payload-too-large"
+	case ErrShuttingDown:
+		return "shutting-down"
+	case ErrOverloaded:
+		return "overloaded"
+	default:
+		return fmt.Sprintf("err-code-%d", uint8(c))
+	}
+}
+
+// Codes returns every defined error code except ErrNone, for exhaustive
+// tests and diagnostics.
+func Codes() []ErrCode {
+	out := make([]ErrCode, 0, errCodeCount-1)
+	for c := ErrCode(1); c < errCodeCount; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ProtoError is the client-side form of a StatusError response.
+type ProtoError struct {
+	Code  ErrCode
+	ReqID uint64
+}
+
+func (e *ProtoError) Error() string {
+	return fmt.Sprintf("clientproto: server rejected request %d: %s", e.ReqID, e.Code)
+}
+
+// ReqError is returned by ReadRequest when the frame was well-delimited
+// but its body is invalid. The stream is still in sync (the whole frame
+// was consumed), so a server answers with Code in a StatusError response
+// and keeps serving the connection.
+type ReqError struct {
+	Code  ErrCode
+	ReqID uint64 // 0 when the body broke before the request id
+	Cause string
+}
+
+func (e *ReqError) Error() string {
+	return fmt.Sprintf("clientproto: bad request %d (%s): %s", e.ReqID, e.Code, e.Cause)
+}
+
+// MaxPayload bounds an insert payload; longer payloads are rejected with
+// ErrPayloadTooLarge while the connection keeps serving.
+const MaxPayload = 1 << 16
 
 // maxFrame bounds any client protocol frame.
 const maxFrame = 1 << 20
@@ -44,13 +124,22 @@ type Request struct {
 	Payload string // insert only
 }
 
-// Response reports one completed operation.
+// Response reports one completed or rejected operation.
 type Response struct {
 	ReqID  uint64
 	Status uint8
-	ID     uint64 // element id (inserted or deleted)
-	Prio   uint64 // deleted element's priority
-	Value  int64  // protocol serialization value of the operation
+	Code   ErrCode // StatusError only; ErrNone otherwise
+	ID     uint64  // element id (inserted or deleted)
+	Prio   uint64  // deleted element's priority
+	Value  int64   // protocol serialization value of the operation
+}
+
+// Err returns the typed error of a StatusError response, nil otherwise.
+func (r *Response) Err() error {
+	if r.Status != StatusError {
+		return nil
+	}
+	return &ProtoError{Code: r.Code, ReqID: r.ReqID}
 }
 
 func writeFrame(w io.Writer, body []byte) error {
@@ -81,7 +170,12 @@ func readFrame(r io.Reader) (*wire.Reader, error) {
 
 // WriteRequest frames and writes one request.
 func WriteRequest(w io.Writer, req *Request) error {
-	b := &wire.Writer{}
+	if len(req.Payload) > MaxPayload {
+		return &ReqError{Code: ErrPayloadTooLarge, ReqID: req.ReqID,
+			Cause: fmt.Sprintf("payload %d bytes, max %d", len(req.Payload), MaxPayload)}
+	}
+	b := wire.GetWriter()
+	defer wire.PutWriter(b)
 	b.U8(req.Op)
 	b.U64(req.ReqID)
 	if req.Op == OpInsert {
@@ -91,7 +185,9 @@ func WriteRequest(w io.Writer, req *Request) error {
 	return writeFrame(w, b.Bytes())
 }
 
-// ReadRequest reads one framed request.
+// ReadRequest reads one framed request. A *ReqError return means the frame
+// itself was consumed and the stream is still usable; any other error is
+// fatal for the connection.
 func ReadRequest(r io.Reader) (*Request, error) {
 	fr, err := readFrame(r)
 	if err != nil {
@@ -100,35 +196,46 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	req := &Request{}
 	req.Op = fr.U8()
 	req.ReqID = fr.U64()
+	if err := fr.Err(); err != nil {
+		return nil, &ReqError{Code: ErrMalformed, Cause: err.Error()}
+	}
 	switch req.Op {
 	case OpInsert:
 		req.Prio = fr.U64()
 		req.Payload = fr.String()
 	case OpDelete:
 	default:
-		return nil, fmt.Errorf("clientproto: unknown op %d", req.Op)
+		return nil, &ReqError{Code: ErrBadOp, ReqID: req.ReqID, Cause: fmt.Sprintf("op %d", req.Op)}
 	}
 	if err := fr.Err(); err != nil {
-		return nil, err
+		return nil, &ReqError{Code: ErrMalformed, ReqID: req.ReqID, Cause: err.Error()}
 	}
 	if fr.Remaining() > 0 {
-		return nil, fmt.Errorf("clientproto: %d trailing bytes in request", fr.Remaining())
+		return nil, &ReqError{Code: ErrMalformed, ReqID: req.ReqID,
+			Cause: fmt.Sprintf("%d trailing bytes in request", fr.Remaining())}
+	}
+	if len(req.Payload) > MaxPayload {
+		return nil, &ReqError{Code: ErrPayloadTooLarge, ReqID: req.ReqID,
+			Cause: fmt.Sprintf("payload %d bytes, max %d", len(req.Payload), MaxPayload)}
 	}
 	return req, nil
 }
 
 // WriteResponse frames and writes one response.
 func WriteResponse(w io.Writer, resp *Response) error {
-	b := &wire.Writer{}
+	b := wire.GetWriter()
+	defer wire.PutWriter(b)
 	b.U64(resp.ReqID)
 	b.U8(resp.Status)
+	b.U8(uint8(resp.Code))
 	b.U64(resp.ID)
 	b.U64(resp.Prio)
 	b.I64(resp.Value)
 	return writeFrame(w, b.Bytes())
 }
 
-// ReadResponse reads one framed response.
+// ReadResponse reads one framed response. StatusError responses are
+// returned as values, not errors — callers route them with Response.Err.
 func ReadResponse(r io.Reader) (*Response, error) {
 	fr, err := readFrame(r)
 	if err != nil {
@@ -137,6 +244,7 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	resp := &Response{}
 	resp.ReqID = fr.U64()
 	resp.Status = fr.U8()
+	resp.Code = ErrCode(fr.U8())
 	resp.ID = fr.U64()
 	resp.Prio = fr.U64()
 	resp.Value = fr.I64()
@@ -148,6 +256,14 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	}
 	switch resp.Status {
 	case StatusInserted, StatusElem, StatusBottom:
+		if resp.Code != ErrNone {
+			return nil, fmt.Errorf("clientproto: status %d carries error code %s", resp.Status, resp.Code)
+		}
+		return resp, nil
+	case StatusError:
+		if resp.Code == ErrNone || resp.Code >= errCodeCount {
+			return nil, fmt.Errorf("clientproto: error response with invalid code %d", uint8(resp.Code))
+		}
 		return resp, nil
 	default:
 		return nil, fmt.Errorf("clientproto: unknown status %d", resp.Status)

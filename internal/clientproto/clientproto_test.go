@@ -2,6 +2,8 @@ package clientproto
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -44,6 +46,113 @@ func TestResponseRoundTrip(t *testing.T) {
 		if *got != *resp {
 			t.Fatalf("round trip: sent %+v got %+v", resp, got)
 		}
+	}
+}
+
+// TestErrorCodeRoundTrip round-trips a StatusError response for every
+// defined code and checks Response.Err surfaces the typed error.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	codes := Codes()
+	if len(codes) != errCodeCount-1 {
+		t.Fatalf("Codes() returned %d codes, want %d", len(codes), errCodeCount-1)
+	}
+	for _, code := range codes {
+		resp := &Response{ReqID: 41, Status: StatusError, Code: code}
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("code %s: %v", code, err)
+		}
+		if *got != *resp {
+			t.Fatalf("code %s: round trip %+v → %+v", code, resp, got)
+		}
+		var pe *ProtoError
+		if err := got.Err(); !errors.As(err, &pe) || pe.Code != code || pe.ReqID != 41 {
+			t.Fatalf("code %s: Err() = %v", code, err)
+		}
+		if !strings.Contains(pe.Error(), code.String()) {
+			t.Fatalf("error text %q does not name the code %q", pe.Error(), code)
+		}
+	}
+	// An ok status must not carry a code; an error status must carry one.
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, &Response{Status: StatusElem, Code: ErrBadOp}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResponse(&buf); err == nil {
+		t.Fatal("ok status with error code accepted")
+	}
+	buf.Reset()
+	if err := WriteResponse(&buf, &Response{Status: StatusError, Code: ErrNone}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResponse(&buf); err == nil {
+		t.Fatal("error status without code accepted")
+	}
+	if (&Response{Status: StatusElem}).Err() != nil {
+		t.Fatal("ok response reported an error")
+	}
+}
+
+// TestReqErrorKeepsStreamUsable checks the recoverable-rejection contract:
+// after a well-delimited invalid frame ReadRequest returns *ReqError with
+// the right code and the next frame on the same stream decodes cleanly.
+func TestReqErrorKeepsStreamUsable(t *testing.T) {
+	var stream bytes.Buffer
+
+	// Frame 1: unknown op (well-delimited).
+	var bad bytes.Buffer
+	if err := WriteRequest(&bad, &Request{Op: OpInsert, ReqID: 5, Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	frame := bad.Bytes()
+	frame[4] = 99
+	stream.Write(frame)
+	// Frame 2: trailing garbage inside the frame body.
+	var trail bytes.Buffer
+	if err := WriteRequest(&trail, &Request{Op: OpDelete, ReqID: 6}); err != nil {
+		t.Fatal(err)
+	}
+	tf := append(trail.Bytes(), 0xAB)
+	tf[3] += 1 // grow the declared length to cover the garbage byte
+	stream.Write(tf)
+	// Frame 3: a valid request that must still decode.
+	if err := WriteRequest(&stream, &Request{Op: OpDelete, ReqID: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	var re *ReqError
+	if _, err := ReadRequest(&stream); !errors.As(err, &re) || re.Code != ErrBadOp || re.ReqID != 5 {
+		t.Fatalf("bad op: got %v", err)
+	}
+	if _, err := ReadRequest(&stream); !errors.As(err, &re) || re.Code != ErrMalformed || re.ReqID != 6 {
+		t.Fatalf("trailing bytes: got %v", err)
+	}
+	req, err := ReadRequest(&stream)
+	if err != nil || req.ReqID != 7 || req.Op != OpDelete {
+		t.Fatalf("stream desynced after rejections: %+v, %v", req, err)
+	}
+}
+
+// TestPayloadTooLarge checks both directions refuse oversized payloads
+// with the typed code.
+func TestPayloadTooLarge(t *testing.T) {
+	big := strings.Repeat("p", MaxPayload+1)
+	var re *ReqError
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Op: OpInsert, ReqID: 3, Payload: big}); !errors.As(err, &re) || re.Code != ErrPayloadTooLarge {
+		t.Fatalf("WriteRequest: got %v", err)
+	}
+	// Hand-build the oversized frame to exercise the read side.
+	ok := &Request{Op: OpInsert, ReqID: 3, Payload: strings.Repeat("p", MaxPayload)}
+	if err := WriteRequest(&buf, ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(&buf); err != nil {
+		t.Fatalf("payload at the bound rejected: %v", err)
 	}
 }
 

@@ -63,6 +63,16 @@ type Options struct {
 	// SeqConsistent selects the §6 Seap variant: sequential consistency
 	// at the cost of throughput (Seap only).
 	SeqConsistent bool
+	// Engine selects the execution engine (default EngineSync). See the
+	// EngineKind constants for the trade-offs.
+	Engine EngineKind
+	// Workers sizes the EngineSyncParallel worker pool (0 = GOMAXPROCS).
+	// Setting it with any other engine is an error.
+	Workers int
+	// MaxDelay is EngineAsync's maximum message delay in simulated time
+	// units (0 = the default of 2). Setting it with any other engine is an
+	// error.
+	MaxDelay float64
 }
 
 // Delivery is the outcome of one DeleteMin.
@@ -76,14 +86,19 @@ type Delivery struct {
 
 // PQ is a distributed priority queue running on a simulated network.
 type PQ struct {
-	proto   Protocol
-	sk      *skeap.Heap
-	se      *seap.Heap
-	eng     *sim.SyncEngine
-	nodes   int
-	maxHeap bool
-	seqCons bool
-	nextID  uint64
+	proto    Protocol
+	sk       *skeap.Heap
+	se       *seap.Heap
+	kind     EngineKind
+	eng      *sim.SyncEngine  // EngineSync / EngineSyncParallel
+	async    *sim.AsyncEngine // EngineAsync
+	conc     *sim.ConcEngine  // EngineConc
+	concUsed bool             // EngineConc has run its single batch
+	nodes    int
+	maxHeap  bool
+	seqCons  bool
+	nextID   uint64
+	drained  int // deliveries already returned by Drain
 }
 
 // New creates a distributed priority queue.
@@ -93,6 +108,9 @@ func New(proto Protocol, opts Options) (*PQ, error) {
 	}
 	if opts.SeqConsistent && proto != Seap {
 		return nil, errors.New("core: SeqConsistent mode is Seap-only")
+	}
+	if err := validateEngine(opts); err != nil {
+		return nil, err
 	}
 	pq := &PQ{proto: proto, nodes: opts.Nodes}
 	switch proto {
@@ -106,7 +124,6 @@ func New(proto Protocol, opts Options) (*PQ, error) {
 		}
 		pq.sk = skeap.New(skeap.Config{N: opts.Nodes, P: int(p), Seed: opts.Seed, MaxHeap: opts.MaxHeap})
 		pq.maxHeap = opts.MaxHeap
-		pq.eng = pq.sk.NewSyncEngine()
 	case Seap:
 		if opts.MaxHeap {
 			return nil, errors.New("core: MaxHeap mode is Skeap-only")
@@ -117,10 +134,10 @@ func New(proto Protocol, opts Options) (*PQ, error) {
 		}
 		pq.se = seap.New(seap.Config{N: opts.Nodes, PrioBound: bound, Seed: opts.Seed, SeqConsistent: opts.SeqConsistent})
 		pq.seqCons = opts.SeqConsistent
-		pq.eng = pq.se.NewSyncEngine()
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %d", proto)
 	}
+	pq.buildEngine(opts)
 	return pq, nil
 }
 
@@ -130,9 +147,8 @@ func (pq *PQ) Protocol() Protocol { return pq.proto }
 // Nodes returns the number of processes.
 func (pq *PQ) Nodes() int { return pq.nodes }
 
-// Insert issues Insert(e) at the given host. Priorities are 1-based
-// (1 = most prioritized). It returns the element's unique id.
-func (pq *PQ) Insert(host int, priority uint64, payload string) prio.ElemID {
+// insert issues Insert(e) at host and returns the element's unique id.
+func (pq *PQ) insert(host int, priority uint64, payload string) prio.ElemID {
 	pq.checkHost(host)
 	pq.nextID++
 	id := prio.ElemID(pq.nextID)
@@ -144,15 +160,31 @@ func (pq *PQ) Insert(host int, priority uint64, payload string) prio.ElemID {
 	return id
 }
 
-// DeleteMin issues DeleteMin() at the given host; the outcome appears in
-// Results after Run.
-func (pq *PQ) DeleteMin(host int) {
+// deleteMin issues DeleteMin() at host.
+func (pq *PQ) deleteMin(host int) {
 	pq.checkHost(host)
 	if pq.sk != nil {
 		pq.sk.InjectDelete(host)
 	} else {
 		pq.se.InjectDelete(host)
 	}
+}
+
+// Insert issues Insert(e) at the given host. Priorities are 1-based
+// (1 = most prioritized). It returns the element's unique id.
+//
+// Deprecated: use At(host).Insert(priority, payload) (or InsertID) with
+// Drain.
+func (pq *PQ) Insert(host int, priority uint64, payload string) prio.ElemID {
+	return pq.insert(host, priority, payload)
+}
+
+// DeleteMin issues DeleteMin() at the given host; the outcome appears in
+// the next Drain's deliveries.
+//
+// Deprecated: use At(host).DeleteMin() with Drain.
+func (pq *PQ) DeleteMin(host int) {
+	pq.deleteMin(host)
 }
 
 func (pq *PQ) checkHost(host int) {
@@ -164,11 +196,12 @@ func (pq *PQ) checkHost(host int) {
 // Run drives the simulated network until every issued operation completed
 // or the round budget is exhausted; it reports completion. A zero budget
 // picks a generous default.
+//
+// Deprecated: use Drain, which also returns the batch's deliveries and
+// surfaces engine errors.
 func (pq *PQ) Run(maxRounds int) bool {
-	if maxRounds <= 0 {
-		maxRounds = 20000 * (mathx.Log2Ceil(pq.nodes) + 3)
-	}
-	return pq.eng.RunUntil(pq.done, maxRounds)
+	ok, err := pq.runBatch(maxRounds)
+	return ok && err == nil
 }
 
 func (pq *PQ) done() bool {
@@ -178,8 +211,9 @@ func (pq *PQ) done() bool {
 	return pq.se.Done()
 }
 
-// Results returns the outcome of every completed DeleteMin, in
-// serialization order.
+// Results returns the outcome of every completed DeleteMin since the PQ
+// was created, in serialization order. Drain is usually more convenient:
+// it runs the network and returns only the new deliveries.
 func (pq *PQ) Results() []Delivery {
 	ops := pq.trace().Ops()
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Value < ops[j].Value })
@@ -231,8 +265,18 @@ func (pq *PQ) Verify() error {
 	return nil
 }
 
-// Metrics returns the accumulated network cost of the run.
-func (pq *PQ) Metrics() sim.Metrics { return *pq.eng.Metrics() }
+// Metrics returns the accumulated network cost of the run. EngineConc
+// reports message counts only (no rounds or congestion).
+func (pq *PQ) Metrics() sim.Metrics {
+	switch pq.kind {
+	case EngineAsync:
+		return *pq.async.Metrics()
+	case EngineConc:
+		return *pq.conc.Metrics()
+	default:
+		return *pq.eng.Metrics()
+	}
+}
 
 // Trace exposes the raw execution trace for custom analysis.
 func (pq *PQ) Trace() *semantics.Trace { return pq.trace() }
@@ -244,7 +288,8 @@ func (pq *PQ) SkeapHeap() *skeap.Heap { return pq.sk }
 // SeapHeap exposes the underlying Seap instance (nil when running Skeap).
 func (pq *PQ) SeapHeap() *seap.Heap { return pq.se }
 
-// Engine exposes the synchronous engine driving the PQ.
+// Engine exposes the synchronous engine driving the PQ (nil unless the
+// engine kind is EngineSync or EngineSyncParallel).
 func (pq *PQ) Engine() *sim.SyncEngine { return pq.eng }
 
 // Select runs the standalone KSelect protocol: it distributes elems

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dpq/internal/mathx"
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+)
+
+// EngineKind selects the execution engine that drives a PQ
+// (Options.Engine).
+type EngineKind int
+
+// Engine kinds.
+const (
+	// EngineSync is the default: the serial synchronous round engine.
+	// Deterministic per seed.
+	EngineSync EngineKind = iota
+	// EngineSyncParallel partitions every round across a worker pool and
+	// merges the results in node order; metrics, congestion accounting and
+	// traces are byte-identical to EngineSync for the same seed.
+	// Options.Workers sizes the pool.
+	EngineSyncParallel
+	// EngineAsync delivers each message after a random bounded delay
+	// (Options.MaxDelay), modeling an asynchronous network. Deterministic
+	// per seed but not round-structured.
+	EngineAsync
+	// EngineConc runs every node as a real goroutine with channel inboxes.
+	// A PQ on this engine supports exactly one batch→Drain cycle.
+	EngineConc
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineSync:
+		return "sync"
+	case EngineSyncParallel:
+		return "sync-parallel"
+	case EngineAsync:
+		return "async"
+	case EngineConc:
+		return "conc"
+	default:
+		return fmt.Sprintf("engine-%d", int(k))
+	}
+}
+
+// concTimeout bounds the wall-clock time one EngineConc Drain may take.
+const concTimeout = 30 * time.Second
+
+// validateEngine checks the engine-selection fields of opts.
+func validateEngine(opts Options) error {
+	switch opts.Engine {
+	case EngineSync, EngineSyncParallel, EngineAsync, EngineConc:
+	default:
+		return fmt.Errorf("core: unknown engine kind %d", int(opts.Engine))
+	}
+	if opts.Workers < 0 {
+		return fmt.Errorf("core: Workers must be ≥ 0 (got %d)", opts.Workers)
+	}
+	if opts.Workers != 0 && opts.Engine != EngineSyncParallel {
+		return fmt.Errorf("core: Workers is only valid with EngineSyncParallel (engine is %v)", opts.Engine)
+	}
+	if opts.MaxDelay < 0 {
+		return fmt.Errorf("core: MaxDelay must be ≥ 0 (got %v)", opts.MaxDelay)
+	}
+	if opts.MaxDelay != 0 && opts.Engine != EngineAsync {
+		return fmt.Errorf("core: MaxDelay is only valid with EngineAsync (engine is %v)", opts.Engine)
+	}
+	return nil
+}
+
+// buildEngine constructs the engine selected by opts for the freshly built
+// heap inside pq.
+func (pq *PQ) buildEngine(opts Options) {
+	pq.kind = opts.Engine
+	switch opts.Engine {
+	case EngineSync, EngineSyncParallel:
+		if pq.sk != nil {
+			pq.eng = pq.sk.NewSyncEngine()
+		} else {
+			pq.eng = pq.se.NewSyncEngine()
+		}
+		if opts.Engine == EngineSyncParallel {
+			pq.eng.SetParallel(opts.Workers)
+		}
+	case EngineAsync:
+		d := opts.MaxDelay
+		if d == 0 {
+			d = 2
+		}
+		if pq.sk != nil {
+			pq.async = pq.sk.NewAsyncEngine(d)
+		} else {
+			pq.async = pq.se.NewAsyncEngine(d)
+		}
+	case EngineConc:
+		if pq.sk != nil {
+			pq.conc = pq.sk.NewConcEngine()
+		} else {
+			pq.conc = pq.se.NewConcEngine()
+		}
+	}
+}
+
+// runBatch drives the selected engine until every issued operation
+// completed or the budget is exhausted. budget ≤ 0 picks a generous
+// default, measured in rounds (sync engines) or scaled to events (async).
+func (pq *PQ) runBatch(budget int) (bool, error) {
+	if budget <= 0 {
+		budget = 20000 * (mathx.Log2Ceil(pq.nodes) + 3)
+	}
+	switch pq.kind {
+	case EngineSync, EngineSyncParallel:
+		return pq.eng.RunUntil(pq.done, budget), nil
+	case EngineAsync:
+		// One synchronous round corresponds to roughly one activation per
+		// node, so scale the round budget to an event budget.
+		return pq.async.RunUntil(pq.done, budget*(pq.nodes+1)), nil
+	default: // EngineConc
+		if pq.concUsed {
+			if pq.done() {
+				return true, nil // nothing new was issued
+			}
+			return false, errors.New("core: EngineConc supports a single batch→Drain cycle; create a new PQ for the next batch")
+		}
+		pq.concUsed = true
+		return pq.conc.Run(pq.done, concTimeout), nil
+	}
+}
+
+// At returns a builder that issues operations at the given host. It panics
+// when host is out of range, like every per-host entry point.
+func (pq *PQ) At(host int) Host {
+	pq.checkHost(host)
+	return Host{pq: pq, host: host}
+}
+
+// Host issues operations at one fixed process. Builders are values — keep
+// as many as you like, interleave them freely; operations take effect in
+// program order at their host when the next Drain runs the network.
+type Host struct {
+	pq   *PQ
+	host int
+}
+
+// Insert issues Insert(e) at the host with a 1-based priority (1 = most
+// prioritized) and returns the builder for chaining. Use InsertID when the
+// assigned element id is needed.
+func (h Host) Insert(priority uint64, payload string) Host {
+	h.pq.insert(h.host, priority, payload)
+	return h
+}
+
+// InsertID is Insert returning the assigned element id instead of the
+// builder.
+func (h Host) InsertID(priority uint64, payload string) prio.ElemID {
+	return h.pq.insert(h.host, priority, payload)
+}
+
+// DeleteMin issues DeleteMin() at the host and returns the builder for
+// chaining; the outcome appears in the next Drain's deliveries.
+func (h Host) DeleteMin() Host {
+	h.pq.deleteMin(h.host)
+	return h
+}
+
+// Drain drives the network until every operation issued so far completed,
+// then returns the outcomes of the DeleteMins that completed since the
+// previous Drain, in serialization order. It errors when the batch cannot
+// complete (budget exhausted, or a second batch on EngineConc).
+func (pq *PQ) Drain() ([]Delivery, error) {
+	ok, err := pq.runBatch(0)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: %v engine did not complete the batch within its budget", pq.kind)
+	}
+	all := pq.Results()
+	out := all[pq.drained:]
+	pq.drained = len(all)
+	return out, nil
+}
+
+// EngineKind reports which engine drives the PQ.
+func (pq *PQ) EngineKind() EngineKind { return pq.kind }
+
+// AsyncEngine exposes the asynchronous engine (nil unless EngineAsync).
+func (pq *PQ) AsyncEngine() *sim.AsyncEngine { return pq.async }
+
+// ConcEngine exposes the concurrent engine (nil unless EngineConc).
+func (pq *PQ) ConcEngine() *sim.ConcEngine { return pq.conc }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEngineOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the expected error
+	}{
+		{"workers on sync", Options{Nodes: 2, Workers: 4}, "Workers"},
+		{"workers on async", Options{Nodes: 2, Engine: EngineAsync, Workers: 4}, "Workers"},
+		{"negative workers", Options{Nodes: 2, Engine: EngineSyncParallel, Workers: -1}, "Workers"},
+		{"maxdelay on sync", Options{Nodes: 2, MaxDelay: 3}, "MaxDelay"},
+		{"maxdelay on conc", Options{Nodes: 2, Engine: EngineConc, MaxDelay: 3}, "MaxDelay"},
+		{"negative maxdelay", Options{Nodes: 2, Engine: EngineAsync, MaxDelay: -1}, "MaxDelay"},
+		{"unknown engine", Options{Nodes: 2, Engine: EngineKind(99)}, "unknown engine"},
+	}
+	for _, tc := range cases {
+		if _, err := New(Seap, tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+	// The valid combinations must construct.
+	for _, opts := range []Options{
+		{Nodes: 2},
+		{Nodes: 2, Engine: EngineSyncParallel},
+		{Nodes: 2, Engine: EngineSyncParallel, Workers: 3},
+		{Nodes: 2, Engine: EngineAsync, MaxDelay: 1.5},
+		{Nodes: 2, Engine: EngineConc},
+	} {
+		pq, err := New(Seap, opts)
+		if err != nil {
+			t.Fatalf("valid options %+v rejected: %v", opts, err)
+		}
+		if pq.EngineKind() != opts.Engine {
+			t.Fatalf("EngineKind() = %v, want %v", pq.EngineKind(), opts.Engine)
+		}
+	}
+}
+
+// TestBatchAPIAllEngines drives the builder + Drain cycle on every engine
+// kind and both protocols; every engine must deliver the same multiset in
+// priority order and pass verification.
+func TestBatchAPIAllEngines(t *testing.T) {
+	kinds := []EngineKind{EngineSync, EngineSyncParallel, EngineAsync, EngineConc}
+	for _, proto := range []Protocol{Skeap, Seap} {
+		for _, kind := range kinds {
+			opts := Options{Nodes: 4, Priorities: 3, Seed: 11, Engine: kind}
+			if kind == EngineSyncParallel {
+				opts.Workers = 2
+			}
+			pq, err := New(proto, opts)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", proto, kind, err)
+			}
+			pq.At(0).Insert(2, "mid").Insert(1, "hi")
+			pq.At(1).Insert(3, "low")
+			pq.At(2).DeleteMin().DeleteMin()
+			pq.At(3).DeleteMin()
+			got, err := pq.Drain()
+			if err != nil {
+				t.Fatalf("%v/%v: Drain: %v", proto, kind, err)
+			}
+			want := []string{"hi", "mid", "low"}
+			if len(got) != 3 {
+				t.Fatalf("%v/%v: %d deliveries, want 3: %+v", proto, kind, len(got), got)
+			}
+			for i, d := range got {
+				if !d.Found || d.Payload != want[i] {
+					t.Fatalf("%v/%v: deliveries %+v, want payload order %v", proto, kind, got, want)
+				}
+			}
+			if err := pq.Verify(); err != nil {
+				t.Fatalf("%v/%v: %v", proto, kind, err)
+			}
+			if pq.Metrics().Messages == 0 {
+				t.Fatalf("%v/%v: no messages accounted", proto, kind)
+			}
+		}
+	}
+}
+
+// TestDrainIncremental checks each Drain returns only the deliveries new
+// since the previous one.
+func TestDrainIncremental(t *testing.T) {
+	pq, err := New(Seap, Options{Nodes: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.At(0).Insert(5, "a").DeleteMin()
+	first, err := pq.Drain()
+	if err != nil || len(first) != 1 || first[0].Payload != "a" {
+		t.Fatalf("first drain: %+v, %v", first, err)
+	}
+	// An empty batch drains to nothing.
+	empty, err := pq.Drain()
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty drain: %+v, %v", empty, err)
+	}
+	pq.At(1).Insert(9, "b")
+	pq.At(2).DeleteMin().DeleteMin()
+	second, err := pq.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 2 || second[0].Payload != "b" || second[1].Found {
+		t.Fatalf("second drain must be only the new deliveries (b, then ⊥): %+v", second)
+	}
+	if all := pq.Results(); len(all) != 3 {
+		t.Fatalf("Results must keep the full history: %+v", all)
+	}
+}
+
+// TestConcSingleCycle checks the one-batch contract of EngineConc.
+func TestConcSingleCycle(t *testing.T) {
+	pq, err := New(Skeap, Options{Nodes: 3, Priorities: 2, Seed: 31, Engine: EngineConc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.At(0).Insert(1, "x")
+	pq.At(1).DeleteMin()
+	got, err := pq.Drain()
+	if err != nil || len(got) != 1 || got[0].Payload != "x" {
+		t.Fatalf("first drain: %+v, %v", got, err)
+	}
+	// Draining again without new work is a no-op, not an error.
+	if again, err := pq.Drain(); err != nil || len(again) != 0 {
+		t.Fatalf("idempotent drain: %+v, %v", again, err)
+	}
+	// A second batch cannot run: the goroutines are gone.
+	pq.At(2).DeleteMin()
+	if _, err := pq.Drain(); err == nil || !strings.Contains(err.Error(), "single batch") {
+		t.Fatalf("second conc batch: got %v, want single-batch error", err)
+	}
+}
+
+// TestParallelFacadeMatchesSerial checks the facade-level guarantee: the
+// parallel engine produces identical deliveries and metrics to the serial
+// one for the same seed and operations.
+func TestParallelFacadeMatchesSerial(t *testing.T) {
+	build := func(kind EngineKind, workers int) ([]Delivery, interface{}) {
+		pq, err := New(Seap, Options{Nodes: 8, Seed: 41, Engine: kind, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			pq.At(i % 8).Insert(uint64(i*13%50+1), "p")
+		}
+		for i := 0; i < 20; i++ {
+			pq.At((i * 3) % 8).DeleteMin()
+		}
+		got, err := pq.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, pq.Metrics()
+	}
+	serialD, serialM := build(EngineSync, 0)
+	parD, parM := build(EngineSyncParallel, 3)
+	if !reflect.DeepEqual(serialD, parD) {
+		t.Fatalf("deliveries diverge:\nserial %+v\npar    %+v", serialD, parD)
+	}
+	if !reflect.DeepEqual(serialM, parM) {
+		t.Fatalf("metrics diverge:\nserial %+v\npar    %+v", serialM, parM)
+	}
+}
+
+// TestInsertID checks the non-chaining insert returns usable ids.
+func TestInsertID(t *testing.T) {
+	pq, err := New(Seap, Options{Nodes: 2, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := pq.At(0).InsertID(7, "first")
+	id2 := pq.At(1).InsertID(3, "second")
+	if id1 == id2 || id1 == 0 || id2 == 0 {
+		t.Fatalf("ids not unique: %d, %d", id1, id2)
+	}
+	pq.At(0).DeleteMin()
+	got, err := pq.Drain()
+	if err != nil || len(got) != 1 || got[0].ID != id2 {
+		t.Fatalf("delete must return the id of the higher-priority insert: %+v, %v", got, err)
+	}
+}
+
+func TestAtHostRangeChecked(t *testing.T) {
+	pq, _ := New(Seap, Options{Nodes: 2, Seed: 61})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pq.At(2)
+}

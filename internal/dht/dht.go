@@ -12,6 +12,8 @@
 package dht
 
 import (
+	"sort"
+
 	"dpq/internal/ldb"
 	"dpq/internal/prio"
 	"dpq/internal/sim"
@@ -104,13 +106,21 @@ func (d *DHT) StoreSize() int {
 func (d *DHT) Outstanding() int { return len(d.onReply) }
 
 // Elements returns a copy of all elements stored in this node's shard
-// (Seap loads KSelect candidates from it, §5.2).
+// (Seap loads KSelect candidates from it, §5.2). The result is in
+// canonical (priority, id) order: d.store is a Go map, and letting its
+// iteration order leak into protocol state would make runs irreproducible.
 func (d *DHT) Elements() []prio.Element {
 	var out []prio.Element
 	for _, es := range d.store {
 		out = append(out, es...)
 	}
+	sortByKey(out)
 	return out
+}
+
+// sortByKey orders elements canonically by (priority, id).
+func sortByKey(es []prio.Element) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Less(es[j]) })
 }
 
 // Dump removes and returns the node's whole shard — used when membership
@@ -132,7 +142,10 @@ func (d *DHT) PendingCount() int { return len(d.pending) }
 
 // TakeLeq removes and returns every stored element whose key is ≤ bound —
 // Seap's delete phase extracts the k most prioritized elements this way
-// before re-storing them under their position keys.
+// before re-storing them under their position keys. The result is in
+// canonical (priority, id) order for the same reason as Elements: the
+// caller turns it into position assignments, so map iteration order must
+// not leak into the protocol.
 func (d *DHT) TakeLeq(bound prio.Key) []prio.Element {
 	var out []prio.Element
 	for key, es := range d.store {
@@ -150,6 +163,7 @@ func (d *DHT) TakeLeq(bound prio.Key) []prio.Element {
 			d.store[key] = kept
 		}
 	}
+	sortByKey(out)
 	return out
 }
 

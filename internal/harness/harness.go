@@ -112,6 +112,7 @@ func RunAll(sz Sizes, progress io.Writer) *Report {
 		{"E22 fault tolerance overhead", FaultToleranceOverhead},
 		{"E23 Skeap phase breakdown", SkeapPhaseBreakdown},
 		{"E24 KSelect phase breakdown", KSelectPhaseBreakdown},
+		{"E25 parallel engine speedup", ParallelEngineSpeedup},
 	}
 	for _, s := range steps {
 		if progress != nil {

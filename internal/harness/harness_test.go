@@ -12,8 +12,8 @@ import (
 // sanity-checks every table's shape.
 func TestQuickSuiteRuns(t *testing.T) {
 	rep := RunAll(Quick(), nil)
-	if len(rep.Tables) != 25 {
-		t.Fatalf("expected 25 experiment tables, got %d", len(rep.Tables))
+	if len(rep.Tables) != 26 {
+		t.Fatalf("expected 26 experiment tables, got %d", len(rep.Tables))
 	}
 	for _, tab := range rep.Tables {
 		if tab.ID == "" || tab.Claim == "" || len(tab.Header) == 0 {

@@ -1,0 +1,140 @@
+// Parallel-engine determinism: the worker-pool SyncEngine must be
+// observationally identical to the serial engine — not just "same final
+// heap", but byte-identical dpq-trace/1 output and equal Metrics. This is
+// the contract ARCHITECTURE.md §11 argues for; the table test here checks
+// it for every protocol across several seeds and worker counts, and the
+// CI race job runs this package under -race to catch unsynchronized
+// access in the worker pool itself.
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/kselect"
+	"dpq/internal/ldb"
+	"dpq/internal/obs"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/sim"
+	"dpq/internal/skeap"
+)
+
+// runTraced drives one protocol batch to completion on a SyncEngine with
+// the given worker count (1 = serial path), streaming every delivery
+// through a dpq-trace/1 writer, and returns the JSONL bytes and metrics.
+func runTraced(t *testing.T, proto string, workers int, seed uint64) ([]byte, sim.Metrics) {
+	t.Helper()
+	const n = 16
+	const opsPerNode = 3
+	var (
+		eng   *sim.SyncEngine
+		start func()
+		done  func() bool
+	)
+	switch proto {
+	case "skeap":
+		h := skeap.New(skeap.Config{N: n, P: 4, Seed: seed})
+		h.SetAutoRepeat(false)
+		rnd := hashutil.NewRand(seed + 1)
+		id := prio.ElemID(1)
+		for host := 0; host < n; host++ {
+			for i := 0; i < opsPerNode; i++ {
+				if rnd.Bool(0.6) {
+					h.InjectInsert(host, id, rnd.Intn(4), "")
+					id++
+				} else {
+					h.InjectDelete(host)
+				}
+			}
+		}
+		eng = h.NewSyncEngine()
+		start = func() { h.StartIteration(eng.Context(h.Overlay().Anchor)) }
+		done = h.Done
+	case "seap":
+		const bound = 16 * n * n
+		h := seap.New(seap.Config{N: n, PrioBound: bound, Seed: seed})
+		h.SetAutoRepeat(false)
+		rnd := hashutil.NewRand(seed + 1)
+		id := prio.ElemID(1)
+		for host := 0; host < n; host++ {
+			for i := 0; i < opsPerNode; i++ {
+				if rnd.Bool(0.6) {
+					h.InjectInsert(host, id, rnd.Uint64n(bound)+1, "")
+					id++
+				} else {
+					h.InjectDelete(host)
+				}
+			}
+		}
+		eng = h.NewSyncEngine()
+		start = func() { h.StartCycle(eng.Context(h.Overlay().Anchor)) }
+		done = h.Done
+	case "kselect":
+		ov := ldb.New(n, hashutil.New(seed))
+		sel := kselect.New(ov, hashutil.New(seed+1))
+		m := 4 * n
+		sel.LoadUniform(m, uint64(m)*4, seed+2)
+		eng = sel.NewSyncEngine(seed + 3)
+		start = func() { sel.Start(eng.Context(sel.Anchor()), int64(2*n)) }
+		done = sel.Done
+	default:
+		t.Fatalf("unknown proto %q", proto)
+	}
+	eng.SetParallel(workers)
+
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf)
+	eng.SetBatchObserver(tw.BatchObserver())
+	start()
+	if !eng.RunUntil(done, maxRounds(n)) {
+		t.Fatalf("%s workers=%d seed=%d did not complete", proto, workers, seed)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("trace flush: %v", err)
+	}
+	return buf.Bytes(), *eng.Metrics()
+}
+
+// firstTraceDiff reports the first JSONL line where two traces diverge,
+// for a readable failure message.
+func firstTraceDiff(a, b []byte) string {
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf("line %d:\n  serial:   %s\n  parallel: %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: serial %d lines, parallel %d lines", len(la), len(lb))
+}
+
+// TestParallelEngineDeterminism: for every protocol and several seeds,
+// the worker-pool engine must produce a byte-identical dpq-trace/1
+// stream and equal Metrics to the serial engine, at more than one worker
+// count (a divisor and a non-divisor of the node count, so both even and
+// ragged partitions are covered).
+func TestParallelEngineDeterminism(t *testing.T) {
+	for _, proto := range []string{"skeap", "seap", "kselect"} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", proto, seed), func(t *testing.T) {
+				serialTrace, serialMet := runTraced(t, proto, 1, seed)
+				if len(bytes.TrimSpace(serialTrace)) == 0 || serialMet.Messages == 0 {
+					t.Fatalf("serial run produced no trace/messages")
+				}
+				for _, w := range []int{2, 3} {
+					parTrace, parMet := runTraced(t, proto, w, seed)
+					if !bytes.Equal(serialTrace, parTrace) {
+						t.Fatalf("trace diverges at workers=%d: %s", w, firstTraceDiff(serialTrace, parTrace))
+					}
+					if !reflect.DeepEqual(serialMet, parMet) {
+						t.Fatalf("metrics diverge at workers=%d:\n  serial:   %+v\n  parallel: %+v", w, serialMet, parMet)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package netrun
+
+import (
+	"testing"
+	"time"
+
+	"dpq/internal/hashutil"
+)
+
+func schedule(seed uint64, steps int) []time.Duration {
+	b := backoff{min: 10 * time.Millisecond, max: time.Second, cur: 10 * time.Millisecond, rng: hashutil.NewRand(seed)}
+	out := make([]time.Duration, steps)
+	for i := range out {
+		out[i] = b.next()
+	}
+	return out
+}
+
+// TestBackoffSchedulesDiverge pins the fix for lockstep redials: two peers
+// of one restarted process (differently seeded backoffs) must not share a
+// redial schedule, while one peer's schedule is reproducible per seed.
+func TestBackoffSchedulesDiverge(t *testing.T) {
+	a := schedule(hashutil.Mix2(hashutil.Mix2(7, 1), 2), 8)
+	b := schedule(hashutil.Mix2(hashutil.Mix2(7, 2), 1), 8)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("peer redial schedules identical: %v", a)
+	}
+	if got := schedule(hashutil.Mix2(hashutil.Mix2(7, 1), 2), 8); len(got) != len(a) || got[0] != a[0] || got[7] != a[7] {
+		t.Fatalf("schedule not reproducible per seed: %v vs %v", got, a)
+	}
+}
+
+// TestBackoffBounds checks each sleep stays within [cur/2, cur] and the
+// step saturates at max.
+func TestBackoffBounds(t *testing.T) {
+	b := backoff{min: 10 * time.Millisecond, max: 80 * time.Millisecond, cur: 10 * time.Millisecond, rng: hashutil.NewRand(3)}
+	cur := 10 * time.Millisecond
+	for i := 0; i < 12; i++ {
+		d := b.next()
+		if d < cur/2 || d > cur {
+			t.Fatalf("step %d: sleep %v outside [%v,%v]", i, d, cur/2, cur)
+		}
+		cur *= 2
+		if cur > 80*time.Millisecond {
+			cur = 80 * time.Millisecond
+		}
+	}
+	b.reset()
+	if d := b.next(); d > 10*time.Millisecond {
+		t.Fatalf("reset did not restore min step: %v", d)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"dpq/internal/hashutil"
 	"dpq/internal/sim"
 	"dpq/internal/wire"
 )
@@ -29,19 +30,33 @@ const (
 	frameHeaderBytes = 24
 )
 
-// encodeFrame builds a frame body: from, to, sender tick, encoded message.
-// Unregistered message types panic — a registration gap is a build defect,
-// caught by the wire inventory test.
+// appendFrame appends one length-prefixed frame (u32 length, then body:
+// from, to, sender tick, encoded message) to dst. On error dst is returned
+// unchanged. Appending into the peer's pending buffer keeps the send path
+// allocation-free once the buffer is warm.
+func appendFrame(dst []byte, from, to sim.NodeID, tick int64, msg sim.Message) ([]byte, error) {
+	mark := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(from)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(to)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(tick))
+	out, err := wire.MarshalAppend(dst, msg)
+	if err != nil {
+		return dst[:mark], err
+	}
+	binary.BigEndian.PutUint32(out[mark:], uint32(len(out)-mark-4))
+	return out, nil
+}
+
+// encodeFrame builds a frame body (no length prefix). Unregistered message
+// types panic — a registration gap is a build defect, caught by the wire
+// inventory test.
 func encodeFrame(from, to sim.NodeID, tick int64, msg sim.Message) []byte {
-	w := &wire.Writer{}
-	w.I64(int64(from))
-	w.I64(int64(to))
-	w.I64(tick)
-	data, err := wire.Marshal(msg)
+	b, err := appendFrame(nil, from, to, tick, msg)
 	if err != nil {
 		panic(fmt.Sprintf("netrun: %v", err))
 	}
-	return append(w.Bytes(), data...)
+	return b[4:]
 }
 
 // decodeFrame parses a frame body.
@@ -84,17 +99,12 @@ func readHandshake(r io.Reader) (proc int, err error) {
 	return int(binary.BigEndian.Uint32(b[6:])), nil
 }
 
-func writeFrame(w io.Writer, body []byte) error {
-	var lenb [4]byte
-	binary.BigEndian.PutUint32(lenb[:], uint32(len(body)))
-	if _, err := w.Write(lenb[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
-	return err
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrameInto reads one length-prefixed frame body, reusing *scratch as
+// the destination buffer when it is large enough. The returned slice
+// aliases *scratch and is only valid until the next call — safe because
+// decodeFrame copies every decoded value out of the body (wire strings are
+// materialized with string(b)).
+func readFrameInto(r io.Reader, scratch *[]byte) ([]byte, error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
 		return nil, err
@@ -103,7 +113,10 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n < frameHeaderBytes || n > maxFrameSize {
 		return nil, fmt.Errorf("netrun: implausible frame length %d", n)
 	}
-	body := make([]byte, n)
+	if cap(*scratch) < int(n) {
+		*scratch = make([]byte, n)
+	}
+	body := (*scratch)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
@@ -149,8 +162,9 @@ func (e *Engine) serveConn(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	e.cfg.Logf("netrun: proc %d connected from %s", peerProc, conn.RemoteAddr())
+	var scratch []byte // per-connection read buffer, reused across frames
 	for {
-		body, err := readFrame(br)
+		body, err := readFrameInto(br, &scratch)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				e.cfg.Logf("netrun: read from proc %d: %v", peerProc, err)
@@ -166,32 +180,78 @@ func (e *Engine) serveConn(conn net.Conn) {
 	}
 }
 
-// peer is the outbound side toward one remote process: an unbounded frame
-// queue drained by a writer goroutine that (re)dials with exponential
-// backoff. On a write error the unflushed batch is requeued, so frames can
-// be duplicated across reconnects — sim.ReliableTransport (or an
-// idempotent protocol) absorbs that.
+// backoff is a seeded jittered exponential backoff: each step sleeps the
+// current step halved plus a uniformly random top-up ("equal jitter").
+// Seeding per ordered process pair makes the redial schedules of the many
+// peers of one restarted process diverge instead of hammering it in
+// lockstep.
+type backoff struct {
+	min, max time.Duration
+	cur      time.Duration
+	rng      *hashutil.Rand
+}
+
+func (b *backoff) reset() { b.cur = b.min }
+
+// next returns the sleep before the following dial attempt and advances
+// the exponential step.
+func (b *backoff) next() time.Duration {
+	if b.cur < b.min {
+		b.cur = b.min
+	}
+	half := b.cur / 2
+	d := half + time.Duration(b.rng.Uint64n(uint64(half)+1))
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+// recycleFrameCap is the largest pending buffer the peer keeps for reuse;
+// anything bigger (a burst) is dropped for the GC so it cannot pin memory.
+const recycleFrameCap = 1 << 20
+
+// peer is the outbound side toward one remote process: a contiguous
+// length-prefixed byte buffer of pending frames, drained by a writer
+// goroutine that (re)dials with jittered exponential backoff. Senders
+// encode directly into the buffer under the peer lock and the writer swaps
+// it against a recycled spare, so the steady-state send path allocates
+// nothing and each drain is one conn.Write. On a write error the unwritten
+// batch is requeued, so frames can be duplicated across reconnects —
+// sim.ReliableTransport (or an idempotent protocol) absorbs that.
 type peer struct {
 	proc int
 	addr string
+	bo   backoff // owned by the writer goroutine
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  [][]byte
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []byte // length-prefixed frames awaiting write
+	spare   []byte // recycled drained buffer (len 0)
+	closed  bool
 }
 
-func newPeer(proc int, addr string) *peer {
-	p := &peer{proc: proc, addr: addr}
+func newPeer(proc int, addr string, min, max time.Duration, seed uint64) *peer {
+	p := &peer{proc: proc, addr: addr, bo: backoff{min: min, max: max, cur: min, rng: hashutil.NewRand(seed)}}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
-func (p *peer) enqueue(frame []byte) {
+// enqueueMsg frames msg directly into the pending buffer. Unregistered
+// message types panic, matching encodeFrame.
+func (p *peer) enqueueMsg(from, to sim.NodeID, tick int64, msg sim.Message) {
 	p.mu.Lock()
-	if !p.closed {
-		p.queue = append(p.queue, frame)
+	if p.closed {
+		p.mu.Unlock()
+		return
 	}
+	buf, err := appendFrame(p.pending, from, to, tick, msg)
+	if err != nil {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("netrun: %v", err))
+	}
+	p.pending = buf
 	p.mu.Unlock()
 	p.cond.Signal()
 }
@@ -203,23 +263,41 @@ func (p *peer) close() {
 	p.cond.Broadcast()
 }
 
-// waitBatch blocks until frames are queued or the peer closes, then takes
-// the whole queue. It returns nil only when closed with an empty queue.
-func (p *peer) waitBatch() [][]byte {
+// waitBatch blocks until frames are pending or the peer closes, then takes
+// the whole pending buffer. It returns nil only when closed with nothing
+// pending.
+func (p *peer) waitBatch() []byte {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.queue) == 0 && !p.closed {
+	for len(p.pending) == 0 && !p.closed {
 		p.cond.Wait()
 	}
-	batch := p.queue
-	p.queue = nil
+	if len(p.pending) == 0 {
+		return nil
+	}
+	batch := p.pending
+	p.pending = p.spare
+	p.spare = nil
 	return batch
 }
 
-// requeue pushes an unflushed batch back to the front of the queue.
-func (p *peer) requeue(batch [][]byte) {
+// requeue pushes an unwritten batch back in front of whatever was enqueued
+// meanwhile (error path only).
+func (p *peer) requeue(batch []byte) {
 	p.mu.Lock()
-	p.queue = append(batch, p.queue...)
+	p.pending = append(batch, p.pending...)
+	p.mu.Unlock()
+}
+
+// recycle hands a drained buffer back for reuse.
+func (p *peer) recycle(batch []byte) {
+	if cap(batch) > recycleFrameCap {
+		return
+	}
+	p.mu.Lock()
+	if p.spare == nil {
+		p.spare = batch[:0]
+	}
 	p.mu.Unlock()
 }
 
@@ -227,8 +305,6 @@ func (p *peer) requeue(batch [][]byte) {
 func (p *peer) run(e *Engine) {
 	defer e.wg.Done()
 	var conn net.Conn
-	var bw *bufio.Writer
-	backoff := e.cfg.DialBackoffMin
 	deadline := time.Time{} // flush deadline once closing
 	defer func() {
 		if conn != nil {
@@ -248,56 +324,49 @@ func (p *peer) run(e *Engine) {
 		}
 		for conn == nil {
 			if closing && time.Now().After(deadline) {
-				e.cfg.Logf("netrun: dropping %d unsent frames for proc %d at shutdown", len(batch), p.proc)
+				e.cfg.Logf("netrun: dropping %d unsent frame bytes for proc %d at shutdown", len(batch), p.proc)
 				return
 			}
 			c, err := net.DialTimeout("tcp", p.addr, time.Second)
 			if err == nil {
-				bw = bufio.NewWriter(c)
-				if err = writeHandshake(bw, e.cfg.Proc); err == nil {
+				if err = writeHandshake(c, e.cfg.Proc); err == nil {
 					conn = c
-					backoff = e.cfg.DialBackoffMin
+					p.bo.reset()
 					break
 				}
 				c.Close()
 			}
-			e.cfg.Logf("netrun: dial proc %d (%s): %v (retry in %v)", p.proc, p.addr, err, backoff)
+			sleep := p.bo.next()
+			e.cfg.Logf("netrun: dial proc %d (%s): %v (retry in %v)", p.proc, p.addr, err, sleep)
 			if closing {
 				// stop has already fired, so the interruptible sleep would
 				// return immediately and spin the dial loop; sleep plainly,
 				// bounded by the flush deadline.
-				if d := min(backoff, time.Until(deadline)); d > 0 {
+				if d := min(sleep, time.Until(deadline)); d > 0 {
 					time.Sleep(d)
 				}
-			} else if !sleepInterruptible(backoff, e.stop) {
+			} else if !sleepInterruptible(sleep, e.stop) {
 				// Engine stopping: switch to flush mode.
 				closing = true
 				deadline = time.Now().Add(e.cfg.FlushTimeout)
 			}
-			backoff *= 2
-			if backoff > e.cfg.DialBackoffMax {
-				backoff = e.cfg.DialBackoffMax
-			}
 		}
-		err := func() error {
-			if closing {
-				conn.SetWriteDeadline(deadline)
-			}
-			for _, frame := range batch {
-				if err := writeFrame(bw, frame); err != nil {
-					return err
-				}
-			}
-			return bw.Flush()
-		}()
+		if closing {
+			conn.SetWriteDeadline(deadline)
+		}
+		// batch is already a contiguous length-prefixed frame stream: one
+		// write call, no per-frame copies.
+		_, err := conn.Write(batch)
 		if err != nil {
 			e.cfg.Logf("netrun: write to proc %d: %v", p.proc, err)
 			conn.Close()
-			conn, bw = nil, nil
+			conn = nil
 			if closing {
 				return
 			}
 			p.requeue(batch)
+		} else {
+			p.recycle(batch)
 		}
 	}
 }

@@ -182,7 +182,11 @@ func New(cfg Config) (*Engine, error) {
 
 	for p := range cfg.Addrs {
 		if p != cfg.Proc {
-			e.peers[p] = newPeer(p, cfg.Addrs[p])
+			// The backoff seed is per ordered process pair, so the redial
+			// schedules of distinct peers diverge (jitter) while a fixed
+			// Config.Seed keeps each schedule reproducible.
+			boSeed := hashutil.Mix2(hashutil.Mix2(cfg.Seed, uint64(cfg.Proc)+1), uint64(p)+1)
+			e.peers[p] = newPeer(p, cfg.Addrs[p], cfg.DialBackoffMin, cfg.DialBackoffMax, boSeed)
 		}
 	}
 	return e, nil
@@ -249,7 +253,7 @@ func (e *Engine) Send(from, to sim.NodeID, msg sim.Message) {
 	if p == nil {
 		panic(fmt.Sprintf("netrun: node %d owned by unknown process %d", to, owner))
 	}
-	p.enqueue(encodeFrame(from, to, tick, msg))
+	p.enqueueMsg(from, to, tick, msg)
 }
 
 func (e *Engine) currentTick() int64 {

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dpq/internal/sim"
+)
+
+type obMsg struct{ b int }
+
+func (m obMsg) Kind() string { return "test/ob" }
+func (m obMsg) Bits() int    { return m.b }
+
+func batchDeliveries() [][]sim.Delivery {
+	return [][]sim.Delivery{
+		{
+			{Round: 0, From: 0, To: 1, Group: 1, Bits: 8, Msg: obMsg{8}},
+			{Round: 0, From: 1, To: 0, Group: 0, Bits: 16, Msg: obMsg{16}},
+		},
+		{
+			{Round: 1, From: 0, To: 1, Group: 1, Bits: 8, Msg: obMsg{8}},
+			{Round: 1, From: 0, To: 1, Group: 1, Bits: 128, Msg: obMsg{128}},
+			{Round: 1, From: 1, To: 0, Group: 0, Bits: 8, Msg: obMsg{8}},
+		},
+		{
+			{Round: 3, From: 1, To: 0, Group: 0, Bits: 8, Msg: obMsg{8}},
+		},
+	}
+}
+
+// TestCollectorBatchMatchesSingle checks ObserveBatch aggregates exactly
+// like per-delivery observe calls, including phase attribution.
+func TestCollectorBatchMatchesSingle(t *testing.T) {
+	single := NewCollector()
+	batch := NewCollector()
+	single.Phase("build")
+	batch.Phase("build")
+	for i, ds := range batchDeliveries() {
+		if i == 2 {
+			single.Phase("drain")
+			batch.Phase("drain")
+		}
+		for _, d := range ds {
+			single.Observer()(d)
+		}
+		batch.BatchObserver()(ds)
+	}
+	if !reflect.DeepEqual(single.Kinds(), batch.Kinds()) {
+		t.Fatalf("kinds diverge:\nsingle %+v\nbatch  %+v", single.Kinds(), batch.Kinds())
+	}
+	if !reflect.DeepEqual(single.Phases(), batch.Phases()) {
+		t.Fatalf("phases diverge:\nsingle %+v\nbatch  %+v", single.Phases(), batch.Phases())
+	}
+	if single.TotalMessages() != batch.TotalMessages() {
+		t.Fatalf("totals diverge: %d vs %d", single.TotalMessages(), batch.TotalMessages())
+	}
+}
+
+// TestTraceWriterBatchBytesIdentical checks WriteBatch produces the exact
+// bytes of per-delivery Write calls.
+func TestTraceWriterBatchBytesIdentical(t *testing.T) {
+	var one, many bytes.Buffer
+	tw1 := NewTraceWriter(&one)
+	twN := NewTraceWriter(&many)
+	for _, ds := range batchDeliveries() {
+		for _, d := range ds {
+			tw1.Write(d)
+		}
+		twN.WriteBatch(ds)
+	}
+	if err := tw1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := twN.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), many.Bytes()) {
+		t.Fatalf("batched trace differs from per-delivery trace:\n%s\nvs\n%s", one.Bytes(), many.Bytes())
+	}
+	if tw1.Lines() != twN.Lines() {
+		t.Fatalf("line counts differ: %d vs %d", tw1.Lines(), twN.Lines())
+	}
+}
+
+// TestMultiBatch checks nil-skipping fan-out.
+func TestMultiBatch(t *testing.T) {
+	if MultiBatch(nil, nil) != nil {
+		t.Fatal("all-nil MultiBatch should be nil")
+	}
+	var a, b int
+	f := MultiBatch(nil, func(ds []sim.Delivery) { a += len(ds) }, func(ds []sim.Delivery) { b += len(ds) })
+	f(batchDeliveries()[1])
+	if a != 3 || b != 3 {
+		t.Fatalf("fan-out miscounted: a=%d b=%d", a, b)
+	}
+}

@@ -6,20 +6,37 @@ import "dpq/internal/hashutil"
 // model: time proceeds in rounds; all messages sent in round i are
 // processed in round i+1; every node is activated once per round after
 // draining its channel.
+//
+// The engine has two execution modes producing identical results: the
+// default serial mode runs every node on the calling goroutine, and the
+// parallel mode (SetParallel) partitions each round's node set across a
+// worker pool — see syncpar.go for the determinism argument.
 type SyncEngine struct {
 	handlers []Handler
 	contexts []*Context
 	// group maps a simulated node to its real process for congestion
-	// accounting; identity when nil.
+	// accounting; identity when nil. Group functions must be pure: the
+	// parallel mode calls them from several goroutines.
 	group func(NodeID) int
 	nGrp  int
 
 	inbox [][]envelope // messages deliverable this round
 	next  [][]envelope // messages sent this round, deliverable next round
 
-	observer func(Delivery)
-	strict   bool
-	metrics  Metrics
+	// roundLoad is the per-group delivery count of the current round,
+	// reused across rounds to keep Step allocation-free.
+	roundLoad []int
+
+	observer      func(Delivery)
+	batchObserver func([]Delivery)
+	obsBuf        []Delivery // reusable round buffer for batchObserver
+
+	workers int         // >1 enables the parallel stepping path
+	outs    []nodeOutbox // per-node send/observation buffers (parallel mode)
+	pws     []parWorker  // per-worker metric accumulators (parallel mode)
+
+	strict  bool
+	metrics Metrics
 }
 
 // NewSync creates a synchronous engine over the given handlers. groups is
@@ -83,26 +100,47 @@ func (e *SyncEngine) Pending() bool {
 	return false
 }
 
+// ensureRoundLoad sizes and zeroes the reusable per-round load counters.
+func (e *SyncEngine) ensureRoundLoad() {
+	if cap(e.roundLoad) < e.nGrp {
+		e.roundLoad = make([]int, e.nGrp)
+	}
+	e.roundLoad = e.roundLoad[:e.nGrp]
+	for i := range e.roundLoad {
+		e.roundLoad[i] = 0
+	}
+}
+
 // Step executes one synchronous round: every node drains its channel and is
 // then activated once. It returns the number of messages delivered.
 func (e *SyncEngine) Step() int {
 	// Messages sent in the previous round become deliverable now.
 	e.inbox, e.next = e.next, e.inbox
+	if e.workers > 1 && len(e.handlers) > 1 {
+		return e.stepParallel()
+	}
 	delivered := 0
-	roundLoad := make([]int, e.nGrp)
+	e.ensureRoundLoad()
+	e.obsBuf = e.obsBuf[:0]
 	for i := range e.handlers {
 		id := NodeID(i)
 		box := e.inbox[i]
-		e.inbox[i] = nil
+		// Keep the drained slice's capacity: it becomes next round's send
+		// buffer when inbox/next swap back, so steady-state rounds allocate
+		// nothing for message passing.
+		e.inbox[i] = box[:0]
 		for _, env := range box {
 			g := e.group(id)
 			bits := env.msg.Bits()
 			e.metrics.observe(g, bits, e.strict)
-			if g >= 0 && g < len(roundLoad) {
-				roundLoad[g]++
+			if g >= 0 && g < len(e.roundLoad) {
+				e.roundLoad[g]++
 			}
 			if e.observer != nil {
 				e.observer(Delivery{Round: e.metrics.Rounds, From: env.from, To: id, Group: g, Bits: bits, Msg: env.msg})
+			}
+			if e.batchObserver != nil {
+				e.obsBuf = append(e.obsBuf, Delivery{Round: e.metrics.Rounds, From: env.from, To: id, Group: g, Bits: bits, Msg: env.msg})
 			}
 			e.handlers[i].HandleMessage(e.contexts[i], env.from, env.msg)
 			delivered++
@@ -111,13 +149,22 @@ func (e *SyncEngine) Step() int {
 	for i := range e.handlers {
 		e.handlers[i].Activate(e.contexts[i])
 	}
-	for _, l := range roundLoad {
+	e.finishRound()
+	return delivered
+}
+
+// finishRound folds the round's load into Congestion, flushes the batched
+// observer and advances the round counter. Shared by both stepping modes.
+func (e *SyncEngine) finishRound() {
+	for _, l := range e.roundLoad {
 		if l > e.metrics.Congestion {
 			e.metrics.Congestion = l
 		}
 	}
+	if e.batchObserver != nil && len(e.obsBuf) > 0 {
+		e.batchObserver(e.obsBuf)
+	}
 	e.metrics.Rounds++
-	return delivered
 }
 
 // RunUntil steps the engine until done() returns true or maxRounds rounds
@@ -146,10 +193,22 @@ func (e *SyncEngine) RunQuiescent(done func() bool, maxRounds int) bool {
 }
 
 // SetObserver installs a callback invoked for every delivered message
-// (after metric accounting, before the handler runs). Observability only —
-// protocols must not depend on it.
+// (in serial mode after metric accounting, before the handler runs; in
+// parallel mode at the end of the round, in the same per-round delivery
+// order). Observability only — protocols must not depend on it.
 func (e *SyncEngine) SetObserver(f func(Delivery)) {
 	e.observer = f
+}
+
+// SetBatchObserver installs a callback invoked once per round with every
+// delivery of that round, in delivery order — the deliveries slice is
+// reused across rounds and must not be retained. Batching amortizes the
+// per-delivery locking of collectors on the hot path; the delivery order
+// seen is identical to SetObserver's. Rounds without deliveries produce no
+// callback. Both observers may be installed at once (each sees every
+// delivery).
+func (e *SyncEngine) SetBatchObserver(f func([]Delivery)) {
+	e.batchObserver = f
 }
 
 // SetStrictAccounting overrides the strict-mode default (panic on an

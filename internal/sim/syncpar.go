@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel stepping for the SyncEngine: the per-round activation set is
+// partitioned across a worker pool and the round's side effects are merged
+// back in deterministic node order, so a parallel run is indistinguishable
+// from a serial one — same protocol state, same Metrics, same observer
+// stream, byte for byte.
+//
+// Determinism argument. Within one synchronous round, a node's work (drain
+// its inbox, then activate once) depends only on (a) the node's own state
+// at the start of the round and (b) the content of its inbox, which was
+// sealed when the round began — a message sent during round r is never
+// delivered in round r. Handlers own their node's state exclusively (the
+// ConcEngine's model; cross-node shared state such as the semantics trace
+// is internally synchronized and order-insensitive), so running nodes on
+// different workers cannot change any node's outcome. The only
+// order-sensitive effects are the append order of next-round inboxes, the
+// observer stream and the metrics fold; all three are buffered per node
+// during the round and replayed in exactly the serial engine's order
+// afterwards: deliveries and handler sends for node 0,1,…,n−1, then
+// activation sends for node 0,1,…,n−1.
+//
+// Pooling rules: every per-node and per-worker buffer is owned by exactly
+// one goroutine for the duration of the round and reused across rounds
+// (allocation-free steady state). Group functions must be pure — they are
+// called concurrently.
+
+// nodeOutbox buffers one node's sends and observed deliveries for the
+// round. It implements the internal engine interface so the node's Context
+// can be pointed at it for the duration of the node's turn.
+type nodeOutbox struct {
+	n        int // network size snapshot, for the send bounds check
+	deliver  []envelope
+	activate []envelope
+	cur      *[]envelope // bucket currently receiving sends
+	obs      []Delivery
+}
+
+func (o *nodeOutbox) send(from, to NodeID, msg Message) {
+	if int(to) < 0 || int(to) >= o.n {
+		panic("sim: send to unknown node")
+	}
+	*o.cur = append(*o.cur, envelope{from: from, to: to, msg: msg})
+}
+
+// parWorker accumulates one worker's share of the round's metrics; the
+// fields are merged commutatively after the join, so the totals equal the
+// serial engine's regardless of how nodes were scheduled.
+type parWorker struct {
+	messages   int64
+	totalBits  int64
+	maxBits    int
+	dropped    int64
+	deliveries []int64
+	roundLoad  []int
+	panicVal   any
+}
+
+// SetParallel switches the engine to parallel stepping with the given
+// worker count (1 restores serial mode, 0 or negative picks GOMAXPROCS).
+// Parallel stepping is byte-identical to serial stepping — traces, metrics
+// and protocol state do not depend on the mode or the worker count. It
+// requires handlers that confine their mutable state to their own node
+// (true for every protocol in this repository; the ConcEngine imposes the
+// same contract) and pure group functions.
+func (e *SyncEngine) SetParallel(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.workers = workers
+}
+
+// Workers returns the configured worker count (1 = serial).
+func (e *SyncEngine) Workers() int {
+	if e.workers < 1 {
+		return 1
+	}
+	return e.workers
+}
+
+// parChunk is how many node indices a worker claims per fetch; small
+// enough to balance skewed per-node load, large enough to keep the shared
+// counter cold.
+const parChunk = 8
+
+// stepParallel is Step's worker-pool body. The inbox/next swap already
+// happened in Step.
+func (e *SyncEngine) stepParallel() int {
+	n := len(e.handlers)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	e.ensureRoundLoad()
+	e.obsBuf = e.obsBuf[:0]
+	for len(e.outs) < n {
+		e.outs = append(e.outs, nodeOutbox{})
+	}
+	for len(e.pws) < workers {
+		e.pws = append(e.pws, parWorker{})
+	}
+	wantObs := e.observer != nil || e.batchObserver != nil
+	round := e.metrics.Rounds
+	for w := 0; w < workers; w++ {
+		pw := &e.pws[w]
+		pw.messages, pw.totalBits, pw.maxBits, pw.dropped, pw.panicVal = 0, 0, 0, 0, nil
+		if cap(pw.deliveries) < e.nGrp {
+			pw.deliveries = make([]int64, e.nGrp)
+			pw.roundLoad = make([]int, e.nGrp)
+		}
+		pw.deliveries = pw.deliveries[:e.nGrp]
+		pw.roundLoad = pw.roundLoad[:e.nGrp]
+		for g := range pw.deliveries {
+			pw.deliveries[g] = 0
+			pw.roundLoad[g] = 0
+		}
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(pw *parWorker) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pw.panicVal = r
+				}
+			}()
+			for {
+				hi := int(cursor.Add(parChunk))
+				lo := hi - parChunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					e.runNodePar(NodeID(i), pw, round, wantObs)
+				}
+			}
+		}(&e.pws[w])
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if v := e.pws[w].panicVal; v != nil {
+			panic(v)
+		}
+	}
+
+	// Deterministic merge: fold worker metrics (commutative), then replay
+	// the buffered observer stream and outboxes in serial node order.
+	delivered := 0
+	for w := 0; w < workers; w++ {
+		pw := &e.pws[w]
+		delivered += int(pw.messages)
+		e.metrics.Messages += pw.messages
+		e.metrics.TotalBits += pw.totalBits
+		if pw.maxBits > e.metrics.MaxMessageBit {
+			e.metrics.MaxMessageBit = pw.maxBits
+		}
+		e.metrics.Dropped += pw.dropped
+		for g := range pw.deliveries {
+			e.metrics.Deliveries[g] += pw.deliveries[g]
+			e.roundLoad[g] += pw.roundLoad[g]
+		}
+	}
+	if wantObs {
+		for i := 0; i < n; i++ {
+			for _, d := range e.outs[i].obs {
+				if e.observer != nil {
+					e.observer(d)
+				}
+				if e.batchObserver != nil {
+					e.obsBuf = append(e.obsBuf, d)
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, env := range e.outs[i].deliver {
+			e.next[env.to] = append(e.next[env.to], env)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, env := range e.outs[i].activate {
+			e.next[env.to] = append(e.next[env.to], env)
+		}
+	}
+	e.finishRound()
+	return delivered
+}
+
+// runNodePar executes one node's round on the calling worker: drain the
+// sealed inbox, then activate, buffering sends and observations into the
+// node's outbox.
+func (e *SyncEngine) runNodePar(id NodeID, pw *parWorker, round int, wantObs bool) {
+	i := int(id)
+	o := &e.outs[i]
+	o.n = len(e.handlers)
+	o.deliver = o.deliver[:0]
+	o.activate = o.activate[:0]
+	o.obs = o.obs[:0]
+	ctx := e.contexts[i]
+	ctx.engine = o
+	// Restore the context's engine binding before the worker moves on, so
+	// driver-side sends between rounds (workload injection) behave exactly
+	// as in serial mode.
+	defer func() { ctx.engine = e }()
+
+	box := e.inbox[i]
+	e.inbox[i] = box[:0]
+	g := e.group(id)
+	o.cur = &o.deliver
+	for _, env := range box {
+		bits := env.msg.Bits()
+		pw.messages++
+		pw.totalBits += int64(bits)
+		if bits > pw.maxBits {
+			pw.maxBits = bits
+		}
+		switch {
+		case g >= 0 && g < len(pw.deliveries):
+			pw.deliveries[g]++
+			pw.roundLoad[g]++
+		case e.strict:
+			panic(fmt.Sprintf("sim: delivery to out-of-range congestion group %d (have %d groups); AddHandler must grow Deliveries", g, len(pw.deliveries)))
+		default:
+			pw.dropped++
+		}
+		if wantObs {
+			o.obs = append(o.obs, Delivery{Round: round, From: env.from, To: id, Group: g, Bits: bits, Msg: env.msg})
+		}
+		e.handlers[i].HandleMessage(ctx, env.from, env.msg)
+	}
+	o.cur = &o.activate
+	e.handlers[i].Activate(ctx)
+}

@@ -90,19 +90,49 @@ func lookupType(msg sim.Message) (*entry, error) {
 	return e, nil
 }
 
+// writerPool recycles encode buffers for the framing hot path. Buffers
+// above recycleCap are dropped rather than pooled so one huge message does
+// not pin memory forever.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// recycleCap is the largest buffer capacity GetWriter keeps in the pool.
+const recycleCap = 1 << 20
+
+// GetWriter returns an empty pooled writer. Return it with PutWriter when
+// the encoded bytes have been copied out.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles w. The caller must not retain w.Bytes() afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) <= recycleCap {
+		writerPool.Put(w)
+	}
+}
+
 // Marshal encodes msg (kind id + body) into a fresh buffer.
 func Marshal(msg sim.Message) ([]byte, error) {
+	return MarshalAppend(nil, msg)
+}
+
+// MarshalAppend encodes msg (kind id + body) appended to dst and returns
+// the extended slice — the allocation-free form of Marshal for callers
+// that own a reusable buffer. On error dst is returned unchanged.
+func MarshalAppend(dst []byte, msg sim.Message) ([]byte, error) {
 	if msg == nil {
-		return nil, fmt.Errorf("wire: cannot marshal nil message")
+		return dst, fmt.Errorf("wire: cannot marshal nil message")
 	}
 	e, err := lookupType(msg)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	w := &Writer{}
+	w := Writer{buf: dst}
 	w.U32(e.id)
-	e.enc(w, msg)
-	return w.Bytes(), nil
+	e.enc(&w, msg)
+	return w.buf, nil
 }
 
 // Unmarshal decodes one message from data, requiring that the whole input

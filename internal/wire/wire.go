@@ -54,6 +54,9 @@ type Writer struct {
 // Bytes returns the encoded buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset empties the writer, keeping the buffer's capacity for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
 
