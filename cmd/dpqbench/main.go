@@ -7,15 +7,19 @@
 // messages — any wall-clock difference is pure engine overhead or
 // speedup.
 //
-// Results are written as `dpq-bench/1` JSON (committed as BENCH_5.json).
-// With -baseline the run compares its allocations per round against a
-// previous result file and fails when any matching case regressed by more
-// than 2x — the CI bench-smoke job uses this to keep the hot paths
-// allocation-free.
+// Results are written as `dpq-bench/1` JSON (committed as BENCH_5.json
+// and, for the GOMAXPROCS=4 serial-vs-parallel pairing, BENCH_6.json).
+// With -baseline the run compares itself against a previous result file
+// and fails when any matching case allocates >2x per round or loses more
+// than 25% rounds/sec — the CI bench-smoke job uses this to keep the hot
+// paths allocation-free. The rounds/sec gate compares wall clock, so it
+// only means something when baseline and run share hardware; disable it
+// with -speedtol 0 when comparing across hosts.
 //
 // Usage:
 //
-//	dpqbench [-quick] [-json FILE] [-baseline FILE] [-workers N] [-seed S]
+//	dpqbench [-quick] [-json FILE] [-baseline FILE] [-speedtol F]
+//	         [-workers N] [-seed S]
 package main
 
 import (
@@ -32,8 +36,8 @@ import (
 	"dpq/internal/mathx"
 	"dpq/internal/prio"
 	"dpq/internal/seap"
-	"dpq/internal/skeap"
 	"dpq/internal/sim"
+	"dpq/internal/skeap"
 )
 
 // Case is one (protocol, n, engine) measurement.
@@ -180,9 +184,13 @@ func run(proto, engine string, n int, b batch) Case {
 	return c
 }
 
-// checkBaseline compares allocations per round against a previous result
-// file; it returns the number of >2x regressions across matching cases.
-func checkBaseline(path string, cur []Case) int {
+// checkBaseline compares this run against a previous result file; it
+// returns the number of regressions across matching cases. A case
+// regresses when it allocates more than 2x per round, or — with
+// speedTol > 0 — when its rounds/sec drop by more than speedTol (the
+// wall-clock gate; meaningless across different hardware, so 0 disables
+// it).
+func checkBaseline(path string, cur []Case, speedTol float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpqbench: baseline: %v\n", err)
@@ -217,6 +225,11 @@ func checkBaseline(path string, cur []Case) int {
 				c.Proto, c.N, c.Engine, c.AllocsPerRound, b.AllocsPerRound)
 			bad++
 		}
+		if speedTol > 0 && b.RoundsPerSec > 0 && c.RoundsPerSec < (1-speedTol)*b.RoundsPerSec {
+			fmt.Fprintf(os.Stderr, "dpqbench: REGRESSION %s n=%d (%s): %.0f rounds/s, baseline %.0f (>%d%% drop)\n",
+				c.Proto, c.N, c.Engine, c.RoundsPerSec, b.RoundsPerSec, int(speedTol*100))
+			bad++
+		}
 	}
 	if matched == 0 {
 		fmt.Fprintln(os.Stderr, "dpqbench: baseline has no cases matching this run")
@@ -229,7 +242,8 @@ func checkBaseline(path string, cur []Case) int {
 func main() {
 	quick := flag.Bool("quick", false, "CI preset: n=256 only, lighter load")
 	jsonOut := flag.String("json", "", "write dpq-bench/1 JSON to FILE (default stdout)")
-	baseline := flag.String("baseline", "", "compare allocs/round against a previous result FILE; fail on >2x regressions")
+	baseline := flag.String("baseline", "", "compare against a previous result FILE; fail on >2x allocs/round or >speedtol rounds/s regressions")
+	speedTol := flag.Float64("speedtol", 0.25, "fractional rounds/s drop tolerated by -baseline (0 disables the wall-clock gate)")
 	workers := flag.Int("workers", 0, "worker pool size for the parallel cases (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "deterministic workload seed")
 	flag.Parse()
@@ -299,7 +313,7 @@ func main() {
 	}
 
 	if *baseline != "" {
-		if checkBaseline(*baseline, out.Cases) > 0 {
+		if checkBaseline(*baseline, out.Cases, *speedTol) > 0 {
 			os.Exit(1)
 		}
 	}

@@ -1,6 +1,7 @@
 package dpq
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -122,6 +123,69 @@ func TestCmdBenchallQuickSubset(t *testing.T) {
 	}
 }
 
+func TestCmdBenchallExpFilter(t *testing.T) {
+	// -exp must run exactly the selected tables and reject unknown IDs.
+	out := runCmd(t, "./cmd/benchall", "-quick", "-exp", "E-F2")
+	if !strings.Contains(out, "### E-F2") {
+		t.Fatalf("benchall -exp dropped the selected table:\n%.600s", out)
+	}
+	if strings.Contains(out, "### E1 ") || strings.Contains(out, "### E15") {
+		t.Fatalf("benchall -exp ran unselected tables:\n%.600s", out)
+	}
+	out = runCmdFail(t, "./cmd/benchall", "-quick", "-exp", "E999")
+	if !strings.Contains(out, "unknown experiment") {
+		t.Fatalf("benchall unknown -exp message:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/benchall", "-list")
+	for _, id := range []string{"E-F2", "E25", "E26", "E27"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("benchall -list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+// benchBaseline fabricates a dpq-bench/1 baseline with one case matching
+// the quick run's (skeap, n=256, serial) cell.
+func benchBaseline(t *testing.T, dir string, roundsPerSec, allocsPerRound float64) string {
+	t.Helper()
+	path := filepath.Join(dir, "base.json")
+	doc := fmt.Sprintf(`{"schema":"dpq-bench/1","goVersion":"test","goMaxProcs":1,"quick":true,"seed":1,
+		"cases":[{"proto":"skeap","n":256,"engine":"serial","workers":1,"rounds":1,"messages":1,
+		"activations":1,"wallNs":1,"roundsPerSec":%f,"nsPerActivation":1,"allocsPerRound":%f,"allocKBPerRound":1}]}`,
+		roundsPerSec, allocsPerRound)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdDpqbenchBaselineGates(t *testing.T) {
+	dir := t.TempDir()
+	// A baseline this slow and alloc-heavy can only pass.
+	pass := benchBaseline(t, dir, 0.001, 1e12)
+	out := runCmd(t, "./cmd/dpqbench", "-quick", "-baseline", pass)
+	if !strings.Contains(out, "1 cases compared, 0 regressions") {
+		t.Fatalf("generous baseline should pass:\n%s", out)
+	}
+	// A baseline claiming absurd throughput must trip the >25% rounds/s
+	// gate — unless -speedtol 0 disables the wall-clock comparison.
+	fast := benchBaseline(t, dir, 1e12, 1e12)
+	out = runCmdFail(t, "./cmd/dpqbench", "-quick", "-baseline", fast)
+	if !strings.Contains(out, "rounds/s") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("rounds/s regression not flagged:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/dpqbench", "-quick", "-baseline", fast, "-speedtol", "0")
+	if !strings.Contains(out, "0 regressions") {
+		t.Fatalf("-speedtol 0 should disable the wall-clock gate:\n%s", out)
+	}
+	// An alloc-free baseline must trip the 2x allocations gate.
+	lean := benchBaseline(t, dir, 0.001, 0.000001)
+	out = runCmdFail(t, "./cmd/dpqbench", "-quick", "-baseline", lean)
+	if !strings.Contains(out, "allocs/round") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("allocation regression not flagged:\n%s", out)
+	}
+}
+
 func TestCmdChurnsimConflictingFlags(t *testing.T) {
 	out := runCmdFail(t, "./cmd/churnsim", "-trace-in", "whatever.txt", "-faults", "drop5")
 	if !strings.Contains(out, "cannot be combined") {
@@ -189,5 +253,46 @@ func TestCmdRecordReplayIdentical(t *testing.T) {
 	}
 	if _, err := os.Stat(rec); err != nil {
 		t.Fatal("recording not written")
+	}
+}
+
+func TestCmdDpqsweepQuickStrict(t *testing.T) {
+	// The acceptance gate: the quick matrix must come back with zero
+	// DIVERGED cells and zero oracle failures under -strict, and the JSON
+	// matrix must carry the dpq-sweep/1 schema.
+	dir := t.TempDir()
+	out := runCmd(t, "./cmd/dpqsweep", "-quick", "-strict", "-json", filepath.Join(dir, "sweep.json"))
+	if !strings.Contains(out, "0 diverged, 0 conformance failures, 0 engine-pair mismatches") {
+		t.Fatalf("dpqsweep not clean:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "sweep.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema": "dpq-sweep/1"`) {
+		t.Fatalf("sweep JSON missing schema:\n%.300s", data)
+	}
+}
+
+func TestCmdDpqsweepMatrixAndList(t *testing.T) {
+	out := runCmd(t, "./cmd/dpqsweep", "-list")
+	for _, exp := range []string{"zipf", "contention", "phase", "burst", "engine"} {
+		if !strings.Contains(out, exp) {
+			t.Fatalf("-list missing %q:\n%s", exp, out)
+		}
+	}
+	out = runCmd(t, "./cmd/dpqsweep", "-quick", "-matrix", "proto=skeap;n=8;dist=zipf;zipfs=1.6;pattern=burstdrain")
+	if !strings.Contains(out, "matrix") || !strings.Contains(out, "PASS") {
+		t.Fatalf("ad-hoc matrix output:\n%s", out)
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("ad-hoc matrix diverged:\n%s", out)
+	}
+}
+
+func TestCmdDpqsweepRejectsBadMatrix(t *testing.T) {
+	out := runCmdFail(t, "./cmd/dpqsweep", "-matrix", "proto=ftp")
+	if !strings.Contains(out, "unknown proto") {
+		t.Fatalf("bad matrix error:\n%s", out)
 	}
 }

@@ -79,49 +79,83 @@ func Full() Sizes {
 	}
 }
 
+// Experiment is one registry entry: a stable table ID (the "E26" of
+// EXPERIMENTS.md and of benchall's -exp filter), a progress name and the
+// runner producing the table.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Sizes) Table
+}
+
+// Registry lists every experiment in EXPERIMENTS.md order. cmd/benchall's
+// -exp flag selects entries by ID.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E-F2", "tree structure", TreeHeight},
+		{"E1", "Skeap rounds", SkeapRounds},
+		{"E2", "Skeap congestion", SkeapCongestion},
+		{"E3", "Skeap message bits", SkeapMessageBits},
+		{"E4", "KSelect rounds", KSelectRounds},
+		{"E5", "KSelect reduction", KSelectReduction},
+		{"E6", "KSelect participation", KSelectParticipation},
+		{"E7", "KSelect congestion", KSelectCongestion},
+		{"E8", "Seap rounds", SeapRounds},
+		{"E9", "Seap congestion", SeapCongestion},
+		{"E10", "Seap vs Skeap bits", SeapVsSkeapBits},
+		{"E11", "DHT hops", DHTHops},
+		{"E12", "fairness", Fairness},
+		{"E13", "join/leave", JoinLeave},
+		{"E14", "semantics validation", SemanticsValidation},
+		{"E15", "throughput vs baselines", ThroughputVsBaselines},
+		{"E16", "KSelect vs baselines", KSelectVsBaselines},
+		{"E17", "batching ablation", BatchingAblation},
+		{"E18", "seq-consistent Seap", SeapSCCost},
+		{"E19", "shared-memory contention", SharedMemoryContention},
+		{"E20", "membership migration", MembershipMigration},
+		{"E21", "approx quantile tradeoff", ApproxQuantileTradeoff},
+		{"E22", "fault tolerance overhead", FaultToleranceOverhead},
+		{"E23", "Skeap phase breakdown", SkeapPhaseBreakdown},
+		{"E24", "KSelect phase breakdown", KSelectPhaseBreakdown},
+		{"E25", "parallel engine speedup", ParallelEngineSpeedup},
+		{"E26", "sweep: skew/contention envelopes", SweepEnvelopes},
+		{"E27", "sweep: burst/phase conformance", SweepConformance},
+	}
+}
+
 // RunAll executes every experiment at the given sizes.
 func RunAll(sz Sizes, progress io.Writer) *Report {
+	rep, _ := RunFiltered(sz, progress, nil)
+	return rep
+}
+
+// RunFiltered executes the experiments whose IDs are listed (nil or empty
+// = all), preserving registry order. Unknown IDs are an error.
+func RunFiltered(sz Sizes, progress io.Writer, ids []string) (*Report, error) {
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
 	start := time.Now()
 	rep := &Report{}
-	steps := []struct {
-		name string
-		run  func(Sizes) Table
-	}{
-		{"E-F2 tree structure", TreeHeight},
-		{"E1 Skeap rounds", SkeapRounds},
-		{"E2 Skeap congestion", SkeapCongestion},
-		{"E3 Skeap message bits", SkeapMessageBits},
-		{"E4 KSelect rounds", KSelectRounds},
-		{"E5 KSelect reduction", KSelectReduction},
-		{"E6 KSelect participation", KSelectParticipation},
-		{"E7 KSelect congestion", KSelectCongestion},
-		{"E8 Seap rounds", SeapRounds},
-		{"E9 Seap congestion", SeapCongestion},
-		{"E10 Seap vs Skeap bits", SeapVsSkeapBits},
-		{"E11 DHT hops", DHTHops},
-		{"E12 fairness", Fairness},
-		{"E13 join/leave", JoinLeave},
-		{"E14 semantics validation", SemanticsValidation},
-		{"E15 throughput vs baselines", ThroughputVsBaselines},
-		{"E16 KSelect vs baselines", KSelectVsBaselines},
-		{"E17 batching ablation", BatchingAblation},
-		{"E18 seq-consistent Seap", SeapSCCost},
-		{"E19 shared-memory contention", SharedMemoryContention},
-		{"E20 membership migration", MembershipMigration},
-		{"E21 approx quantile tradeoff", ApproxQuantileTradeoff},
-		{"E22 fault tolerance overhead", FaultToleranceOverhead},
-		{"E23 Skeap phase breakdown", SkeapPhaseBreakdown},
-		{"E24 KSelect phase breakdown", KSelectPhaseBreakdown},
-		{"E25 parallel engine speedup", ParallelEngineSpeedup},
-	}
-	for _, s := range steps {
-		if progress != nil {
-			fmt.Fprintf(progress, "running %s...\n", s.name)
+	matched := map[string]bool{}
+	for _, e := range Registry() {
+		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
+			continue
 		}
-		rep.Tables = append(rep.Tables, s.run(sz))
+		matched[strings.ToUpper(e.ID)] = true
+		if progress != nil {
+			fmt.Fprintf(progress, "running %s %s...\n", e.ID, e.Name)
+		}
+		rep.Tables = append(rep.Tables, e.Run(sz))
+	}
+	for id := range want {
+		if !matched[id] {
+			return nil, fmt.Errorf("harness: unknown experiment id %q", id)
+		}
 	}
 	rep.Elapsed = time.Since(start)
-	return rep
+	return rep, nil
 }
 
 // Render writes the report as Markdown.

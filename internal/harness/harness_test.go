@@ -12,8 +12,8 @@ import (
 // sanity-checks every table's shape.
 func TestQuickSuiteRuns(t *testing.T) {
 	rep := RunAll(Quick(), nil)
-	if len(rep.Tables) != 26 {
-		t.Fatalf("expected 26 experiment tables, got %d", len(rep.Tables))
+	if want := len(Registry()); len(rep.Tables) != want {
+		t.Fatalf("expected %d experiment tables, got %d", want, len(rep.Tables))
 	}
 	for _, tab := range rep.Tables {
 		if tab.ID == "" || tab.Claim == "" || len(tab.Header) == 0 {
@@ -109,6 +109,48 @@ func TestQuickSuiteRuns(t *testing.T) {
 	bitRatio, err := strconv.ParseFloat(last[3], 64)
 	if err != nil || bitRatio <= 1 {
 		t.Fatalf("Seap should beat Skeap on message size at high Λ: %v", last)
+	}
+}
+
+// TestRunFiltered: ID selection preserves registry order, is
+// case-insensitive, and rejects unknown IDs.
+func TestRunFiltered(t *testing.T) {
+	rep, err := RunFiltered(Quick(), nil, []string{"e1", " E-F2 "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 || rep.Tables[0].ID != "E-F2" || rep.Tables[1].ID != "E1" {
+		ids := []string{}
+		for _, tab := range rep.Tables {
+			ids = append(ids, tab.ID)
+		}
+		t.Fatalf("filtered run returned %v, want [E-F2 E1]", ids)
+	}
+	if _, err := RunFiltered(Quick(), nil, []string{"E999"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// TestSweepTables: E26/E27 must run at CI sizes with verdict columns all
+// PASS and clean oracle columns.
+func TestSweepTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep tables in -short mode")
+	}
+	rep, err := RunFiltered(Quick(), nil, []string{"E26", "E27"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range rep.Tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("table %s has no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			verdict := row[len(row)-1]
+			if verdict != "PASS" {
+				t.Fatalf("table %s cell %q verdict %q", tab.ID, row[0], verdict)
+			}
+		}
 	}
 }
 

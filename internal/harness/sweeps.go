@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+
+	"dpq/internal/sweep"
+)
+
+// The sweep experiments E26/E27: the workload-sweep matrix of
+// internal/sweep rendered as EXPERIMENTS.md tables. Unlike E1–E25, every
+// row carries the analytical twin's predicted envelope next to the
+// measurement and a PASS/DIVERGED verdict — the tables are checked
+// assertions, not just recordings.
+
+// sweepOptions maps the harness sizes onto the sweep matrix scale.
+func sweepOptions(sz Sizes) sweep.MatrixOptions {
+	// Quick() runs 3 repeats, Full() 5 — reuse that as the scale switch
+	// so benchall -quick gets the CI matrix.
+	return sweep.MatrixOptions{Quick: sz.Repeats < 5, Seed: 1}
+}
+
+// runSweepExperiments executes the named sweep experiments and returns
+// the result file.
+func runSweepExperiments(sz Sizes, names ...string) (*sweep.File, error) {
+	opt := sweepOptions(sz)
+	byName := map[string]sweep.Experiment{}
+	for _, e := range sweep.DefaultMatrix(opt) {
+		byName[e.Name] = e
+	}
+	var exps []sweep.Experiment
+	for _, n := range names {
+		exps = append(exps, byName[n])
+	}
+	return sweep.Run(exps, nil, opt, nil)
+}
+
+// verdictCell renders a cell's verdict for the table, folding oracle
+// failures in (a cell that diverged *and* broke the oracle shows both).
+func verdictCell(r sweep.Result) string {
+	v := r.Verdict
+	if !r.Conform.OK {
+		v += "+ORACLE-FAIL"
+	}
+	return v
+}
+
+// SweepEnvelopes: E26 — Zipf skew and hot-host contention against the
+// twin's Thm 3.2/4.2/5.1 envelopes.
+func SweepEnvelopes(sz Sizes) Table {
+	t := Table{
+		ID:     "E26",
+		Title:  "Sweep: cost envelopes under Zipf skew and hot-host contention",
+		Claim:  "rounds, congestion and message bits stay inside the analytical twin's fitted O(log n)/Õ(Λ) envelopes (Thm 3.2, 4.2, 5.1) for every skew and contention setting",
+		Header: []string{"cell", "rounds/batch", "≤ pred", "congestion", "≤ pred", "max bits", "≤ pred", "verdict"},
+	}
+	f, err := runSweepExperiments(sz, "zipf", "contention")
+	if err != nil {
+		t.Notef("sweep failed: %v", err)
+		return t
+	}
+	diverged := 0
+	for _, er := range f.Experiments {
+		for _, r := range er.Cells {
+			t.AddRow(r.Cell.Label(),
+				r.Measured.RoundsPerBatch, r.Predicted.RoundsPerBatch,
+				r.Measured.Congestion, r.Predicted.Congestion,
+				r.Measured.MaxMessageBits, r.Predicted.MaxMessageBits,
+				verdictCell(r))
+			if r.Verdict != sweep.VerdictPass {
+				diverged++
+			}
+		}
+	}
+	t.Notef("twin constants are fitted (dpqsweep -calibrate, ~2x headroom); the shapes are the theorems'. %d/%d cells diverged.", diverged, f.Cells)
+	t.Notef("Seap's max message stays Λ-independent under every skew (Lemma 5.5) while Skeap's grows with Λ — the E10 contrast, now checked per cell.")
+	return t
+}
+
+// SweepConformance: E27 — burst/drain and phase-shifting load with the
+// oracle replay, plus the serial-vs-parallel engine pairing.
+func SweepConformance(sz Sizes) Table {
+	t := Table{
+		ID:     "E27",
+		Title:  "Sweep: burst/drain and phase-shift conformance + engine pairing",
+		Claim:  "sequential consistency (Skeap) and serializability (Seap) survive burst/drain cycles and phase-shifting load (Def. 1.1/1.2 via the seqheap oracle); the worker-pool engine stays metrics-identical on skewed cells",
+		Header: []string{"cell", "ops", "rounds/batch", "≤ pred", "oracle", "verdict"},
+	}
+	f, err := runSweepExperiments(sz, "phase", "burst", "engine")
+	if err != nil {
+		t.Notef("sweep failed: %v", err)
+		return t
+	}
+	oracleFails := 0
+	for _, er := range f.Experiments {
+		for _, r := range er.Cells {
+			oracle := "ok"
+			if !r.Conform.OK {
+				oracle = fmt.Sprintf("FAIL (%d violations)", r.Conform.Violations)
+				oracleFails++
+			}
+			t.AddRow(r.Cell.Label(), r.Measured.Ops,
+				r.Measured.RoundsPerBatch, r.Predicted.RoundsPerBatch,
+				oracle, r.Verdict)
+		}
+		for _, p := range er.EnginePairs {
+			t.Notef("engine pair %s: serial %.1fms vs %d-worker %.1fms (%.2fx), metrics identical: %v",
+				p.Label, float64(p.SerialWallNs)/1e6, p.Workers, float64(p.ParallelWallNs)/1e6, p.Speedup, p.MetricsIdentical)
+		}
+	}
+	t.Notef("oracle = full semantics battery replayed against internal/seqheap per cell; %d/%d cells failed.", oracleFails, f.Cells)
+	return t
+}

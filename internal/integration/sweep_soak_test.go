@@ -1,0 +1,89 @@
+// Sweep soak: the skewed and phase-shifting workload profiles of
+// internal/sweep run under both the serial and the worker-pool engine,
+// with the PR-5 determinism contract asserted per cell — equal Metrics
+// modulo wall clock — and the sequential oracle replayed on every run.
+// The CI race job executes this package under -race, so the skewed
+// injection paths (Zipf CDF, hot-host routing, burst/drain gating) are
+// also exercised inside the worker pool.
+package integration
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dpq/internal/sweep"
+)
+
+// soakProfiles are the workload shapes the sweep matrix adds on top of
+// the steady/uniform soaks above.
+func sweepSoakCells() []sweep.Cell {
+	base := sweep.Cell{
+		Proto: sweep.ProtoSkeap, N: 12, Rate: 2, InsertFrac: 0.65,
+		Dist: "uniform", Pattern: "steady", BurstLen: 3, Rounds: 10,
+	}
+	var cells []sweep.Cell
+	for _, p := range []struct {
+		name           string
+		dist, pattern  string
+		zipfS, hotFrac float64
+	}{
+		{"zipf-heavy", "zipf", "steady", 1.6, 0},
+		{"burstdrain", "zipf", "burstdrain", 1.2, 0},
+		{"phaseshift", "uniform", "phaseshift", 0, 0},
+		{"hotspot", "zipf", "hotspot", 1.2, 0.25},
+	} {
+		c := base
+		c.Dist, c.Pattern, c.ZipfS, c.HotFrac = p.dist, p.pattern, p.zipfS, p.hotFrac
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+// TestSweepProfileSoak: each profile × protocol × seed must drain, pass
+// the oracle, and produce identical Metrics on the serial and worker-pool
+// engines for the same injected workload.
+func TestSweepProfileSoak(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, cell := range sweepSoakCells() {
+		for _, proto := range []string{sweep.ProtoSkeap, sweep.ProtoSeap} {
+			c := cell
+			c.Proto = proto
+			if proto == sweep.ProtoSeap {
+				c.Bound = 4096
+			}
+			for _, seed := range seeds {
+				c.Seed = seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", proto, c.Pattern, seed), func(t *testing.T) {
+					c.Workers = 1
+					serial, err := sweep.RunCell(c, sweep.DefaultTwin())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !serial.Conform.OK {
+						t.Fatalf("serial run violates semantics: %s", serial.Conform.Detail)
+					}
+					if serial.Measured.Ops == 0 || serial.Measured.Messages == 0 {
+						t.Fatalf("serial run did no work: %+v", serial.Measured)
+					}
+					c.Workers = 3
+					par, err := sweep.RunCell(c, sweep.DefaultTwin())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !par.Conform.OK {
+						t.Fatalf("parallel run violates semantics: %s", par.Conform.Detail)
+					}
+					sm, pm := serial.Measured, par.Measured
+					sm.WallNs, pm.WallNs = 0, 0
+					if !reflect.DeepEqual(sm, pm) {
+						t.Fatalf("metrics diverge between engines:\n  serial:   %+v\n  parallel: %+v", sm, pm)
+					}
+				})
+			}
+		}
+	}
+}

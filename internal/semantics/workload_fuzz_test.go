@@ -1,0 +1,103 @@
+package semantics
+
+import (
+	"testing"
+
+	"dpq/internal/prio"
+	"dpq/internal/seqheap"
+	"dpq/internal/workload"
+)
+
+// fuzzProfile decodes fuzz bytes into a valid workload configuration —
+// the sweep matrix's knobs (distribution, Zipf exponent, pattern, burst
+// length, hot-host fraction) driven by the fuzzer instead of the matrix.
+func fuzzProfile(data []byte) workload.Config {
+	b := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	dists := []workload.PrioDist{workload.Uniform, workload.Zipf, workload.Ascending, workload.Descending}
+	patterns := []workload.Pattern{workload.Steady, workload.Bursty, workload.Hotspot, workload.PhaseShift, workload.BurstDrain}
+	return workload.Config{
+		N:          int(b(0)%6) + 2,
+		Rate:       int(b(1)%3) + 1,
+		InsertFrac: float64(b(2)%101) / 100,
+		Dist:       dists[int(b(3))%len(dists)],
+		Bound:      uint64(b(4)%64) + 1,
+		Pattern:    patterns[int(b(5))%len(patterns)],
+		BurstLen:   int(b(6)%5) + 1,
+		Seed:       uint64(b(7)) + 1,
+		ZipfS:      0.4 + float64(b(8)%20)/10, // 0.4 … 2.3
+		HotFrac:    float64(b(9)%101) / 100,
+	}
+}
+
+// FuzzWorkloadProfiles is the property-based conformance check behind the
+// sweep: any profile the generator can produce, executed faithfully
+// against the seqheap oracle, must satisfy the full checker battery — and
+// a single corrupted delete result must be caught. This ties the workload
+// layer, the oracle and the checkers together without a protocol in the
+// loop: a profile that fails here would wrongly fail (or wrongly pass)
+// every sweep cell using it.
+func FuzzWorkloadProfiles(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 1, 8, 0, 3, 7, 8, 50})    // zipf/steady
+	f.Add([]byte{3, 2, 90, 1, 16, 4, 2, 1, 12, 0})  // zipf/burstdrain
+	f.Add([]byte{5, 0, 30, 0, 63, 3, 1, 9, 0, 25})  // uniform/phaseshift
+	f.Add([]byte{2, 2, 60, 1, 32, 2, 4, 3, 19, 75}) // zipf/hotspot, hot frac 0.75
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := fuzzProfile(data)
+		gen := workload.New(cfg)
+
+		// Execute the stream sequentially and faithfully against the
+		// oracle: the resulting trace is a legal sequential history.
+		tr := NewTrace()
+		oracle := seqheap.New(64)
+		ser := int64(0)
+		for round := 0; round < 6; round++ {
+			for _, op := range gen.Round() {
+				ser++
+				if op.Kind == workload.OpInsert {
+					e := prio.Element{ID: op.ID, Prio: prio.Priority(op.Prio)}
+					o := tr.Issue(op.Host, Insert, e)
+					oracle.Insert(e)
+					tr.Complete(o, prio.Element{}, ser)
+				} else {
+					o := tr.Issue(op.Host, DeleteMin, prio.Element{})
+					e, ok := oracle.DeleteMin()
+					if !ok {
+						e = prio.Element{} // ⊥
+					}
+					tr.Complete(o, e, ser)
+				}
+			}
+		}
+
+		for name, rep := range map[string]*Report{
+			"CheckAll":          CheckAll(tr, FIFO),
+			"CheckSerializable": CheckSerializable(tr, ByID),
+			"HeapConsistency":   CheckHeapConsistency(tr),
+		} {
+			if !rep.Ok() {
+				t.Fatalf("%s rejects a faithful execution of %s/%s: %v",
+					name, cfg.Dist, cfg.Pattern, rep.Violations)
+			}
+		}
+
+		// Corrupt one successful delete's result: the battery must notice.
+		// (Streams with no successful delete — e.g. InsertFrac 1 — have
+		// nothing to corrupt; the positive half above still ran.)
+		for _, op := range tr.Ops() {
+			if op.Kind == DeleteMin && op.Done && !op.Result.Nil() {
+				op.Result.Prio++
+				op.Result.ID += 1 << 20
+				if CheckAll(tr, FIFO).Ok() && CheckSerializable(tr, ByID).Ok() {
+					t.Fatalf("corrupted delete result not flagged (profile %s/%s)", cfg.Dist, cfg.Pattern)
+				}
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,359 @@
+// The sweep matrix: named experiments (bm.py-style) expanding into cell
+// lists, the suite runner, and the dpq-sweep/1 result schema.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Experiment is a named group of cells. Paired experiments run every cell
+// on both engines (serial and the worker pool) and assert Metrics
+// equality between the two runs.
+type Experiment struct {
+	Name  string `json:"name"`
+	Desc  string `json:"desc"`
+	Cells []Cell `json:"-"`
+	Pair  bool   `json:"pair,omitempty"`
+}
+
+// MatrixOptions scales the default matrix.
+type MatrixOptions struct {
+	Quick   bool
+	Seed    uint64
+	Workers int // worker count for paired/parallel cells (min 2)
+}
+
+func (o *MatrixOptions) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers < 2 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers < 2 {
+			o.Workers = 2
+		}
+	}
+}
+
+// DefaultMatrix returns the named sweep experiments. Quick shrinks every
+// axis to CI size; the full matrix is what E26/E27 record.
+func DefaultMatrix(opt MatrixOptions) []Experiment {
+	opt.defaults()
+	ns := []int{16, 64}
+	rounds := 20
+	zipfS := []float64{0.8, 1.2, 1.6}
+	hotFracs := []float64{0, 0.25, 0.5}
+	if opt.Quick {
+		ns = []int{16}
+		rounds = 10
+		zipfS = []float64{1.2, 1.6}
+		hotFracs = []float64{0, 0.5}
+	}
+	base := func(proto string, n int) Cell {
+		bound := uint64(4096)
+		if proto == ProtoSkeap {
+			bound = skeapP
+		}
+		return Cell{
+			Proto: proto, N: n, Rate: 2, InsertFrac: 0.65,
+			Dist: "uniform", Pattern: "steady", BurstLen: 4,
+			Rounds: rounds, Bound: bound, Workers: 1, Seed: opt.Seed,
+		}
+	}
+
+	var zipf, contention, phase, burst, engine []Cell
+	for _, n := range ns {
+		for _, proto := range []string{ProtoSkeap, ProtoSeap, ProtoKSelect} {
+			for _, s := range zipfS {
+				c := base(proto, n)
+				c.Dist, c.ZipfS = "zipf", s
+				zipf = append(zipf, c)
+			}
+		}
+		for _, proto := range []string{ProtoSkeap, ProtoSeap} {
+			for _, hf := range hotFracs {
+				c := base(proto, n)
+				c.Pattern, c.HotFrac, c.Rate = "hotspot", hf, 4
+				contention = append(contention, c)
+			}
+			{
+				c := base(proto, n)
+				c.Pattern = "phaseshift"
+				phase = append(phase, c)
+				c2 := base(proto, n)
+				c2.Pattern, c2.Dist, c2.ZipfS = "phaseshift", "zipf", 1.2
+				phase = append(phase, c2)
+			}
+			for _, d := range []string{"uniform", "zipf"} {
+				c := base(proto, n)
+				c.Pattern, c.Dist = "burstdrain", d
+				if d == "zipf" {
+					c.ZipfS = 1.2
+				}
+				burst = append(burst, c)
+			}
+		}
+	}
+	// The engine pairing runs the heaviest skew cell of each protocol on
+	// both engines; the serial/parallel Metrics must be equal.
+	for _, proto := range []string{ProtoSkeap, ProtoSeap, ProtoKSelect} {
+		c := base(proto, ns[len(ns)-1])
+		c.Dist, c.ZipfS, c.Workers = "zipf", 1.6, opt.Workers
+		engine = append(engine, c)
+	}
+
+	return []Experiment{
+		{Name: "zipf", Desc: "Zipf-skewed priorities, tunable exponent s", Cells: zipf},
+		{Name: "contention", Desc: "hot-host fraction sweep (Hotspot pattern)", Cells: contention},
+		{Name: "phase", Desc: "phase-shifting load: the heavy host set moves mid-run", Cells: phase},
+		{Name: "burst", Desc: "burst/drain cycles: insert-only bursts, delete-only drains", Cells: burst},
+		{Name: "engine", Desc: "serial vs worker-pool engine on the heaviest skew cells", Cells: engine, Pair: true},
+	}
+}
+
+// ParseMatrix builds an ad-hoc experiment from a bm.py-style spec:
+// semicolon-separated axes, each `key=v1,v2,...`, expanded as a cross
+// product. Keys: proto, n, rate, dist, zipfs, pattern, hotfrac, burstlen,
+// rounds, insertfrac, workers.
+//
+//	-matrix "proto=skeap,seap;n=16,64;dist=zipf;zipfs=0.8,1.6"
+func ParseMatrix(spec string, opt MatrixOptions) (Experiment, error) {
+	opt.defaults()
+	rounds := 20
+	if opt.Quick {
+		rounds = 10
+	}
+	cells := []Cell{{
+		Proto: ProtoSkeap, N: 16, Rate: 2, InsertFrac: 0.65,
+		Dist: "uniform", Pattern: "steady", BurstLen: 4,
+		Rounds: rounds, Workers: 1, Seed: opt.Seed,
+	}}
+	for _, axis := range strings.Split(spec, ";") {
+		axis = strings.TrimSpace(axis)
+		if axis == "" {
+			continue
+		}
+		key, vals, ok := strings.Cut(axis, "=")
+		if !ok {
+			return Experiment{}, fmt.Errorf("sweep: bad matrix axis %q (want key=v1,v2,...)", axis)
+		}
+		var next []Cell
+		for _, v := range strings.Split(vals, ",") {
+			v = strings.TrimSpace(v)
+			for _, c := range cells {
+				if err := setAxis(&c, strings.ToLower(strings.TrimSpace(key)), v); err != nil {
+					return Experiment{}, err
+				}
+				next = append(next, c)
+			}
+		}
+		cells = next
+	}
+	// Fill the bound per protocol after the cross product is known.
+	for i := range cells {
+		if cells[i].Bound == 0 {
+			if cells[i].Proto == ProtoSkeap {
+				cells[i].Bound = skeapP
+			} else {
+				cells[i].Bound = 4096
+			}
+		}
+	}
+	return Experiment{Name: "matrix", Desc: spec, Cells: cells}, nil
+}
+
+// setAxis assigns one axis value into a cell.
+func setAxis(c *Cell, key, v string) error {
+	atoi := func() (int, error) { return strconv.Atoi(v) }
+	atof := func() (float64, error) { return strconv.ParseFloat(v, 64) }
+	var err error
+	switch key {
+	case "proto":
+		if v != ProtoSkeap && v != ProtoSeap && v != ProtoKSelect {
+			return fmt.Errorf("sweep: unknown proto %q", v)
+		}
+		c.Proto = v
+	case "n":
+		c.N, err = atoi()
+	case "rate":
+		c.Rate, err = atoi()
+	case "dist":
+		c.Dist = v
+		if _, derr := c.dist(); derr != nil {
+			return derr
+		}
+	case "zipfs":
+		c.ZipfS, err = atof()
+	case "pattern":
+		c.Pattern = v
+		if _, perr := c.pattern(); perr != nil {
+			return perr
+		}
+	case "hotfrac":
+		c.HotFrac, err = atof()
+	case "burstlen":
+		c.BurstLen, err = atoi()
+	case "rounds":
+		c.Rounds, err = atoi()
+	case "insertfrac":
+		c.InsertFrac, err = atof()
+	case "workers":
+		c.Workers, err = atoi()
+	case "seed":
+		c.Seed, err = strconv.ParseUint(v, 10, 64)
+	default:
+		return fmt.Errorf("sweep: unknown matrix key %q", key)
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: bad value %q for %s: %v", v, key, err)
+	}
+	return nil
+}
+
+// ExperimentResult is one experiment's executed cells.
+type ExperimentResult struct {
+	Name  string   `json:"name"`
+	Desc  string   `json:"desc"`
+	Cells []Result `json:"cells"`
+	// EnginePairs records serial↔parallel Metrics equality for paired
+	// experiments (one entry per paired cell, aligned with Cells pairs).
+	EnginePairs []EnginePair `json:"enginePairs,omitempty"`
+}
+
+// EnginePair is the serial-vs-parallel comparison of one paired cell.
+type EnginePair struct {
+	Label            string  `json:"label"`
+	Workers          int     `json:"workers"`
+	SerialWallNs     int64   `json:"serialWallNs"`
+	ParallelWallNs   int64   `json:"parallelWallNs"`
+	Speedup          float64 `json:"speedup"`
+	MetricsIdentical bool    `json:"metricsIdentical"`
+}
+
+// File is the dpq-sweep/1 result schema.
+type File struct {
+	Schema          string             `json:"schema"`
+	GoVersion       string             `json:"goVersion"`
+	GoMaxProcs      int                `json:"goMaxProcs"`
+	Quick           bool               `json:"quick"`
+	Seed            uint64             `json:"seed"`
+	Twin            *Twin              `json:"twin"`
+	Experiments     []ExperimentResult `json:"experiments"`
+	Cells           int                `json:"cells"`
+	Diverged        int                `json:"diverged"`
+	ConformFailures int                `json:"conformFailures"`
+	PairMismatches  int                `json:"pairMismatches"`
+}
+
+// Schema is the result schema identifier.
+const Schema = "dpq-sweep/1"
+
+// Clean reports whether every cell passed its envelope, conformed to the
+// oracle, and every engine pair matched.
+func (f *File) Clean() bool {
+	return f.Diverged == 0 && f.ConformFailures == 0 && f.PairMismatches == 0
+}
+
+// Run executes the experiments against tw (nil = DefaultTwin) and
+// aggregates the dpq-sweep/1 file. Progress lines go to progress when
+// non-nil.
+func Run(exps []Experiment, tw *Twin, opt MatrixOptions, progress io.Writer) (*File, error) {
+	opt.defaults()
+	if tw == nil {
+		tw = DefaultTwin()
+	}
+	f := &File{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      opt.Quick,
+		Seed:       opt.Seed,
+		Twin:       tw,
+	}
+	for _, exp := range exps {
+		er := ExperimentResult{Name: exp.Name, Desc: exp.Desc}
+		for _, c := range exp.Cells {
+			if exp.Pair {
+				serial := c
+				serial.Workers = 1
+				parallel := c
+				if parallel.Workers < 2 {
+					parallel.Workers = opt.Workers
+				}
+				if progress != nil {
+					fmt.Fprintf(progress, "sweep %s: %s (serial vs %d workers)\n", exp.Name, c.Label(), parallel.Workers)
+				}
+				rs, err := RunCell(serial, tw)
+				if err != nil {
+					return nil, err
+				}
+				rp, err := RunCell(parallel, tw)
+				if err != nil {
+					return nil, err
+				}
+				pair := EnginePair{
+					Label:          serial.Label(),
+					Workers:        parallel.Workers,
+					SerialWallNs:   rs.Measured.WallNs,
+					ParallelWallNs: rp.Measured.WallNs,
+					// The wall fields differ run to run; everything else
+					// must be identical (the PR-5 determinism contract).
+					MetricsIdentical: metricsEqual(rs.Measured, rp.Measured),
+				}
+				if rp.Measured.WallNs > 0 {
+					pair.Speedup = float64(rs.Measured.WallNs) / float64(rp.Measured.WallNs)
+				}
+				if !pair.MetricsIdentical {
+					f.PairMismatches++
+				}
+				er.EnginePairs = append(er.EnginePairs, pair)
+				er.Cells = append(er.Cells, rs, rp)
+				f.Cells += 2
+				countCell(f, &rs)
+				countCell(f, &rp)
+				continue
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "sweep %s: %s\n", exp.Name, c.Label())
+			}
+			r, err := RunCell(c, tw)
+			if err != nil {
+				return nil, err
+			}
+			er.Cells = append(er.Cells, r)
+			f.Cells++
+			countCell(f, &r)
+		}
+		f.Experiments = append(f.Experiments, er)
+	}
+	return f, nil
+}
+
+// countCell folds one cell into the file's failure tallies.
+func countCell(f *File, r *Result) {
+	if r.Verdict != VerdictPass {
+		f.Diverged++
+	}
+	if !r.Conform.OK {
+		f.ConformFailures++
+	}
+}
+
+// metricsEqual compares two measurements ignoring wall clock.
+func metricsEqual(a, b Measured) bool {
+	a.WallNs, b.WallNs = 0, 0
+	return reflect.DeepEqual(a, b)
+}
+
+// Encode writes the file as indented JSON.
+func (f *File) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

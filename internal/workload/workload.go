@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 
 	"dpq/internal/hashutil"
@@ -35,9 +36,9 @@ type PrioDist int
 const (
 	// Uniform draws priorities uniformly from [1, Bound].
 	Uniform PrioDist = iota
-	// Zipf draws priorities with P(p) ∝ 1/p^s (s = 1.2), concentrating
-	// load on the most prioritized values — the adversarial case for
-	// KSelect's pruning.
+	// Zipf draws priorities with P(p) ∝ 1/p^s (s = Config.ZipfS,
+	// defaulting to 1.2), concentrating load on the most prioritized
+	// values — the adversarial case for KSelect's pruning.
 	Zipf
 	// Ascending issues strictly increasing priorities: every insert lands
 	// at the back of the heap (FIFO-like drain).
@@ -46,6 +47,22 @@ const (
 	// the new minimum (maximally churn-heavy for the front intervals).
 	Descending
 )
+
+// String names the distribution for table/test labels.
+func (d PrioDist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	case Ascending:
+		return "asc"
+	case Descending:
+		return "desc"
+	default:
+		return fmt.Sprintf("dist(%d)", int(d))
+	}
+}
 
 // Pattern selects the temporal injection pattern.
 type Pattern int
@@ -56,9 +73,38 @@ const (
 	Steady Pattern = iota
 	// Bursty alternates BurstLen rounds at Rate with BurstLen idle rounds.
 	Bursty
-	// Hotspot gives node 0 the full rate and the others rate 1.
+	// Hotspot concentrates the full rate on a hot host set (node 0 by
+	// default; ⌈HotFrac·N⌉ hosts when HotFrac > 0) while the rest inject
+	// at rate 1 — the contention knob of the sweep matrix.
 	Hotspot
+	// PhaseShift alternates which half of the hosts is active: every
+	// BurstLen rounds the load shifts wholesale to the other half, so
+	// aggregation trees see their heavy subtree move mid-run.
+	PhaseShift
+	// BurstDrain alternates an insert-only burst phase with a delete-only
+	// drain phase, each BurstLen rounds long: the heap inflates and is
+	// then churned down through the front intervals, regardless of
+	// InsertFrac.
+	BurstDrain
 )
+
+// String names the pattern for table/test labels.
+func (p Pattern) String() string {
+	switch p {
+	case Steady:
+		return "steady"
+	case Bursty:
+		return "bursty"
+	case Hotspot:
+		return "hotspot"
+	case PhaseShift:
+		return "phaseshift"
+	case BurstDrain:
+		return "burstdrain"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
 
 // Config parameterizes a Generator.
 type Config struct {
@@ -70,6 +116,13 @@ type Config struct {
 	Pattern    Pattern
 	BurstLen   int
 	Seed       uint64
+	// ZipfS is the Zipf exponent s (Dist == Zipf only); 0 means the
+	// historical default 1.2. Larger s concentrates more mass on the
+	// most prioritized values.
+	ZipfS float64
+	// HotFrac is the fraction of hosts that are hot under Hotspot; 0
+	// keeps the historical single hot host (node 0).
+	HotFrac float64
 }
 
 // Generator produces deterministic operation streams.
@@ -94,6 +147,12 @@ func New(cfg Config) *Generator {
 	if cfg.BurstLen == 0 {
 		cfg.BurstLen = 8
 	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.ZipfS < 0 || cfg.HotFrac < 0 || cfg.HotFrac > 1 {
+		panic("workload: invalid skew knob")
+	}
 	g := &Generator{cfg: cfg, rnd: hashutil.NewRand(cfg.Seed), desc: math.MaxUint64 / 2}
 	if cfg.Dist == Zipf {
 		// Bounded Zipf via an explicit CDF (capped support keeps this
@@ -105,7 +164,7 @@ func New(cfg Config) *Generator {
 		g.zipfCD = make([]float64, support)
 		sum := 0.0
 		for i := uint64(0); i < support; i++ {
-			sum += 1 / math.Pow(float64(i+1), 1.2)
+			sum += 1 / math.Pow(float64(i+1), cfg.ZipfS)
 			g.zipfCD[i] = sum
 		}
 		for i := range g.zipfCD {
@@ -165,6 +224,23 @@ func (g *Generator) Priority() uint64 {
 	}
 }
 
+// HotHosts returns the number of hot hosts the Hotspot pattern uses:
+// ⌈HotFrac·N⌉ (at least one), or the historical single host when HotFrac
+// is unset.
+func (g *Generator) HotHosts() int {
+	if g.cfg.HotFrac == 0 {
+		return 1
+	}
+	h := int(math.Ceil(g.cfg.HotFrac * float64(g.cfg.N)))
+	if h < 1 {
+		h = 1
+	}
+	if h > g.cfg.N {
+		h = g.cfg.N
+	}
+	return h
+}
+
 // rateFor returns node v's injection rate in the current round.
 func (g *Generator) rateFor(host int) int {
 	switch g.cfg.Pattern {
@@ -176,25 +252,53 @@ func (g *Generator) rateFor(host int) int {
 		}
 		return g.cfg.Rate
 	case Hotspot:
-		if host == 0 {
+		if host < g.HotHosts() {
 			return g.cfg.Rate
 		}
 		if g.cfg.Rate > 0 {
 			return 1
 		}
 		return 0
+	case PhaseShift:
+		// Hosts are split into two halves; the active half swaps every
+		// BurstLen rounds.
+		phase := (g.round / g.cfg.BurstLen) % 2
+		half := 0
+		if host >= (g.cfg.N+1)/2 {
+			half = 1
+		}
+		if half == phase {
+			return g.cfg.Rate
+		}
+		return 0
+	case BurstDrain:
+		return g.cfg.Rate
 	default:
 		panic("workload: unknown pattern")
 	}
+}
+
+// insertFracNow returns the effective insert fraction for the current
+// round: the configured mix, except under BurstDrain where burst phases
+// are all inserts and drain phases all deletes.
+func (g *Generator) insertFracNow() float64 {
+	if g.cfg.Pattern == BurstDrain {
+		if (g.round/g.cfg.BurstLen)%2 == 0 {
+			return 1
+		}
+		return 0
+	}
+	return g.cfg.InsertFrac
 }
 
 // Round generates one round's operations across all nodes and advances the
 // temporal pattern.
 func (g *Generator) Round() []Op {
 	var ops []Op
+	frac := g.insertFracNow()
 	for host := 0; host < g.cfg.N; host++ {
 		for i := 0; i < g.rateFor(host); i++ {
-			ops = append(ops, g.one(host))
+			ops = append(ops, g.one(host, frac))
 		}
 	}
 	g.round++
@@ -206,13 +310,13 @@ func (g *Generator) Round() []Op {
 func (g *Generator) Batch(total int) []Op {
 	ops := make([]Op, 0, total)
 	for i := 0; i < total; i++ {
-		ops = append(ops, g.one(g.rnd.Intn(g.cfg.N)))
+		ops = append(ops, g.one(g.rnd.Intn(g.cfg.N), g.cfg.InsertFrac))
 	}
 	return ops
 }
 
-func (g *Generator) one(host int) Op {
-	if g.rnd.Bool(g.cfg.InsertFrac) {
+func (g *Generator) one(host int, insertFrac float64) Op {
+	if g.rnd.Bool(insertFrac) {
 		return Op{Host: host, Kind: OpInsert, Prio: g.Priority(), ID: g.NextID()}
 	}
 	return Op{Host: host, Kind: OpDelete}

@@ -172,3 +172,118 @@ func TestInvalidConfigPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestZipfTunableExponent(t *testing.T) {
+	// A steeper exponent concentrates more mass on priority 1.
+	mass := func(s float64) float64 {
+		g := New(Config{N: 1, Rate: 1, InsertFrac: 1, Dist: Zipf, Bound: 64, Seed: 7, ZipfS: s})
+		ones := 0
+		const draws = 4000
+		for i := 0; i < draws; i++ {
+			if g.Priority() == 1 {
+				ones++
+			}
+		}
+		return float64(ones) / draws
+	}
+	flat, steep := mass(0.6), mass(2.0)
+	if steep <= flat {
+		t.Fatalf("zipf s=2.0 mass at p=1 (%.3f) not above s=0.6 (%.3f)", steep, flat)
+	}
+}
+
+func TestZipfDefaultExponentUnchanged(t *testing.T) {
+	// ZipfS = 0 must reproduce the historical s = 1.2 stream exactly.
+	a := New(Config{N: 2, Rate: 3, InsertFrac: 1, Dist: Zipf, Bound: 128, Seed: 11})
+	b := New(Config{N: 2, Rate: 3, InsertFrac: 1, Dist: Zipf, Bound: 128, Seed: 11, ZipfS: 1.2})
+	for r := 0; r < 5; r++ {
+		oa, ob := a.Round(), b.Round()
+		if len(oa) != len(ob) {
+			t.Fatal("stream lengths diverge")
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("round %d op %d: %v vs %v", r, i, oa[i], ob[i])
+			}
+		}
+	}
+}
+
+func TestHotspotHotFraction(t *testing.T) {
+	g := New(Config{N: 8, Rate: 6, InsertFrac: 1, Dist: Uniform, Bound: 5, Pattern: Hotspot, HotFrac: 0.25, Seed: 13})
+	if got := g.HotHosts(); got != 2 {
+		t.Fatalf("HotHosts = %d, want 2", got)
+	}
+	perHost := map[int]int{}
+	for _, op := range g.Round() {
+		perHost[op.Host]++
+	}
+	if perHost[0] != 6 || perHost[1] != 6 {
+		t.Fatalf("hot hosts got %v, want 6 each for hosts 0,1", perHost)
+	}
+	for h := 2; h < 8; h++ {
+		if perHost[h] != 1 {
+			t.Fatalf("cold host %d got %d ops, want 1", h, perHost[h])
+		}
+	}
+}
+
+func TestPhaseShiftPattern(t *testing.T) {
+	g := New(Config{N: 4, Rate: 2, InsertFrac: 1, Dist: Uniform, Bound: 5, Pattern: PhaseShift, BurstLen: 2, Seed: 17})
+	active := func(ops []Op) map[int]bool {
+		m := map[int]bool{}
+		for _, op := range ops {
+			m[op.Host] = true
+		}
+		return m
+	}
+	// Rounds 0–1: first half (hosts 0,1); rounds 2–3: second half (2,3).
+	for r := 0; r < 4; r++ {
+		a := active(g.Round())
+		firstHalf := r/2%2 == 0
+		for h := 0; h < 4; h++ {
+			wantActive := (h < 2) == firstHalf
+			if a[h] != wantActive {
+				t.Fatalf("round %d host %d active=%v, want %v", r, h, a[h], wantActive)
+			}
+		}
+	}
+}
+
+func TestBurstDrainPattern(t *testing.T) {
+	g := New(Config{N: 2, Rate: 3, InsertFrac: 0.5, Dist: Uniform, Bound: 5, Pattern: BurstDrain, BurstLen: 2, Seed: 19})
+	for r := 0; r < 8; r++ {
+		ops := g.Round()
+		if len(ops) != 6 {
+			t.Fatalf("round %d: %d ops, want 6", r, len(ops))
+		}
+		burst := r/2%2 == 0
+		for _, op := range ops {
+			if burst && op.Kind != OpInsert {
+				t.Fatalf("round %d (burst) produced a delete", r)
+			}
+			if !burst && op.Kind != OpDelete {
+				t.Fatalf("round %d (drain) produced an insert", r)
+			}
+		}
+	}
+}
+
+func TestPatternDistStrings(t *testing.T) {
+	cases := map[string]string{
+		Uniform.String():    "uniform",
+		Zipf.String():       "zipf",
+		Ascending.String():  "asc",
+		Descending.String(): "desc",
+		Steady.String():     "steady",
+		Bursty.String():     "bursty",
+		Hotspot.String():    "hotspot",
+		PhaseShift.String(): "phaseshift",
+		BurstDrain.String(): "burstdrain",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}
