@@ -1,30 +1,35 @@
 // Command dpqd hosts one shard of a distributed priority queue: it runs
 // the virtual nodes of the hosts assigned to this process on the netrun
 // TCP engine (peer daemons run the rest) and serves the clientproto
-// Insert/DeleteMin protocol to clients. Operations are buffered into the
-// protocol's batches exactly like simulator injections; a client gets its
-// response when the heap protocol completes the operation, so pipelined
-// clients are batched per the paper's batch model.
+// protocol through the internal/serve layer — lease-based DeleteMin with
+// Ack/Nack, write-ahead durability of the pending set, and admission
+// control. Operations are buffered into the protocol's batches exactly
+// like simulator injections; a client gets its response when the heap
+// protocol completes the operation, so pipelined clients are batched per
+// the paper's batch model.
 //
 // Every client connection is pinned to one local host. Requests of a
 // connection are injected in arrival order, so a connection's responses
 // carry monotonically increasing serialization values (the property
 // cmd/dpqload verifies as local consistency).
 //
-// A 2-process loopback cluster:
+// A 2-process loopback cluster with durability:
 //
-//	dpqd -proc 0 -peers 127.0.0.1:9101,127.0.0.1:9102 -client 127.0.0.1:9201 &
-//	dpqd -proc 1 -peers 127.0.0.1:9101,127.0.0.1:9102 -client 127.0.0.1:9202 &
+//	dpqd -proc 0 -peers 127.0.0.1:9101,127.0.0.1:9102 -client 127.0.0.1:9201 \
+//	     -clients 127.0.0.1:9201,127.0.0.1:9202 -wal /tmp/d0 &
+//	dpqd -proc 1 -peers 127.0.0.1:9101,127.0.0.1:9102 -client 127.0.0.1:9202 \
+//	     -clients 127.0.0.1:9201,127.0.0.1:9202 -wal /tmp/d1 &
 //	dpqload -servers 127.0.0.1:9201,127.0.0.1:9202 -quick
 //
-// SIGTERM/SIGINT drain in-flight operations, flush the observability
-// outputs (-trace-jsonl traces are per-daemon and per-node round-monotone:
-// validate with `tracecheck -per-node`) and exit 0.
+// With -wal set, a daemon that dies (even SIGKILL) recovers its pending
+// set on restart: acknowledged inserts survive, unacked leased elements
+// are redelivered. SIGTERM/SIGINT drain in-flight operations, snapshot
+// the pending set, flush the observability outputs (-trace-jsonl traces
+// are per-daemon and per-node round-monotone: validate with `tracecheck
+// -per-node`) and exit 0.
 package main
 
 import (
-	"bufio"
-	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -35,235 +40,31 @@ import (
 	"syscall"
 	"time"
 
-	"dpq/internal/clientproto"
 	"dpq/internal/ldb"
 	"dpq/internal/netrun"
 	"dpq/internal/obs"
 	"dpq/internal/prio"
 	"dpq/internal/seap"
-	"dpq/internal/semantics"
+	"dpq/internal/serve"
 	"dpq/internal/sim"
 	"dpq/internal/skeap"
 )
-
-// pq abstracts the two heap protocols for the daemon.
-type pq interface {
-	Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op
-	Delete(host int) *semantics.Op
-	Trace() *semantics.Trace
-	Handlers() []sim.Handler
-	Overlay() *ldb.Overlay
-	SetObs(c *obs.Collector)
-}
-
-// skeapPQ adapts skeap: client priorities map onto the constant universe
-// by index modulo |𝒫|.
-type skeapPQ struct {
-	h *skeap.Heap
-	p int
-}
-
-func (q skeapPQ) Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
-	return q.h.InjectInsert(host, id, int(p%uint64(q.p)), payload)
-}
-func (q skeapPQ) Delete(host int) *semantics.Op  { return q.h.InjectDelete(host) }
-func (q skeapPQ) Trace() *semantics.Trace        { return q.h.Trace() }
-func (q skeapPQ) Handlers() []sim.Handler        { return q.h.Handlers() }
-func (q skeapPQ) Overlay() *ldb.Overlay          { return q.h.Overlay() }
-func (q skeapPQ) SetObs(c *obs.Collector)        { q.h.SetObs(c) }
-
-// seapPQ adapts seap (sequentially consistent variant): client priorities
-// map into [1, bound].
-type seapPQ struct {
-	h     *seap.Heap
-	bound uint64
-}
-
-func (q seapPQ) Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
-	return q.h.InjectInsert(host, id, p%q.bound+1, payload)
-}
-func (q seapPQ) Delete(host int) *semantics.Op  { return q.h.InjectDelete(host) }
-func (q seapPQ) Trace() *semantics.Trace        { return q.h.Trace() }
-func (q seapPQ) Handlers() []sim.Handler        { return q.h.Handlers() }
-func (q seapPQ) Overlay() *ldb.Overlay          { return q.h.Overlay() }
-func (q seapPQ) SetObs(c *obs.Collector)        { q.h.SetObs(c) }
-
-// client is one connected clientproto session with an asynchronous
-// response writer: heap completions enqueue responses without ever
-// blocking the protocol goroutine on a slow client socket.
-type client struct {
-	conn net.Conn
-	bw   *bufio.Writer
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*clientproto.Response
-	closed bool
-}
-
-func newClient(conn net.Conn) *client {
-	c := &client{conn: conn, bw: bufio.NewWriter(conn)}
-	c.cond = sync.NewCond(&c.mu)
-	return c
-}
-
-func (c *client) send(resp *clientproto.Response) {
-	c.mu.Lock()
-	if !c.closed {
-		c.queue = append(c.queue, resp)
-	}
-	c.mu.Unlock()
-	c.cond.Signal()
-}
-
-func (c *client) close() {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	c.cond.Broadcast()
-	c.conn.Close()
-}
-
-// closeGraceful stops accepting new responses but lets writeLoop flush the
-// queued ones (including a final StatusError) before the socket closes —
-// close() would race the write and could drop the very response explaining
-// the shutdown.
-func (c *client) closeGraceful() {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	c.cond.Broadcast()
-}
-
-// writeLoop drains the response queue onto the socket and closes it once
-// the client is marked closed and the queue is flushed.
-func (c *client) writeLoop() {
-	for {
-		c.mu.Lock()
-		for len(c.queue) == 0 && !c.closed {
-			c.cond.Wait()
-		}
-		batch := c.queue
-		c.queue = nil
-		closed := c.closed
-		c.mu.Unlock()
-		for _, resp := range batch {
-			if err := clientproto.WriteResponse(c.bw, resp); err != nil {
-				c.close()
-				return
-			}
-		}
-		if len(batch) > 0 {
-			if err := c.bw.Flush(); err != nil {
-				c.close()
-				return
-			}
-		}
-		if closed {
-			c.conn.Close()
-			return
-		}
-	}
-}
-
-// daemon routes heap completions back to the issuing client.
-type daemon struct {
-	heap pq
-
-	mu       sync.Mutex
-	pending  map[*semantics.Op]pendingRef
-	served   int64
-	rejected int64
-	draining bool
-}
-
-type pendingRef struct {
-	c     *client
-	reqID uint64
-}
-
-// onComplete answers the client that issued op (if any — ops injected by
-// other drivers complete silently).
-func (d *daemon) onComplete(op *semantics.Op) {
-	d.mu.Lock()
-	ref, ok := d.pending[op]
-	if ok {
-		delete(d.pending, op)
-		d.served++
-	}
-	d.mu.Unlock()
-	if !ok {
-		return
-	}
-	resp := &clientproto.Response{ReqID: ref.reqID, Value: op.Value}
-	switch {
-	case op.Kind == semantics.Insert:
-		resp.Status = clientproto.StatusInserted
-		resp.ID = uint64(op.Elem.ID)
-	case op.Result.Nil():
-		resp.Status = clientproto.StatusBottom
-	default:
-		resp.Status = clientproto.StatusElem
-		resp.ID = uint64(op.Result.ID)
-		resp.Prio = uint64(op.Result.Prio)
-	}
-	ref.c.send(resp)
-}
-
-// reject answers a request with a typed error code instead of serving it.
-func (d *daemon) reject(c *client, reqID uint64, code clientproto.ErrCode) {
-	d.mu.Lock()
-	d.rejected++
-	d.mu.Unlock()
-	c.send(&clientproto.Response{ReqID: reqID, Status: clientproto.StatusError, Code: code})
-}
-
-// serveClient reads one connection's requests and injects them, in order,
-// on the pinned host. Well-delimited invalid requests (*ReqError) are
-// answered with their typed code and the connection keeps serving; only
-// I/O-level failures end the session.
-func (d *daemon) serveClient(c *client, host int, nextID func() prio.ElemID) {
-	defer c.closeGraceful()
-	br := bufio.NewReader(c.conn)
-	for {
-		req, err := clientproto.ReadRequest(br)
-		if err != nil {
-			var re *clientproto.ReqError
-			if errors.As(err, &re) {
-				d.reject(c, re.ReqID, re.Code)
-				continue
-			}
-			return
-		}
-		// Holding d.mu across inject+track closes the window in which the
-		// protocol could complete the op before it is tracked.
-		d.mu.Lock()
-		if d.draining {
-			d.rejected++
-			d.mu.Unlock()
-			c.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrShuttingDown})
-			continue
-		}
-		var op *semantics.Op
-		if req.Op == clientproto.OpInsert {
-			op = d.heap.Insert(host, nextID(), req.Prio, req.Payload)
-		} else {
-			op = d.heap.Delete(host)
-		}
-		d.pending[op] = pendingRef{c: c, reqID: req.ReqID}
-		d.mu.Unlock()
-	}
-}
 
 func main() {
 	proc := flag.Int("proc", 0, "this daemon's index into -peers")
 	peers := flag.String("peers", "", "comma-separated netrun addresses, one per daemon (required)")
 	clientAddr := flag.String("client", "", "client protocol listen address (required)")
+	clients := flag.String("clients", "", "comma-separated client addresses of every daemon, in -peers order (required with -wal in a multi-daemon cluster: acks replicate to the owning daemon's log)")
 	hosts := flag.Int("hosts", 4, "total hosts across the whole cluster")
 	prios := flag.Int("prios", 3, "skeap: |𝒫|; seap: priority bound")
 	proto := flag.String("proto", "skeap", "heap protocol: skeap or seap")
 	seed := flag.Uint64("seed", 1, "cluster seed (must match on every daemon)")
 	tick := flag.Duration("tick", time.Millisecond, "activation period")
+	walDir := flag.String("wal", "", "durability directory: WAL + snapshots of this daemon's pending set (empty: no durability)")
+	leaseTTL := flag.Duration("lease-ttl", serve.DefaultLeaseTTL, "how long a delivered element stays leased before redelivery")
+	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "max accepted-but-incomplete heap ops before ErrOverloaded (negative: unlimited)")
+	maxConnQueue := flag.Int("max-conn-queue", serve.DefaultMaxConnQueue, "max unwritten responses per connection before eviction (negative: unlimited)")
+	snapshotEvery := flag.Duration("snapshot-every", 10*time.Second, "pending-set snapshot period with -wal (0: only at shutdown)")
 	of := obs.AddFlags()
 	flag.Parse()
 
@@ -286,10 +87,10 @@ func main() {
 	// Every daemon builds the identical full heap from the shared seed and
 	// runs only its shard; the protocol state of remote nodes is never
 	// touched because their handlers never run here.
-	var heap pq
+	var heap serve.ProtocolHeap
 	switch *proto {
 	case "skeap":
-		heap = skeapPQ{h: skeap.New(skeap.Config{N: *hosts, P: *prios, Seed: *seed}), p: *prios}
+		heap = serve.NewSkeapHeap(skeap.New(skeap.Config{N: *hosts, P: *prios, Seed: *seed}), *prios)
 	case "seap":
 		if procs > 1 {
 			// Seap's per-cycle serialization finalize is anchored: the root
@@ -299,10 +100,9 @@ func main() {
 			// seap shard must be a single process.
 			fail("-proto seap requires a single-process cluster (got %d peers)", procs)
 		}
-		heap = seapPQ{
-			h:     seap.New(seap.Config{N: *hosts, PrioBound: uint64(*prios), Seed: *seed, SeqConsistent: true}),
-			bound: uint64(*prios),
-		}
+		heap = serve.NewSeapHeap(
+			seap.New(seap.Config{N: *hosts, PrioBound: uint64(*prios), Seed: *seed, SeqConsistent: true}),
+			uint64(*prios))
 	default:
 		fail("unknown -proto %q", *proto)
 	}
@@ -346,17 +146,6 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	eng.Start()
-
-	d := &daemon{heap: heap, pending: make(map[*semantics.Op]pendingRef)}
-	heap.Trace().SetOnComplete(d.onComplete)
-
-	ln, err := net.Listen("tcp", *clientAddr)
-	if err != nil {
-		fail("client listen: %v", err)
-	}
-	fmt.Printf("dpqd[%d]: serving clients on %s, peers on %s, %d local hosts (%s)\n",
-		*proc, ln.Addr(), eng.Addr(), len(localHosts), *proto)
 
 	// Element ids: (proc+1) in the high bits keeps ids unique per daemon.
 	var idMu sync.Mutex
@@ -368,59 +157,97 @@ func main() {
 		return prio.ElemID(uint64(*proc+1)<<40 | idCtr)
 	}
 
-	var clientsMu sync.Mutex
-	clients := make(map[*client]bool)
-	go func() {
-		connCtr := 0
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
+	// In a multi-daemon cluster an element's WAL records live on the
+	// daemon that accepted its insert, but the heap may deliver it to any
+	// daemon's client. Acks therefore replicate to the owner (recovered
+	// from the id's process bits) over the client protocol; without that,
+	// a crash-restart cycle would resurrect already-consumed elements.
+	var fwd *serve.AckForwarder
+	var ownerOf func(prio.ElemID) int
+	var peerAck func(int, prio.ElemID, func(error))
+	if procs > 1 {
+		if *clients == "" {
+			if *walDir != "" {
+				fail("-clients is required with -wal in a multi-daemon cluster (acks must replicate to the inserting daemon's log)")
 			}
-			c := newClient(conn)
-			host := localHosts[connCtr%len(localHosts)]
-			connCtr++
-			clientsMu.Lock()
-			clients[c] = true
-			clientsMu.Unlock()
-			go c.writeLoop()
-			go d.serveClient(c, host, nextID)
+		} else {
+			clientAddrs := strings.Split(*clients, ",")
+			if len(clientAddrs) != procs {
+				fail("-clients lists %d addresses for %d daemons", len(clientAddrs), procs)
+			}
+			fwd = serve.NewAckForwarder(clientAddrs)
+			ownerOf = func(id prio.ElemID) int { return int(uint64(id)>>40) - 1 }
+			peerAck = fwd.Forward
 		}
-	}()
+	}
+
+	// The serving layer recovers and re-injects this daemon's durable
+	// pending set before the engine starts ticking, so recovery inserts
+	// serialize before any client operation on the same host.
+	srv, err := serve.New(serve.Config{
+		Heap:          heap,
+		Hosts:         localHosts,
+		NextID:        nextID,
+		WALDir:        *walDir,
+		LeaseTTL:      *leaseTTL,
+		MaxInFlight:   *maxInFlight,
+		MaxConnQueue:  *maxConnQueue,
+		SnapshotEvery: *snapshotEvery,
+		Proc:          *proc,
+		Owner:         ownerOf,
+		PeerAck:       peerAck,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dpqd[%d]: serve: "+format+"\n", append([]any{*proc}, args...)...)
+		},
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	eng.Start()
+
+	ln, err := net.Listen("tcp", *clientAddr)
+	if err != nil {
+		fail("client listen: %v", err)
+	}
+	fmt.Printf("dpqd[%d]: serving clients on %s, peers on %s, %d local hosts (%s)\n",
+		*proc, ln.Addr(), eng.Addr(), len(localHosts), *proto)
+	go srv.Serve(ln)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	<-sig
 
 	// Graceful drain: no new clients or operations (late requests get
-	// ErrShuttingDown), let in-flight operations complete, then flush the
-	// engine and the observability outputs.
+	// ErrShuttingDown), let in-flight operations complete, then snapshot,
+	// flush the engine and the observability outputs. The verdict below
+	// uses one atomic capture: Shutdown's returned stats plus a single
+	// quiescence check after eng.Close, when no completion can still be
+	// running — a verdict assembled from live counters could disagree with
+	// itself.
 	ln.Close()
-	d.mu.Lock()
-	d.draining = true
-	d.mu.Unlock()
-	tr := heap.Trace()
+	srv.Drain()
 	deadline := time.Now().Add(10 * time.Second)
-	for tr.DoneCount() < tr.Len() && time.Now().Before(deadline) {
+	for !srv.Quiesced() && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
-	clientsMu.Lock()
-	for c := range clients {
-		c.close()
+	st, serr := srv.Shutdown()
+	if fwd != nil {
+		fwd.Close()
 	}
-	clientsMu.Unlock()
 	eng.Close()
+	drained := srv.Quiesced() && st.InFlight == 0
+	if serr != nil {
+		fmt.Fprintf(os.Stderr, "dpqd[%d]: shutdown: %v\n", *proc, serr)
+	}
 	m := eng.Metrics()
+	sess.SetExtra("serve", st)
 	if err := sess.Close(&m); err != nil {
 		fail("%v", err)
 	}
-	d.mu.Lock()
-	served, rejected := d.served, d.rejected
-	d.mu.Unlock()
-	drained := tr.DoneCount() == tr.Len()
-	fmt.Printf("dpqd[%d]: served %d ops (%d rejected), %d ops local, ticks=%d msgs=%d drained=%v\n",
-		*proc, served, rejected, tr.Len(), m.Rounds, m.Messages, drained)
-	if !drained {
+	tr := heap.Trace()
+	fmt.Printf("dpqd[%d]: served %d ops (%d rejected, %d leases, %d acked, %d redelivered), %d ops local, %d pending, ticks=%d msgs=%d drained=%v\n",
+		*proc, st.Served, st.Rejected, st.LeasesGranted, st.Acked, st.Redeliveries, tr.Len(), st.Pending, m.Rounds, m.Messages, drained)
+	if !drained || serr != nil {
 		os.Exit(1)
 	}
 }

@@ -3,14 +3,20 @@
 // insert phase followed by a delete phase of equal size, and then verifies
 // the cluster behaved like one priority queue:
 //
-//   - every inserted element id is deleted exactly once and nothing else
+//   - every inserted element id is consumed exactly once and nothing else
 //     appears (exactly-once end to end, through the reliable transport's
-//     dedup and the daemons' completion routing);
-//   - no delete returns ⊥ while the queue is non-empty, and one trailing
-//     delete after the drain does return ⊥;
+//     dedup, the daemons' completion routing and the lease protocol);
+//   - no delete returns ⊥ while the queue is non-empty (except transiently
+//     in -ack-mode nack, where every element is out under a lease once),
+//     and one trailing delete after the drain does return ⊥;
 //   - each connection's serialization values are strictly increasing
 //     (local consistency: a connection is pinned to one host, so its
 //     responses follow that host's issue order).
+//
+// -ack-mode drives the lease protocol: "ack" (default) acknowledges every
+// delivered element, "nack" rejects each element's first delivery and
+// verifies the redelivery arrives with delivery count 2, "none" leaves
+// every element leased (the pre-lease behaviour).
 //
 // It reports per-phase throughput and response latency percentiles.
 // -quick (6000 inserts + 6000 deletes + 1 drain probe) is the CI preset.
@@ -20,11 +26,13 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpq/internal/clientproto"
@@ -37,25 +45,46 @@ type seqVal struct {
 	v   int64
 }
 
+// pendingReq is one in-flight request: when it was sent and what it was,
+// so rejections and lease responses can be routed.
+type pendingReq struct {
+	at time.Time
+	op uint8
+	id uint64 // OpAck/OpNack: the leased element
+}
+
 // conn is one pipelined client connection with its recorded outcomes.
 type conn struct {
-	idx  int
-	c    net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	seq  uint64
-	sent map[uint64]time.Time // reqID → send time, in flight
+	idx      int
+	c        net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	seq      uint64
+	sent     map[uint64]pendingReq // reqID → in-flight request
+	mode     string                // ack, nack or none
+	consumed *atomic.Int64         // cluster-wide consumed elements (nack mode)
 
-	values    []seqVal // serialization values tagged with issue order
-	insertIDs []uint64
-	deleteIDs []uint64
-	bottoms   int
-	latencies []time.Duration
+	values       []seqVal // serialization values tagged with issue order
+	insertIDs    []uint64
+	deleteIDs    []uint64 // consumed elements (delivered, in "none" mode)
+	bottoms      int
+	acked        int
+	nacked       int
+	redeliveries int
+	latencies    []time.Duration
 }
 
 func (c *conn) nextReqID() uint64 {
 	c.seq++
 	return uint64(c.idx)<<32 | c.seq
+}
+
+func (c *conn) write(req *clientproto.Request, id uint64) error {
+	c.sent[req.ReqID] = pendingReq{at: time.Now(), op: req.Op, id: id}
+	if err := clientproto.WriteRequest(c.bw, req); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // sendOne issues one request (insert below the priority bound, or delete).
@@ -70,20 +99,22 @@ func (c *conn) sendOne(insert bool, prios uint64) error {
 	} else {
 		req.Op = clientproto.OpDelete
 	}
-	c.sent[req.ReqID] = time.Now()
-	if err := clientproto.WriteRequest(c.bw, req); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return c.write(req, 0)
 }
 
-// readOne consumes one response and records its outcome.
+// settle acks or nacks a leased element.
+func (c *conn) settle(op uint8, id uint64) error {
+	return c.write(&clientproto.Request{ReqID: c.nextReqID(), Op: op, ID: id}, id)
+}
+
+// readOne consumes one response, records its outcome and drives the lease
+// protocol for delivered elements according to the connection's mode.
 func (c *conn) readOne() error {
 	resp, err := clientproto.ReadResponse(c.br)
 	if err != nil {
 		return err
 	}
-	sent, ok := c.sent[resp.ReqID]
+	pend, ok := c.sent[resp.ReqID]
 	if !ok {
 		return fmt.Errorf("response for unknown reqID %d", resp.ReqID)
 	}
@@ -94,21 +125,51 @@ func (c *conn) readOne() error {
 		// one, not just that the connection broke.
 		return err
 	}
-	c.latencies = append(c.latencies, time.Since(sent))
-	c.values = append(c.values, seqVal{seq: resp.ReqID & (1<<32 - 1), v: resp.Value})
+	c.latencies = append(c.latencies, time.Since(pend.at))
+	if pend.op == clientproto.OpInsert || pend.op == clientproto.OpDelete {
+		// Only heap operations carry serialization values; ack/nack are
+		// serving-layer bookkeeping outside the order ≺.
+		c.values = append(c.values, seqVal{seq: resp.ReqID & (1<<32 - 1), v: resp.Value})
+	}
 	switch resp.Status {
 	case clientproto.StatusInserted:
 		c.insertIDs = append(c.insertIDs, resp.ID)
 	case clientproto.StatusElem:
-		c.deleteIDs = append(c.deleteIDs, resp.ID)
+		switch c.mode {
+		case "ack":
+			if resp.Deliveries != 1 {
+				return fmt.Errorf("element %d delivered %d times without any nack or expiry", resp.ID, resp.Deliveries)
+			}
+			c.deleteIDs = append(c.deleteIDs, resp.ID)
+			return c.settle(clientproto.OpAck, resp.ID)
+		case "nack":
+			switch resp.Deliveries {
+			case 1:
+				return c.settle(clientproto.OpNack, resp.ID)
+			case 2:
+				c.redeliveries++
+				c.deleteIDs = append(c.deleteIDs, resp.ID)
+				c.consumed.Add(1)
+				return c.settle(clientproto.OpAck, resp.ID)
+			default:
+				return fmt.Errorf("element %d delivered %d times, want at most 2", resp.ID, resp.Deliveries)
+			}
+		default: // none: leave the lease hanging
+			c.deleteIDs = append(c.deleteIDs, resp.ID)
+		}
 	case clientproto.StatusBottom:
 		c.bottoms++
+	case clientproto.StatusAcked:
+		c.acked++
+	case clientproto.StatusNacked:
+		c.nacked++
 	}
 	return nil
 }
 
 // runPhase pushes quota requests through the connection with at most
-// window outstanding, then drains the in-flight tail.
+// window outstanding, then drains the in-flight tail (including the acks
+// chained onto deliveries).
 func (c *conn) runPhase(insert bool, quota, window int, prios uint64) error {
 	for i := 0; i < quota; i++ {
 		if len(c.sent) >= window {
@@ -128,6 +189,79 @@ func (c *conn) runPhase(insert bool, quota, window int, prios uint64) error {
 	return nil
 }
 
+// runDrain deletes (acking every delivery) until the first ⊥. In a
+// delete-only workload the queue size is monotone, so one ⊥ means empty
+// for good — this is how a crash-recovery harness empties a restarted
+// cluster and learns exactly which elements survived.
+func (c *conn) runDrain(window int) error {
+	sawBottom := false
+	for !sawBottom || len(c.sent) > 0 {
+		if !sawBottom && len(c.sent) < window {
+			if err := c.sendOne(false, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		pre := c.bottoms
+		if err := c.readOne(); err != nil {
+			return err
+		}
+		if c.bottoms > pre {
+			sawBottom = true
+		}
+	}
+	return nil
+}
+
+// runDeleteLoop keeps deleting until the cluster-wide consumed count
+// reaches target (nack mode). A ⊥ here is not a verdict failure: with
+// every element out under a lease at once the queue is transiently empty,
+// so the loop backs off briefly and retries.
+func (c *conn) runDeleteLoop(target int64, window int) error {
+	for {
+		if c.consumed.Load() >= target {
+			for len(c.sent) > 0 {
+				if err := c.readOne(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if len(c.sent) < window {
+			if err := c.sendOne(false, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		pre := c.bottoms
+		if err := c.readOne(); err != nil {
+			return err
+		}
+		if c.bottoms > pre {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// percentile returns the p-quantile of the sorted latencies by the
+// ceil-based nearest-rank definition: the smallest sample with at least
+// ⌈p·n⌉ observations at or below it. Truncating the rank instead biases
+// the tail low — p99 of 100 samples must be the 99th-smallest, not the
+// 98th, and p99 of 4 samples is the maximum, not the second-largest.
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(lat))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(lat) {
+		rank = len(lat)
+	}
+	return lat[rank-1]
+}
+
 // phaseStats summarizes one phase across all connections; lo[i] and hi[i]
 // bound conn i's latency records for the phase.
 func phaseStats(conns []*conn, lo, hi []int, elapsed time.Duration) string {
@@ -140,24 +274,10 @@ func phaseStats(conns []*conn, lo, hi []int, elapsed time.Duration) string {
 		}
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	pct := func(p float64) time.Duration {
-		if len(lat) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lat)-1))
-		return lat[i]
-	}
 	return fmt.Sprintf("%d ops in %v (%.0f ops/s), latency p50=%v p90=%v p99=%v max=%v",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(),
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+		percentile(lat, 0.50).Round(time.Microsecond), percentile(lat, 0.90).Round(time.Microsecond),
+		percentile(lat, 0.99).Round(time.Microsecond), percentile(lat, 1.0).Round(time.Microsecond))
 }
 
 func main() {
@@ -166,6 +286,10 @@ func main() {
 	inserts := flag.Int("inserts", 2000, "total inserts (deletes match)")
 	window := flag.Int("window", 128, "outstanding requests per connection")
 	prios := flag.Uint64("prios", 3, "priority spread of generated inserts")
+	ackMode := flag.String("ack-mode", "ack", "lease handling for delivered elements: ack, nack (reject first delivery, ack the redelivery) or none (leave leased)")
+	phase := flag.String("phase", "full", "full: insert then delete; insert: inserts only (elements stay pending); drain: delete+ack a recovered cluster until empty")
+	idsOut := flag.String("ids-out", "", "write acknowledged inserted ids (phase insert/full) or consumed ids (phase drain) to FILE, one per line")
+	expectMin := flag.Int("expect-min", -1, "phase drain: fail unless at least this many elements were consumed")
 	quick := flag.Bool("quick", false, "CI preset: 6000 inserts + 6000 deletes")
 	flag.Parse()
 
@@ -176,11 +300,26 @@ func main() {
 	if *servers == "" {
 		fail("-servers is required")
 	}
+	switch *ackMode {
+	case "ack", "nack", "none":
+	default:
+		fail("unknown -ack-mode %q", *ackMode)
+	}
+	switch *phase {
+	case "full", "insert":
+	case "drain":
+		// Draining must consume: unacked elements would go back into the
+		// queue when their leases expire and the drain would never finish.
+		*ackMode = "ack"
+	default:
+		fail("unknown -phase %q", *phase)
+	}
 	if *quick {
 		*inserts = 6000
 	}
 	addrs := strings.Split(*servers, ",")
 
+	var consumed atomic.Int64
 	var conns []*conn
 	for _, addr := range addrs {
 		for i := 0; i < *connsPer; i++ {
@@ -191,9 +330,11 @@ func main() {
 			defer nc.Close()
 			conns = append(conns, &conn{
 				idx: len(conns), c: nc,
-				br:   bufio.NewReader(nc),
-				bw:   bufio.NewWriter(nc),
-				sent: map[uint64]time.Time{},
+				br:       bufio.NewReader(nc),
+				bw:       bufio.NewWriter(nc),
+				sent:     map[uint64]pendingReq{},
+				mode:     *ackMode,
+				consumed: &consumed,
 			})
 		}
 	}
@@ -204,14 +345,14 @@ func main() {
 	for i := 0; i < *inserts; i++ {
 		quota[i%len(conns)]++
 	}
-	runAll := func(insert bool) error {
+	runAll := func(run func(i int, c *conn) error) error {
 		var wg sync.WaitGroup
 		errs := make([]error, len(conns))
 		for i, c := range conns {
 			wg.Add(1)
 			go func(i int, c *conn) {
 				defer wg.Done()
-				errs[i] = c.runPhase(insert, quota[i], *window, *prios)
+				errs[i] = run(i, c)
 			}(i, c)
 		}
 		wg.Wait()
@@ -231,16 +372,94 @@ func main() {
 		return m
 	}
 
+	// writeIDs dumps acknowledged ids for cross-run comparisons (the
+	// crash-recovery harness diffs the ids inserted before a SIGKILL
+	// against the ids drained after recovery). Written even when a phase
+	// fails mid-flight: an acknowledged insert is durable no matter how
+	// the run ends.
+	writeIDs := func(pick func(*conn) []uint64) {
+		if *idsOut == "" {
+			return
+		}
+		var b strings.Builder
+		for _, c := range conns {
+			for _, id := range pick(c) {
+				fmt.Fprintf(&b, "%d\n", id)
+			}
+		}
+		if err := os.WriteFile(*idsOut, []byte(b.String()), 0o644); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if *phase == "drain" {
+		start := time.Now()
+		drainStart := latMark()
+		if err := runAll(func(i int, c *conn) error { return c.runDrain(*window) }); err != nil {
+			fail("drain: %v", err)
+		}
+		elapsed := time.Since(start)
+		consumed := map[uint64]bool{}
+		acked := 0
+		for _, c := range conns {
+			for _, id := range c.deleteIDs {
+				if consumed[id] {
+					fail("element %d consumed twice", id)
+				}
+				consumed[id] = true
+			}
+			acked += c.acked
+		}
+		if acked != len(consumed) {
+			fail("%d elements consumed but %d acked", len(consumed), acked)
+		}
+		if *expectMin >= 0 && len(consumed) < *expectMin {
+			fail("drained %d elements, want at least %d", len(consumed), *expectMin)
+		}
+		writeIDs(func(c *conn) []uint64 { return c.deleteIDs })
+		fmt.Printf("dpqload: drain phase: %s\n", phaseStats(conns, drainStart, latMark(), elapsed))
+		fmt.Printf("dpqload: OK drained=%d acked=%d conns=%d\n", len(consumed), acked, len(conns))
+		return
+	}
+
 	phaseStart := latMark()
 	start := time.Now()
-	if err := runAll(true); err != nil {
+	if err := runAll(func(i int, c *conn) error { return c.runPhase(true, quota[i], *window, *prios) }); err != nil {
+		writeIDs(func(c *conn) []uint64 { return c.insertIDs })
 		fail("insert phase: %v", err)
 	}
 	insertElapsed := time.Since(start)
 	insertEnd := latMark()
+	writeIDs(func(c *conn) []uint64 { return c.insertIDs })
+
+	if *phase == "insert" {
+		inserted := map[uint64]bool{}
+		for _, c := range conns {
+			for _, id := range c.insertIDs {
+				if inserted[id] {
+					fail("element %d inserted twice", id)
+				}
+				inserted[id] = true
+			}
+		}
+		if len(inserted) != *inserts {
+			fail("%d inserts acknowledged, want %d", len(inserted), *inserts)
+		}
+		fmt.Printf("dpqload: insert phase: %s\n", phaseStats(conns, phaseStart, insertEnd, insertElapsed))
+		fmt.Printf("dpqload: OK inserts=%d conns=%d (left pending)\n", len(inserted), len(conns))
+		return
+	}
 
 	start = time.Now()
-	if err := runAll(false); err != nil {
+	deletePhase := func(i int, c *conn) error { return c.runPhase(false, quota[i], *window, *prios) }
+	if *ackMode == "nack" {
+		// Redeliveries roam: a nacked element may come back on any
+		// connection, so the phase targets the cluster-wide consumed count
+		// instead of per-connection quotas.
+		target := int64(*inserts)
+		deletePhase = func(i int, c *conn) error { return c.runDeleteLoop(target, *window) }
+	}
+	if err := runAll(deletePhase); err != nil {
 		fail("delete phase: %v", err)
 	}
 	deleteElapsed := time.Since(start)
@@ -252,15 +471,17 @@ func main() {
 	if err := probe.sendOne(false, *prios); err != nil {
 		fail("drain probe: %v", err)
 	}
-	if err := probe.readOne(); err != nil {
-		fail("drain probe: %v", err)
+	for len(probe.sent) > 0 {
+		if err := probe.readOne(); err != nil {
+			fail("drain probe: %v", err)
+		}
 	}
 	drained := probe.bottoms == preBottoms+1
 
 	// Verdicts.
 	inserted := map[uint64]bool{}
 	deleted := map[uint64]bool{}
-	bottoms := 0
+	bottoms, acked, nacked, redeliveries := 0, 0, 0, 0
 	for _, c := range conns {
 		for _, id := range c.insertIDs {
 			if inserted[id] {
@@ -270,11 +491,14 @@ func main() {
 		}
 		for _, id := range c.deleteIDs {
 			if deleted[id] {
-				fail("element %d deleted twice", id)
+				fail("element %d consumed twice", id)
 			}
 			deleted[id] = true
 		}
 		bottoms += c.bottoms
+		acked += c.acked
+		nacked += c.nacked
+		redeliveries += c.redeliveries
 		// Local consistency: in issue order (responses arrive out of order
 		// under pipelining), a connection's serialization values must be
 		// strictly increasing, because the connection is pinned to one host
@@ -289,26 +513,42 @@ func main() {
 	}
 	for id := range deleted {
 		if !inserted[id] {
-			fail("deleted element %d was never inserted", id)
+			fail("consumed element %d was never inserted", id)
 		}
 	}
 	if len(inserted) != *inserts {
 		fail("%d inserts acknowledged, want %d", len(inserted), *inserts)
 	}
 	if len(deleted) != *inserts {
-		fail("%d elements deleted, want %d (%d ⊥ responses)", len(deleted), *inserts, bottoms)
+		fail("%d elements consumed, want %d (%d ⊥ responses)", len(deleted), *inserts, bottoms)
 	}
 	if !drained {
 		fail("drain probe did not return ⊥")
 	}
-	if bottoms != probe.bottoms-preBottoms {
-		// Any ⊥ before the probe means a delete raced past the inserts,
-		// which the two-phase barrier should have excluded.
-		fail("unexpected ⊥ responses during the phases: %d", bottoms-1)
+	switch *ackMode {
+	case "ack":
+		if acked != *inserts {
+			fail("%d elements acked, want %d", acked, *inserts)
+		}
+		if bottoms != probe.bottoms-preBottoms {
+			// Any ⊥ before the probe means a delete raced past the inserts,
+			// which the two-phase barrier should have excluded.
+			fail("unexpected ⊥ responses during the phases: %d", bottoms-1)
+		}
+	case "nack":
+		// Every element was rejected once and consumed on its redelivery;
+		// transient ⊥ during the churn is expected and uncounted.
+		if nacked != *inserts || acked != *inserts || redeliveries != *inserts {
+			fail("nacked=%d acked=%d redeliveries=%d, want all %d", nacked, acked, redeliveries, *inserts)
+		}
+	case "none":
+		if bottoms != probe.bottoms-preBottoms {
+			fail("unexpected ⊥ responses during the phases: %d", bottoms-1)
+		}
 	}
 
 	fmt.Printf("dpqload: insert phase: %s\n", phaseStats(conns, phaseStart, insertEnd, insertElapsed))
 	fmt.Printf("dpqload: delete phase: %s\n", phaseStats(conns, insertEnd, deleteEnd, deleteElapsed))
-	fmt.Printf("dpqload: OK inserts=%d deletes=%d conns=%d drained=%v\n",
-		len(inserted), len(deleted), len(conns), drained)
+	fmt.Printf("dpqload: OK inserts=%d consumed=%d acked=%d nacked=%d redelivered=%d conns=%d mode=%s drained=%v\n",
+		len(inserted), len(deleted), acked, nacked, redeliveries, len(conns), *ackMode, drained)
 }

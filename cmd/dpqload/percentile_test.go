@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the ceil-based nearest-rank definition on
+// a known distribution: p99 of 100 samples is the 99th-smallest. The old
+// truncating index biased every tail percentile one rank low on exact
+// boundaries (p99 of 4 samples picked the 2nd-largest instead of the max).
+func TestPercentileNearestRank(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+		{0.001, 1 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lat, c.p); got != c.want {
+			t.Errorf("p%g of 1..100ms = %v, want %v", c.p*100, got, c.want)
+		}
+	}
+
+	small := []time.Duration{10, 20, 30, 40}
+	if got := percentile(small, 0.99); got != 40 {
+		t.Errorf("p99 of 4 samples = %v, want the max (40)", got)
+	}
+	if got := percentile(small, 0.50); got != 20 {
+		t.Errorf("p50 of 4 samples = %v, want 20", got)
+	}
+	if got := percentile(small, 0.25); got != 10 {
+		t.Errorf("p25 of 4 samples = %v, want 10", got)
+	}
+
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty set percentile = %v, want 0", got)
+	}
+	one := []time.Duration{7}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := percentile(one, p); got != 7 {
+			t.Errorf("p%g of a single sample = %v, want 7", p*100, got)
+		}
+	}
+}

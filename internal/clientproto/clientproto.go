@@ -28,14 +28,18 @@ import (
 const (
 	OpInsert = 1
 	OpDelete = 2
+	OpAck    = 3 // settle a leased element for good (ID names the element)
+	OpNack   = 4 // return a leased element for immediate redelivery
 )
 
 // Response statuses.
 const (
 	StatusInserted = 1 // insert completed; ID echoes the assigned element id
-	StatusElem     = 2 // delete returned an element
+	StatusElem     = 2 // delete returned an element, now leased to the caller
 	StatusBottom   = 3 // delete returned ⊥ (empty heap)
 	StatusError    = 4 // request rejected; Code carries the typed reason
+	StatusAcked    = 5 // ack settled the element; it will never redeliver
+	StatusNacked   = 6 // nack reinserted the element for redelivery
 )
 
 // ErrCode is the typed rejection reason carried on the wire with
@@ -50,11 +54,12 @@ const (
 	ErrPayloadTooLarge ErrCode = 3 // insert payload exceeds MaxPayload
 	ErrShuttingDown    ErrCode = 4 // daemon is draining; no new operations
 	ErrOverloaded      ErrCode = 5 // too many operations in flight
+	ErrUnknownLease    ErrCode = 6 // ack/nack named an element not leased here
 )
 
 // errCodeCount is the number of defined codes (fuzz/round-trip tests
 // iterate the full range).
-const errCodeCount = 6
+const errCodeCount = 7
 
 func (c ErrCode) String() string {
 	switch c {
@@ -70,6 +75,8 @@ func (c ErrCode) String() string {
 		return "shutting-down"
 	case ErrOverloaded:
 		return "overloaded"
+	case ErrUnknownLease:
+		return "unknown-lease"
 	default:
 		return fmt.Sprintf("err-code-%d", uint8(c))
 	}
@@ -122,6 +129,7 @@ type Request struct {
 	ReqID   uint64
 	Prio    uint64 // insert only; Skeap interprets it as a 0-based index
 	Payload string // insert only
+	ID      uint64 // ack/nack only: the leased element id being settled
 }
 
 // Response reports one completed or rejected operation.
@@ -129,9 +137,13 @@ type Response struct {
 	ReqID  uint64
 	Status uint8
 	Code   ErrCode // StatusError only; ErrNone otherwise
-	ID     uint64  // element id (inserted or deleted)
+	ID     uint64  // element id (inserted, deleted, or ack/nack echo)
 	Prio   uint64  // deleted element's priority
 	Value  int64   // protocol serialization value of the operation
+	// Deliveries counts how many times the element of a StatusElem
+	// response has been handed out, this delivery included: 1 on first
+	// delivery, more after nacks or expired leases.
+	Deliveries uint32
 }
 
 // Err returns the typed error of a StatusError response, nil otherwise.
@@ -178,9 +190,12 @@ func WriteRequest(w io.Writer, req *Request) error {
 	defer wire.PutWriter(b)
 	b.U8(req.Op)
 	b.U64(req.ReqID)
-	if req.Op == OpInsert {
+	switch req.Op {
+	case OpInsert:
 		b.U64(req.Prio)
 		b.String(req.Payload)
+	case OpAck, OpNack:
+		b.U64(req.ID)
 	}
 	return writeFrame(w, b.Bytes())
 }
@@ -204,6 +219,8 @@ func ReadRequest(r io.Reader) (*Request, error) {
 		req.Prio = fr.U64()
 		req.Payload = fr.String()
 	case OpDelete:
+	case OpAck, OpNack:
+		req.ID = fr.U64()
 	default:
 		return nil, &ReqError{Code: ErrBadOp, ReqID: req.ReqID, Cause: fmt.Sprintf("op %d", req.Op)}
 	}
@@ -231,6 +248,7 @@ func WriteResponse(w io.Writer, resp *Response) error {
 	b.U64(resp.ID)
 	b.U64(resp.Prio)
 	b.I64(resp.Value)
+	b.U32(resp.Deliveries)
 	return writeFrame(w, b.Bytes())
 }
 
@@ -248,6 +266,7 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	resp.ID = fr.U64()
 	resp.Prio = fr.U64()
 	resp.Value = fr.I64()
+	resp.Deliveries = fr.U32()
 	if err := fr.Err(); err != nil {
 		return nil, err
 	}
@@ -255,7 +274,7 @@ func ReadResponse(r io.Reader) (*Response, error) {
 		return nil, fmt.Errorf("clientproto: %d trailing bytes in response", fr.Remaining())
 	}
 	switch resp.Status {
-	case StatusInserted, StatusElem, StatusBottom:
+	case StatusInserted, StatusElem, StatusBottom, StatusAcked, StatusNacked:
 		if resp.Code != ErrNone {
 			return nil, fmt.Errorf("clientproto: status %d carries error code %s", resp.Status, resp.Code)
 		}

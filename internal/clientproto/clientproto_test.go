@@ -12,6 +12,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpInsert, ReqID: 7, Prio: 3, Payload: "hello"},
 		{Op: OpInsert, ReqID: 0, Prio: 0},
 		{Op: OpDelete, ReqID: 9},
+		{Op: OpAck, ReqID: 10, ID: 1<<40 | 17},
+		{Op: OpNack, ReqID: 11, ID: 42},
 	}
 	for _, req := range cases {
 		var buf bytes.Buffer
@@ -31,8 +33,11 @@ func TestRequestRoundTrip(t *testing.T) {
 func TestResponseRoundTrip(t *testing.T) {
 	cases := []*Response{
 		{ReqID: 7, Status: StatusInserted, ID: 12, Value: 3},
-		{ReqID: 8, Status: StatusElem, ID: 12, Prio: 2, Value: 9},
+		{ReqID: 8, Status: StatusElem, ID: 12, Prio: 2, Value: 9, Deliveries: 1},
 		{ReqID: 9, Status: StatusBottom, Value: 11},
+		{ReqID: 10, Status: StatusElem, ID: 13, Prio: 1, Value: 12, Deliveries: 3},
+		{ReqID: 11, Status: StatusAcked, ID: 13},
+		{ReqID: 12, Status: StatusNacked, ID: 14},
 	}
 	for _, resp := range cases {
 		var buf bytes.Buffer

@@ -38,6 +38,7 @@ type Session struct {
 	col       *Collector
 	tw        *TraceWriter
 	traceFile *os.File
+	extras    map[string]any
 }
 
 // Start opens the requested outputs and, with -pprof, serves the profiling
@@ -129,6 +130,18 @@ type metricsJSON struct {
 	} `json:"engine"`
 	Kinds  map[string]kindJSON `json:"kinds"`
 	Phases []PhaseStats        `json:"phases"`
+	Extras map[string]any      `json:"extras,omitempty"`
+}
+
+// SetExtra attaches a named section to the metrics JSON document — the
+// network daemon exports its serving-layer stats (leases, WAL, admission
+// control) as the "serve" section this way. Call before Close; the value
+// must marshal with encoding/json.
+func (s *Session) SetExtra(name string, v any) {
+	if s.extras == nil {
+		s.extras = map[string]any{}
+	}
+	s.extras[name] = v
 }
 
 type kindJSON struct {
@@ -170,6 +183,7 @@ func (s *Session) Close(m *sim.Metrics) error {
 		doc.Kinds[name] = kj
 	}
 	doc.Phases = s.col.Phases()
+	doc.Extras = s.extras
 	out, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		return err

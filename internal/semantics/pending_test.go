@@ -1,0 +1,46 @@
+package semantics
+
+import (
+	"testing"
+
+	"dpq/internal/prio"
+)
+
+// TestPendingSet: the pending set after a replayed trace is exactly
+// {inserted} minus {deleted}, with ⊥ deletes and incomplete ops ignored,
+// and reinsertion of a deleted id counted again.
+func TestPendingSet(t *testing.T) {
+	tr := NewTrace()
+	a, b, c := elem(1, 5), elem(2, 3), elem(3, 7)
+	v := int64(1)
+	ins := func(e prio.Element) {
+		op := tr.Issue(0, Insert, e)
+		tr.Complete(op, prio.Element{}, v)
+		v++
+	}
+	del := func(res prio.Element) {
+		op := tr.Issue(0, DeleteMin, prio.Element{})
+		tr.Complete(op, res, v)
+		v++
+	}
+	ins(a)
+	ins(b)
+	del(b)              // b leaves
+	del(prio.Element{}) // ⊥: no effect
+	ins(c)
+	tr.Issue(0, Insert, elem(9, 9)) // never completes: excluded
+
+	got := PendingSet(tr)
+	if len(got) != 2 {
+		t.Fatalf("pending set %v, want {a, c}", got)
+	}
+	if got[a.ID] != a || got[c.ID] != c {
+		t.Fatalf("pending set %v, want {%v, %v}", got, a, c)
+	}
+
+	// Reinsert b (redelivery after a crash or nack) — it is pending again.
+	ins(b)
+	if got = PendingSet(tr); got[b.ID] != b {
+		t.Fatalf("reinserted element missing from %v", got)
+	}
+}

@@ -144,6 +144,29 @@ func (t *Trace) DoneCount() int {
 	return n
 }
 
+// PendingSet replays the completed operations in serialization order and
+// returns the elements still in the heap afterwards: every inserted
+// element not returned by a DeleteMin. The serving layer's recovery
+// checks compare this trace-derived ground truth against what a WAL
+// reconstructs after a crash. Incomplete operations are ignored — an
+// insert that never completed was never acknowledged, so durability makes
+// no promise about it.
+func PendingSet(t *Trace) map[prio.ElemID]prio.Element {
+	ops := sortedByValue(t.Ops(), &Report{})
+	pending := make(map[prio.ElemID]prio.Element)
+	for _, op := range ops {
+		switch op.Kind {
+		case Insert:
+			pending[op.Elem.ID] = op.Elem
+		case DeleteMin:
+			if !op.Result.Nil() {
+				delete(pending, op.Result.ID)
+			}
+		}
+	}
+	return pending
+}
+
 // Report is the outcome of a semantics check: Ok with an empty Violations
 // list, or a description of every violated property.
 type Report struct {

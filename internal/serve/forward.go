@@ -1,0 +1,151 @@
+// AckForwarder replicates acks between daemons. The distributed heap can
+// deliver an element to a client of any daemon, but the element's WAL
+// records live where its insert was accepted — the serving daemon forwards
+// the ack to that owner over the ordinary client protocol and completes
+// the client's ack only after the owner reports it durable. Connections
+// are dialed lazily, pipelined, and redialed after failures; a forward
+// outstanding on a broken connection fails (the element's lease then
+// expires into a redelivery, never a loss).
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dpq/internal/clientproto"
+	"dpq/internal/prio"
+)
+
+// AckForwarder sends acks to the owning peers of foreign elements. Its
+// Forward method matches the PeerAck hook in Config.
+type AckForwarder struct {
+	addrs  []string
+	mu     sync.Mutex
+	peers  map[int]*peerConn
+	closed bool
+}
+
+// peerConn is one lazily-dialed connection to a peer daemon.
+type peerConn struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	bw    *bufio.Writer
+	next  uint64
+	calls map[uint64]func(error)
+}
+
+// NewAckForwarder builds a forwarder over the daemons' client addresses
+// (indexed by process, the same order as the cluster's peer list).
+func NewAckForwarder(addrs []string) *AckForwarder {
+	return &AckForwarder{addrs: addrs, peers: map[int]*peerConn{}}
+}
+
+// Forward replicates the ack of id to the owner daemon and calls done with
+// nil once the owner acknowledged (its response is durability-gated), or
+// with the failure. done may be called synchronously on dial errors.
+func (f *AckForwarder) Forward(owner int, id prio.ElemID, done func(error)) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		done(fmt.Errorf("ack forwarder closed"))
+		return
+	}
+	if owner < 0 || owner >= len(f.addrs) {
+		f.mu.Unlock()
+		done(fmt.Errorf("element %d owned by unknown process %d", id, owner))
+		return
+	}
+	p := f.peers[owner]
+	if p == nil {
+		p = &peerConn{calls: map[uint64]func(error){}}
+		f.peers[owner] = p
+	}
+	addr := f.addrs[owner]
+	f.mu.Unlock()
+
+	p.mu.Lock()
+	if p.conn == nil {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			p.mu.Unlock()
+			done(fmt.Errorf("dial owner %d: %v", owner, err))
+			return
+		}
+		p.conn = conn
+		p.bw = bufio.NewWriter(conn)
+		go p.readLoop(conn)
+	}
+	p.next++
+	reqID := p.next
+	p.calls[reqID] = done
+	err := clientproto.WriteRequest(p.bw, &clientproto.Request{ReqID: reqID, Op: clientproto.OpAck, ID: uint64(id)})
+	if err == nil {
+		err = p.bw.Flush()
+	}
+	if err != nil {
+		delete(p.calls, reqID)
+		p.dropLocked(fmt.Errorf("owner %d: %v", owner, err))
+		p.mu.Unlock()
+		done(fmt.Errorf("forward to owner %d: %v", owner, err))
+		return
+	}
+	p.mu.Unlock()
+}
+
+// readLoop matches the peer's responses to outstanding forwards until the
+// connection dies, then fails whatever is left.
+func (p *peerConn) readLoop(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	for {
+		resp, err := clientproto.ReadResponse(br)
+		if err != nil {
+			p.mu.Lock()
+			if p.conn == conn {
+				p.dropLocked(fmt.Errorf("peer connection lost: %v", err))
+			}
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Lock()
+		done, ok := p.calls[resp.ReqID]
+		delete(p.calls, resp.ReqID)
+		p.mu.Unlock()
+		if !ok {
+			continue
+		}
+		done(resp.Err())
+	}
+}
+
+// dropLocked (p.mu held) closes the connection and fails every
+// outstanding forward; the next Forward redials.
+func (p *peerConn) dropLocked(err error) {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.bw = nil
+	}
+	for reqID, done := range p.calls {
+		delete(p.calls, reqID)
+		go done(err)
+	}
+}
+
+// Close fails all outstanding forwards and closes the peer connections.
+func (f *AckForwarder) Close() {
+	f.mu.Lock()
+	f.closed = true
+	peers := make([]*peerConn, 0, len(f.peers))
+	for _, p := range f.peers {
+		peers = append(peers, p)
+	}
+	f.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		p.dropLocked(fmt.Errorf("ack forwarder closed"))
+		p.mu.Unlock()
+	}
+}

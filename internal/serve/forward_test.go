@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dpq/internal/clientproto"
+	"dpq/internal/prio"
+)
+
+// TestRemoteAckReplication: an element owned by daemon B (its WAL holds
+// the insert) is delivered and acked through daemon A; the ack must reach
+// B's log before A's client hears success, so a recovery of B finds
+// nothing pending.
+func TestRemoteAckReplication(t *testing.T) {
+	dirB := t.TempDir()
+	sB, _, addrB := newTestServer(t, func(c *Config) {
+		c.WALDir = dirB
+		c.Proc = 1
+	})
+	fwd := NewAckForwarder([]string{"", addrB})
+	defer fwd.Close()
+	sA, _, addrA := newTestServer(t, func(c *Config) {
+		c.Proc = 0
+		c.Owner = func(prio.ElemID) int { return 1 } // everything owned by B
+		c.PeerAck = fwd.Forward
+	})
+
+	// The same element id exists at both daemons: B holds the durable
+	// pending record, A's heap holds the deliverable copy (in production
+	// the distributed heap is shared; here two testHeaps stand in).
+	cB := dial(t, addrB)
+	wantStatus(t, cB.insert(7), clientproto.StatusInserted)
+	cA := dial(t, addrA)
+	wantStatus(t, cA.insert(7), clientproto.StatusInserted)
+
+	d := cA.deleteMin()
+	wantStatus(t, d, clientproto.StatusElem)
+	wantStatus(t, cA.ack(d.ID), clientproto.StatusAcked)
+
+	if st := sA.Stats(); st.Acked != 1 || st.Leased != 0 {
+		t.Fatalf("serving daemon stats %+v", st)
+	}
+	if st := sB.Stats(); st.RemoteAcks != 1 || st.Pending != 0 {
+		t.Fatalf("owner daemon stats %+v", st)
+	}
+
+	// The owner's WAL must hold the ack durably: recovery is empty.
+	if _, err := sB.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	w, recovered, err := Open(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(recovered) != 0 {
+		t.Fatalf("owner recovers %d elements after a replicated ack, want 0", len(recovered))
+	}
+}
+
+// TestPeerAckFailureKeepsLease: when the owner daemon is unreachable the
+// client's ack fails and the lease survives, expiring into a redelivery —
+// the element is never lost, never falsely acknowledged.
+func TestPeerAckFailureKeepsLease(t *testing.T) {
+	s, _, addr := newTestServer(t, func(c *Config) {
+		c.Proc = 0
+		c.Owner = func(prio.ElemID) int { return 1 }
+		c.PeerAck = func(owner int, id prio.ElemID, done func(error)) {
+			done(errors.New("owner down"))
+		}
+		c.LeaseTTL = 100 * time.Millisecond
+	})
+	c := dial(t, addr)
+	wantStatus(t, c.insert(1), clientproto.StatusInserted)
+	first := c.deleteMin()
+	wantStatus(t, first, clientproto.StatusElem)
+	wantErr(t, c.ack(first.ID), clientproto.ErrShuttingDown)
+	if st := s.Stats(); st.Leased != 1 {
+		t.Fatalf("lease dropped after a failed peer ack: %+v", st)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("element never redelivered after the failed ack")
+		}
+		resp := c.deleteMin()
+		if resp.Status == clientproto.StatusElem {
+			if resp.ID != first.ID || resp.Deliveries != 2 {
+				t.Fatalf("redelivery id %d deliveries %d, want id %d deliveries 2", resp.ID, resp.Deliveries, first.ID)
+			}
+			return
+		}
+		wantStatus(t, resp, clientproto.StatusBottom)
+		time.Sleep(10 * time.Millisecond)
+	}
+}

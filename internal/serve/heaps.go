@@ -1,0 +1,69 @@
+// Adapters binding the two heap protocols to the serving layer. The
+// crucial asymmetry: Insert maps a raw client priority into the protocol's
+// universe, while Reinsert replays an element whose priority was already
+// mapped by the original Insert — re-mapping would corrupt it (Seap's
+// p%bound+1 is not idempotent at p = bound), so recovery and redelivery
+// always go through Reinsert.
+package serve
+
+import (
+	"dpq/internal/ldb"
+	"dpq/internal/obs"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/semantics"
+	"dpq/internal/sim"
+	"dpq/internal/skeap"
+)
+
+// ProtocolHeap widens Heap with the engine-wiring hooks cmd/dpqd needs.
+type ProtocolHeap interface {
+	Heap
+	Handlers() []sim.Handler
+	Overlay() *ldb.Overlay
+	SetObs(c *obs.Collector)
+}
+
+// skeapHeap adapts skeap: client priorities map onto the constant universe
+// by index modulo |𝒫|.
+type skeapHeap struct {
+	h *skeap.Heap
+	p int
+}
+
+// NewSkeapHeap wraps a skeap heap whose priority universe has p classes.
+func NewSkeapHeap(h *skeap.Heap, p int) ProtocolHeap { return skeapHeap{h: h, p: p} }
+
+func (q skeapHeap) Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
+	return q.h.InjectInsert(host, id, int(p%uint64(q.p)), payload)
+}
+func (q skeapHeap) Reinsert(host int, e prio.Element) *semantics.Op {
+	return q.h.InjectInsert(host, e.ID, int(e.Prio), e.Payload)
+}
+func (q skeapHeap) Delete(host int) *semantics.Op { return q.h.InjectDelete(host) }
+func (q skeapHeap) Trace() *semantics.Trace       { return q.h.Trace() }
+func (q skeapHeap) Handlers() []sim.Handler       { return q.h.Handlers() }
+func (q skeapHeap) Overlay() *ldb.Overlay         { return q.h.Overlay() }
+func (q skeapHeap) SetObs(c *obs.Collector)       { q.h.SetObs(c) }
+
+// seapHeap adapts seap (sequentially consistent variant): client
+// priorities map into [1, bound].
+type seapHeap struct {
+	h     *seap.Heap
+	bound uint64
+}
+
+// NewSeapHeap wraps a seap heap with the given priority bound.
+func NewSeapHeap(h *seap.Heap, bound uint64) ProtocolHeap { return seapHeap{h: h, bound: bound} }
+
+func (q seapHeap) Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
+	return q.h.InjectInsert(host, id, p%q.bound+1, payload)
+}
+func (q seapHeap) Reinsert(host int, e prio.Element) *semantics.Op {
+	return q.h.InjectInsert(host, e.ID, uint64(e.Prio), e.Payload)
+}
+func (q seapHeap) Delete(host int) *semantics.Op { return q.h.InjectDelete(host) }
+func (q seapHeap) Trace() *semantics.Trace       { return q.h.Trace() }
+func (q seapHeap) Handlers() []sim.Handler       { return q.h.Handlers() }
+func (q seapHeap) Overlay() *ldb.Overlay         { return q.h.Overlay() }
+func (q seapHeap) SetObs(c *obs.Collector)       { q.h.SetObs(c) }

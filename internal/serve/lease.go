@@ -1,0 +1,90 @@
+// Lease bookkeeping: a delivered element stays pending until the client
+// settles it. The state machine per element:
+//
+//	in heap ──DeleteMin──▶ leased ──Ack──▶ gone (WAL: ACK)
+//	   ▲                      │
+//	   └──Nack / TTL expiry───┘   (reinsert; deliveries++)
+//
+// Leases are keyed by element id and not bound to a connection, so a
+// client may ack on a different connection than the one that received the
+// delivery. A crash drops all leases; recovery re-injects every unacked
+// element, which is exactly the "lease implicitly expired" transition.
+package serve
+
+import (
+	"time"
+
+	"dpq/internal/prio"
+)
+
+// lease is one element currently handed out to a client.
+type lease struct {
+	elem       prio.Element
+	host       int       // host to reinsert on when the lease dies
+	deadline   time.Time // expiry instant
+	deliveries uint32    // deliveries so far, the current one included
+	settling   bool      // an ack is replicating to the owner daemon; hands off
+}
+
+// grantLease records op.Result as leased to whoever reads the response.
+// Caller holds s.mu. Returns the delivery counter for the response.
+func (s *Server) grantLease(e prio.Element, host int) uint32 {
+	n := s.redeliv[e.ID] + 1
+	delete(s.redeliv, e.ID)
+	s.leases[e.ID] = &lease{
+		elem:       e,
+		host:       host,
+		deadline:   time.Now().Add(s.cfg.LeaseTTL),
+		deliveries: n,
+	}
+	s.stats.Leased = len(s.leases)
+	s.stats.LeasesGranted++
+	if n > 1 {
+		s.stats.Redeliveries++
+	}
+	return n
+}
+
+// expiryLoop scans for overdue leases and reinserts their elements. The
+// scan period tracks the TTL so expiry latency stays within ~TTL/4.
+func (s *Server) expiryLoop() {
+	defer s.wg.Done()
+	period := s.cfg.LeaseTTL / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.expireLeases(time.Now())
+		}
+	}
+}
+
+// expireLeases reinserts every lease overdue at now. Draining suppresses
+// reinsertion so a shutting-down daemon can quiesce; the elements stay
+// pending and survive into the final snapshot.
+func (s *Server) expireLeases(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	for id, l := range s.leases {
+		if l.settling || now.Before(l.deadline) {
+			continue
+		}
+		delete(s.leases, id)
+		s.redeliv[id] = l.deliveries
+		s.stats.Expired++
+		s.heap.Reinsert(l.host, l.elem)
+	}
+	s.stats.Leased = len(s.leases)
+}

@@ -1,0 +1,659 @@
+// Package serve is the production serving layer between the clientproto
+// wire protocol and the heap protocols: it turns the daemon's raw
+// "inject and answer on completion" loop into FOQS-style queue semantics.
+//
+//   - Lease-based DeleteMin: a delete hands the element to the client
+//     under a lease. The client Acks (the element is settled for good),
+//     Nacks (immediate reinsert), or lets the lease expire (automatic
+//     reinsert). Every redelivery increments the element's delivery
+//     counter, carried on StatusElem responses.
+//   - Durability: accepted inserts and acks are written to a CRC-framed
+//     write-ahead log (wal.go) and the client acknowledgement is gated on
+//     the record being fsynced, so a SIGKILL-then-restart recovers the
+//     exact acknowledged pending set and re-injects it into a fresh heap.
+//   - Backpressure: a cap on in-flight heap operations rejects excess
+//     requests with ErrOverloaded instead of queueing without bound, and
+//     each connection's response queue is bounded with slow-reader
+//     eviction (writer.go).
+//
+// The layer deliberately owns no protocol state: the heaps order, the
+// serving layer remembers. Its source of truth is the pending set
+// (accepted − acked elements), mirrored in memory and on disk.
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"dpq/internal/clientproto"
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+)
+
+// Heap is the protocol-side surface the serving layer drives. Insert maps
+// a raw client priority into the protocol's universe; Reinsert re-injects
+// an element exactly as a previous Insert recorded it (recovery and
+// redelivery must not re-map an already-mapped priority).
+type Heap interface {
+	Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op
+	Reinsert(host int, e prio.Element) *semantics.Op
+	Delete(host int) *semantics.Op
+	Trace() *semantics.Trace
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultLeaseTTL     = 30 * time.Second
+	DefaultMaxInFlight  = 1 << 16
+	DefaultMaxConnQueue = 1 << 14
+)
+
+// Config describes one serving layer instance.
+type Config struct {
+	Heap   Heap
+	Hosts  []int              // local hosts; connections and recovery spread across them
+	NextID func() prio.ElemID // unique element id source
+
+	// WALDir enables durability when non-empty: accepted ops are logged
+	// there and recovery re-injects the pending set at New.
+	WALDir string
+	// LeaseTTL is how long a delivered element stays leased before it is
+	// reinserted for redelivery (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// MaxInFlight caps heap operations accepted but not yet completed;
+	// excess requests are rejected with ErrOverloaded (default
+	// DefaultMaxInFlight; negative disables).
+	MaxInFlight int
+	// MaxConnQueue caps one connection's unwritten responses; a client
+	// that stops reading past the cap is evicted (default
+	// DefaultMaxConnQueue; negative disables).
+	MaxConnQueue int
+	// SnapshotEvery, when positive, writes a snapshot of the pending set
+	// on that period, bounding both recovery replay work and (when the
+	// log is quiescent) the log size itself.
+	SnapshotEvery time.Duration
+
+	// Multi-daemon durability. An element's WAL records live on the daemon
+	// that accepted its insert, but the distributed heap can deliver it to
+	// a client of any daemon — an ack must then reach the owner's log or a
+	// later recovery resurrects a consumed element. Owner maps an element
+	// id to its owning process (nil: everything is local); when an ack
+	// settles a foreign element, PeerAck replicates it to the owner and
+	// the client's response waits for done, so an acknowledged ack is
+	// durable at the owner no matter which daemon served it.
+	Proc    int
+	Owner   func(prio.ElemID) int
+	PeerAck func(owner int, id prio.ElemID, done func(error))
+
+	Logf func(format string, args ...any)
+}
+
+// Stats is the serving layer's observability export (obs metrics JSON
+// "serve" section).
+type Stats struct {
+	Served          int64 `json:"served"`   // operations answered with a result
+	Rejected        int64 `json:"rejected"` // operations answered with StatusError
+	LeasesGranted   int64 `json:"leasesGranted"`
+	Acked           int64 `json:"acked"`
+	RemoteAcks      int64 `json:"remoteAcks"` // peer-replicated acks expunged here
+	Nacked          int64 `json:"nacked"`
+	Expired         int64 `json:"expired"`      // leases that timed out
+	Redeliveries    int64 `json:"redeliveries"` // deliveries beyond an element's first
+	OverloadRejects int64 `json:"overloadRejects"`
+	EvictedConns    int64 `json:"evictedConns"` // slow readers dropped at the queue cap
+	Conns           int   `json:"conns"`        // currently connected clients
+	InFlight        int   `json:"inFlight"`     // heap ops issued, not yet completed
+	Leased          int   `json:"leased"`       // elements currently out under lease
+	Pending         int   `json:"pending"`      // pending set size (heap + leased)
+
+	WAL WALStats `json:"wal"`
+}
+
+// pendingRef routes one heap op's completion back to its client.
+type pendingRef struct {
+	cw    *connWriter
+	reqID uint64
+	seq   uint64 // WAL seq the response must wait for (0: none)
+}
+
+// Server is one daemon's serving layer.
+type Server struct {
+	cfg  Config
+	heap Heap
+	wal  *WAL // nil without durability
+
+	mu       sync.Mutex
+	pending  map[*semantics.Op]pendingRef
+	pendElem map[prio.ElemID]prio.Element // the pending set: in heap or leased
+	leases   map[prio.ElemID]*lease
+	redeliv  map[prio.ElemID]uint32 // prior deliveries of reinserted elements
+	conns    map[*connWriter]bool
+	draining bool
+	hostCtr  int
+	stats    Stats
+
+	// Durability gate: responses waiting for their WAL record to fsync.
+	durMu   sync.Mutex
+	durCond *sync.Cond
+	durQ    []durWait
+	durStop bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type durWait struct {
+	seq  uint64
+	cw   *connWriter
+	resp *clientproto.Response
+}
+
+// New builds the serving layer, recovering and re-injecting the durable
+// pending set when cfg.WALDir is set. The heap's trace completion callback
+// is installed here; injections may begin before the network engine ticks
+// (they only buffer at the local virtual nodes).
+func New(cfg Config) (*Server, error) {
+	if cfg.Heap == nil || cfg.NextID == nil || len(cfg.Hosts) == 0 {
+		return nil, errors.New("serve: Heap, NextID and Hosts are required")
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxConnQueue == 0 {
+		cfg.MaxConnQueue = DefaultMaxConnQueue
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		heap:     cfg.Heap,
+		pending:  map[*semantics.Op]pendingRef{},
+		pendElem: map[prio.ElemID]prio.Element{},
+		leases:   map[prio.ElemID]*lease{},
+		redeliv:  map[prio.ElemID]uint32{},
+		conns:    map[*connWriter]bool{},
+		stop:     make(chan struct{}),
+	}
+	s.durCond = sync.NewCond(&s.durMu)
+	s.heap.Trace().SetOnComplete(s.onComplete)
+
+	if cfg.WALDir != "" {
+		w, recovered, err := Open(cfg.WALDir)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+		// Re-inject the recovered pending set round-robin across the local
+		// hosts, before any client operation: per-host FIFO injection then
+		// guarantees a client's deletes serialize after the recovery
+		// inserts on the same host. Completions are silent (no client).
+		for i, e := range recovered {
+			s.pendElem[e.ID] = e
+			s.heap.Reinsert(cfg.Hosts[i%len(cfg.Hosts)], e)
+		}
+		if len(recovered) > 0 {
+			cfg.Logf("recovered %d pending elements from %s", len(recovered), cfg.WALDir)
+		}
+	}
+
+	s.wg.Add(2)
+	go s.releaseLoop()
+	go s.expiryLoop()
+	if s.wal != nil && cfg.SnapshotEvery > 0 {
+		s.wg.Add(1)
+		go s.snapshotLoop(cfg.SnapshotEvery)
+	}
+	return s, nil
+}
+
+// snapshotLoop periodically persists the pending set. The capture is
+// consistent by construction: pendElem and the WAL's last seq are read
+// under the same lock that orders every append.
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			elems := make([]prio.Element, 0, len(s.pendElem))
+			for _, e := range s.pendElem {
+				elems = append(elems, e)
+			}
+			atSeq := s.wal.LastSeq()
+			s.mu.Unlock()
+			if err := s.wal.Snapshot(elems, atSeq); err != nil {
+				s.cfg.Logf("snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// Serve accepts client connections until the listener closes, pinning each
+// to a local host round-robin. It returns when Accept fails.
+func (s *Server) Serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		host := s.cfg.Hosts[s.hostCtr%len(s.cfg.Hosts)]
+		s.hostCtr++
+		s.mu.Unlock()
+		s.startConn(conn, host)
+	}
+}
+
+// startConn begins serving one accepted connection pinned to host.
+func (s *Server) startConn(conn net.Conn, host int) {
+	cw := newConnWriter(conn, s.cfg.MaxConnQueue)
+	s.mu.Lock()
+	s.conns[cw] = true
+	s.stats.Conns = len(s.conns)
+	s.mu.Unlock()
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		cw.writeLoop()
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.serveConn(cw, host)
+	}()
+}
+
+// serveConn reads one connection's requests and serves them in order on
+// the pinned host. Well-delimited invalid requests are answered with their
+// typed code and the connection keeps serving; only I/O-level failures end
+// the session. The connection is untracked on return — a long-running
+// daemon must not leak one entry per connection ever accepted.
+func (s *Server) serveConn(cw *connWriter, host int) {
+	defer func() {
+		cw.closeGraceful()
+		s.mu.Lock()
+		delete(s.conns, cw)
+		s.stats.Conns = len(s.conns)
+		if cw.wasEvicted() {
+			s.stats.EvictedConns++
+		}
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(cw.conn)
+	for {
+		req, err := clientproto.ReadRequest(br)
+		if err != nil {
+			var re *clientproto.ReqError
+			if errors.As(err, &re) {
+				s.reject(cw, re.ReqID, re.Code)
+				continue
+			}
+			return
+		}
+		if !s.handle(cw, host, req) {
+			return
+		}
+	}
+}
+
+// handle serves one request; false means the connection should end (the
+// writer was evicted).
+func (s *Server) handle(cw *connWriter, host int, req *clientproto.Request) bool {
+	switch req.Op {
+	case clientproto.OpAck, clientproto.OpNack:
+		return s.settle(cw, host, req)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrShuttingDown})
+	}
+	if s.cfg.MaxInFlight > 0 && len(s.pending) >= s.cfg.MaxInFlight {
+		s.stats.Rejected++
+		s.stats.OverloadRejects++
+		s.mu.Unlock()
+		return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrOverloaded})
+	}
+	// Holding s.mu across inject+track closes the window in which the
+	// protocol could complete the op before it is tracked; the WAL append
+	// shares the critical section so the in-memory pending set and the log
+	// always agree (the append only buffers — fsync happens in the WAL's
+	// sync loop, and the client response waits for it via ref.seq).
+	var op *semantics.Op
+	var seq uint64
+	if req.Op == clientproto.OpInsert {
+		op = s.heap.Insert(host, s.cfg.NextID(), req.Prio, req.Payload)
+		s.pendElem[op.Elem.ID] = op.Elem
+		if s.wal != nil {
+			seq = s.wal.AppendInsert(op.Elem)
+		}
+	} else {
+		op = s.heap.Delete(host)
+	}
+	s.pending[op] = pendingRef{cw: cw, reqID: req.ReqID, seq: seq}
+	s.stats.InFlight = len(s.pending)
+	s.mu.Unlock()
+	return true
+}
+
+// settle serves an ack or nack for a leased element. Acks come in three
+// flavours: a locally-owned element (log + respond), a foreign element
+// (replicate the ack to its owner, respond when the owner has it durable),
+// and a replicated ack arriving from a peer daemon for an element we own
+// but never leased here (expunge from the pending set). The last path
+// deliberately accepts acks without a lease when the id is pending — that
+// is the peer-replication channel, and the cluster is mutually trusted.
+func (s *Server) settle(cw *connWriter, host int, req *clientproto.Request) bool {
+	id := prio.ElemID(req.ID)
+	s.mu.Lock()
+	if s.draining {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrShuttingDown})
+	}
+	l, hasLease := s.leases[id]
+	if hasLease && l.settling {
+		// An ack for this lease is already in flight to the owner; a second
+		// settle must not race it.
+		hasLease = false
+	}
+	if req.Op == clientproto.OpNack {
+		if !hasLease {
+			s.stats.Rejected++
+			s.mu.Unlock()
+			return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrUnknownLease})
+		}
+		// The element goes straight back into the heap on the lease's
+		// host; the next delivery carries an incremented counter.
+		delete(s.leases, id)
+		s.stats.Leased = len(s.leases)
+		s.redeliv[id] = l.deliveries
+		s.stats.Nacked++
+		s.stats.Served++
+		s.heap.Reinsert(l.host, l.elem)
+		s.mu.Unlock()
+		return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusNacked, ID: req.ID})
+	}
+	if hasLease {
+		if owner := s.ownerOf(id); owner != s.cfg.Proc && s.cfg.PeerAck != nil {
+			// Foreign element: its durability records live on the owner.
+			// The lease is marked in-flight (expiry keeps hands off) and
+			// the client's response waits for the owner's durable ack.
+			l.settling = true
+			s.mu.Unlock()
+			s.cfg.PeerAck(owner, id, func(err error) { s.settleRemote(cw, req.ReqID, id, err) })
+			return true
+		}
+		delete(s.leases, id)
+		s.stats.Leased = len(s.leases)
+		delete(s.pendElem, id)
+		s.stats.Acked++
+		s.stats.Served++
+		var seq uint64
+		if s.wal != nil {
+			seq = s.wal.AppendAck(id)
+		}
+		s.mu.Unlock()
+		resp := &clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusAcked, ID: req.ID}
+		if seq != 0 {
+			s.gateOnDurable(seq, cw, resp)
+			return true
+		}
+		return cw.send(resp)
+	}
+	if _, pending := s.pendElem[id]; pending {
+		// Replicated ack from the daemon that served the delivery: expunge
+		// the element we own from the pending set and the log.
+		delete(s.pendElem, id)
+		s.stats.RemoteAcks++
+		s.stats.Served++
+		var seq uint64
+		if s.wal != nil {
+			seq = s.wal.AppendAck(id)
+		}
+		s.mu.Unlock()
+		resp := &clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusAcked, ID: req.ID}
+		if seq != 0 {
+			s.gateOnDurable(seq, cw, resp)
+			return true
+		}
+		return cw.send(resp)
+	}
+	s.stats.Rejected++
+	s.mu.Unlock()
+	return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrUnknownLease})
+}
+
+// settleRemote finishes a foreign-element ack once the owner daemon
+// answered (or failed). On failure the lease stands and will expire into
+// a redelivery — the client was never told the ack succeeded.
+func (s *Server) settleRemote(cw *connWriter, reqID uint64, id prio.ElemID, err error) {
+	s.mu.Lock()
+	l := s.leases[id]
+	if err != nil {
+		if l != nil {
+			l.settling = false
+		}
+		s.stats.Rejected++
+		s.mu.Unlock()
+		s.cfg.Logf("peer ack for element %d failed: %v", id, err)
+		cw.send(&clientproto.Response{ReqID: reqID, Status: clientproto.StatusError, Code: clientproto.ErrShuttingDown})
+		return
+	}
+	if l != nil {
+		delete(s.leases, id)
+		s.stats.Leased = len(s.leases)
+	}
+	s.stats.Acked++
+	s.stats.Served++
+	s.mu.Unlock()
+	cw.send(&clientproto.Response{ReqID: reqID, Status: clientproto.StatusAcked, ID: uint64(id)})
+}
+
+// ownerOf maps an element to the daemon holding its durability records.
+func (s *Server) ownerOf(id prio.ElemID) int {
+	if s.cfg.Owner == nil {
+		return s.cfg.Proc
+	}
+	return s.cfg.Owner(id)
+}
+
+// reject answers a request with a typed error code instead of serving it.
+func (s *Server) reject(cw *connWriter, reqID uint64, code clientproto.ErrCode) {
+	s.mu.Lock()
+	s.stats.Rejected++
+	s.mu.Unlock()
+	cw.send(&clientproto.Response{ReqID: reqID, Status: clientproto.StatusError, Code: code})
+}
+
+// onComplete answers the client that issued op (ops injected by recovery
+// or redelivery complete silently). Insert and ack responses are gated on
+// their WAL record being durable; a delete's element is leased before the
+// response is enqueued, so a client can ack the instant it reads it.
+func (s *Server) onComplete(op *semantics.Op) {
+	s.mu.Lock()
+	ref, ok := s.pending[op]
+	if ok {
+		delete(s.pending, op)
+		s.stats.InFlight = len(s.pending)
+	}
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	resp := &clientproto.Response{ReqID: ref.reqID, Value: op.Value}
+	switch {
+	case op.Kind == semantics.Insert:
+		s.stats.Served++
+		resp.Status = clientproto.StatusInserted
+		resp.ID = uint64(op.Elem.ID)
+	case op.Result.Nil():
+		s.stats.Served++
+		resp.Status = clientproto.StatusBottom
+	default:
+		s.stats.Served++
+		resp.Status = clientproto.StatusElem
+		resp.ID = uint64(op.Result.ID)
+		resp.Prio = uint64(op.Result.Prio)
+		resp.Deliveries = s.grantLease(op.Result, op.Node)
+	}
+	s.mu.Unlock()
+	if ref.seq != 0 {
+		s.gateOnDurable(ref.seq, ref.cw, resp)
+		return
+	}
+	if !ref.cw.send(resp) && resp.Status == clientproto.StatusElem {
+		// The deliveree vanished before the response could be queued; its
+		// lease stands and expires into a redelivery.
+		s.cfg.Logf("dropped delivery of element %d to a dead client; lease will expire", resp.ID)
+	}
+}
+
+// gateOnDurable enqueues resp for delivery once WAL seq is fsynced.
+func (s *Server) gateOnDurable(seq uint64, cw *connWriter, resp *clientproto.Response) {
+	s.durMu.Lock()
+	s.durQ = append(s.durQ, durWait{seq: seq, cw: cw, resp: resp})
+	s.durMu.Unlock()
+	s.durCond.Signal()
+}
+
+// releaseLoop delivers durability-gated responses in arrival order. Seqs
+// are assigned in append order and the WAL syncs whole batches, so waiting
+// on each entry's seq in turn never inverts readiness.
+func (s *Server) releaseLoop() {
+	defer s.wg.Done()
+	for {
+		s.durMu.Lock()
+		for len(s.durQ) == 0 && !s.durStop {
+			s.durCond.Wait()
+		}
+		if len(s.durQ) == 0 && s.durStop {
+			s.durMu.Unlock()
+			return
+		}
+		batch := s.durQ
+		s.durQ = nil
+		s.durMu.Unlock()
+		for _, w := range batch {
+			if err := s.wal.WaitDurable(w.seq); err != nil {
+				// Durability lost (I/O error or shutdown): the client must
+				// not see success for a record that may not survive.
+				s.cfg.Logf("wal: %v; failing response %d", err, w.resp.ReqID)
+				w.cw.send(&clientproto.Response{ReqID: w.resp.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrShuttingDown})
+				continue
+			}
+			w.cw.send(w.resp)
+		}
+	}
+}
+
+// Drain stops accepting new operations: every subsequent request is
+// answered ErrShuttingDown. In-flight heap ops keep completing.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Quiesced reports whether every issued heap operation has completed.
+func (s *Server) Quiesced() bool {
+	tr := s.heap.Trace()
+	return tr.DoneCount() == tr.Len()
+}
+
+// CloseConns force-closes every tracked client connection.
+func (s *Server) CloseConns() {
+	s.mu.Lock()
+	conns := make([]*connWriter, 0, len(s.conns))
+	for cw := range s.conns {
+		conns = append(conns, cw)
+	}
+	s.mu.Unlock()
+	for _, cw := range conns {
+		cw.close()
+	}
+}
+
+// Shutdown stops the background loops, writes a final snapshot of the
+// pending set (leased elements included — their leases die with the
+// process and they redeliver after recovery) and closes the WAL. The
+// returned stats are the final ones, taken atomically after all serving
+// stopped, so a caller's printed verdict cannot disagree with reality.
+func (s *Server) Shutdown() (Stats, error) {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.durMu.Lock()
+	s.durStop = true
+	s.durMu.Unlock()
+	s.durCond.Broadcast()
+	s.CloseConns()
+	s.wg.Wait()
+
+	var err error
+	s.mu.Lock()
+	st := s.stats
+	st.Pending = len(s.pendElem)
+	st.Leased = len(s.leases)
+	st.InFlight = len(s.pending)
+	if s.wal != nil {
+		elems := make([]prio.Element, 0, len(s.pendElem))
+		for _, e := range s.pendElem {
+			elems = append(elems, e)
+		}
+		atSeq := s.wal.LastSeq()
+		s.mu.Unlock()
+		err = s.wal.Snapshot(elems, atSeq)
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+		s.mu.Lock()
+		st.WAL = s.wal.Stats()
+	}
+	s.mu.Unlock()
+	return st, err
+}
+
+// Kill stops the serving layer like a process death: loops stop, clients
+// drop, and the WAL file closes with NO final snapshot or drain. Only what
+// the sync loop already made (or now makes) durable survives — the
+// fault-injection hook behind the kill-restart harness tests. The next
+// Open of the same directory recovers the acknowledged pending set.
+func (s *Server) Kill() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.durMu.Lock()
+	s.durStop = true
+	s.durMu.Unlock()
+	s.durCond.Broadcast()
+	s.CloseConns()
+	s.wg.Wait()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
+
+// Stats returns a point-in-time copy of the serving counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	st.Pending = len(s.pendElem)
+	st.Leased = len(s.leases)
+	st.InFlight = len(s.pending)
+	st.Conns = len(s.conns)
+	s.mu.Unlock()
+	if s.wal != nil {
+		st.WAL = s.wal.Stats()
+	}
+	return st
+}

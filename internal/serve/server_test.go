@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"bufio"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpq/internal/clientproto"
+	"dpq/internal/prio"
+)
+
+// newTestServer starts a Server over a testHeap on a loopback listener.
+// mod tweaks the config before New.
+func newTestServer(t *testing.T, mod func(*Config)) (*Server, *testHeap, string) {
+	t.Helper()
+	th := newTestHeap()
+	var ids atomic.Uint64
+	cfg := Config{
+		Heap:   th,
+		Hosts:  []int{0, 1},
+		NextID: func() prio.ElemID { return prio.ElemID(ids.Add(1)) },
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		s.Shutdown()
+		th.Stop()
+	})
+	return s, th, ln.Addr().String()
+}
+
+// testClient is a synchronous clientproto session.
+type testClient struct {
+	t     *testing.T
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	reqID uint64
+}
+
+func dial(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &testClient{t: t, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+func (c *testClient) do(req *clientproto.Request) *clientproto.Response {
+	c.t.Helper()
+	c.reqID++
+	req.ReqID = c.reqID
+	if err := clientproto.WriteRequest(c.bw, req); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := clientproto.ReadResponse(c.br)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if resp.ReqID != req.ReqID {
+		c.t.Fatalf("response for req %d, want %d", resp.ReqID, req.ReqID)
+	}
+	return resp
+}
+
+func (c *testClient) insert(p uint64) *clientproto.Response {
+	return c.do(&clientproto.Request{Op: clientproto.OpInsert, Prio: p, Payload: "w"})
+}
+func (c *testClient) deleteMin() *clientproto.Response {
+	return c.do(&clientproto.Request{Op: clientproto.OpDelete})
+}
+func (c *testClient) ack(id uint64) *clientproto.Response {
+	return c.do(&clientproto.Request{Op: clientproto.OpAck, ID: id})
+}
+func (c *testClient) nack(id uint64) *clientproto.Response {
+	return c.do(&clientproto.Request{Op: clientproto.OpNack, ID: id})
+}
+
+func wantStatus(t *testing.T, resp *clientproto.Response, status uint8) {
+	t.Helper()
+	if resp.Status != status {
+		t.Fatalf("status %d (code %s), want %d", resp.Status, resp.Code, status)
+	}
+}
+
+func wantErr(t *testing.T, resp *clientproto.Response, code clientproto.ErrCode) {
+	t.Helper()
+	if resp.Status != clientproto.StatusError || resp.Code != code {
+		t.Fatalf("got status %d code %s, want error %s", resp.Status, resp.Code, code)
+	}
+}
+
+func TestLeaseAckLifecycle(t *testing.T) {
+	s, _, addr := newTestServer(t, nil)
+	c := dial(t, addr)
+	for i := 0; i < 3; i++ {
+		wantStatus(t, c.insert(uint64(i)), clientproto.StatusInserted)
+	}
+	for i := 0; i < 3; i++ {
+		resp := c.deleteMin()
+		wantStatus(t, resp, clientproto.StatusElem)
+		if resp.Deliveries != 1 {
+			t.Fatalf("first delivery counted %d", resp.Deliveries)
+		}
+		ackResp := c.ack(resp.ID)
+		wantStatus(t, ackResp, clientproto.StatusAcked)
+		if ackResp.ID != resp.ID {
+			t.Fatalf("ack echoed id %d, want %d", ackResp.ID, resp.ID)
+		}
+	}
+	wantStatus(t, c.deleteMin(), clientproto.StatusBottom)
+	st := s.Stats()
+	if st.LeasesGranted != 3 || st.Acked != 3 || st.Leased != 0 || st.Pending != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNackRedelivers(t *testing.T) {
+	s, _, addr := newTestServer(t, nil)
+	c := dial(t, addr)
+	wantStatus(t, c.insert(5), clientproto.StatusInserted)
+	first := c.deleteMin()
+	wantStatus(t, first, clientproto.StatusElem)
+	wantStatus(t, c.nack(first.ID), clientproto.StatusNacked)
+	second := c.deleteMin()
+	wantStatus(t, second, clientproto.StatusElem)
+	if second.ID != first.ID || second.Prio != first.Prio {
+		t.Fatalf("redelivered %d/%d, want %d/%d", second.ID, second.Prio, first.ID, first.Prio)
+	}
+	if second.Deliveries != 2 {
+		t.Fatalf("second delivery counted %d, want 2", second.Deliveries)
+	}
+	wantStatus(t, c.ack(second.ID), clientproto.StatusAcked)
+	st := s.Stats()
+	if st.Nacked != 1 || st.Redeliveries != 1 || st.Pending != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLeaseExpiryRedelivers(t *testing.T) {
+	s, _, addr := newTestServer(t, func(c *Config) { c.LeaseTTL = 30 * time.Millisecond })
+	c := dial(t, addr)
+	wantStatus(t, c.insert(1), clientproto.StatusInserted)
+	first := c.deleteMin()
+	wantStatus(t, first, clientproto.StatusElem)
+	// Let the lease rot. The element must come back, exactly once.
+	deadline := time.Now().Add(5 * time.Second)
+	var second *clientproto.Response
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("expired lease never redelivered")
+		}
+		second = c.deleteMin()
+		if second.Status == clientproto.StatusElem {
+			break
+		}
+		wantStatus(t, second, clientproto.StatusBottom)
+		time.Sleep(10 * time.Millisecond)
+	}
+	if second.ID != first.ID || second.Deliveries != 2 {
+		t.Fatalf("redelivery id %d deliveries %d, want id %d deliveries 2", second.ID, second.Deliveries, first.ID)
+	}
+	wantStatus(t, c.ack(second.ID), clientproto.StatusAcked)
+	if st := s.Stats(); st.Expired != 1 || st.Pending != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAckUnknownLease(t *testing.T) {
+	_, _, addr := newTestServer(t, nil)
+	c := dial(t, addr)
+	wantErr(t, c.ack(12345), clientproto.ErrUnknownLease)
+	wantErr(t, c.nack(12345), clientproto.ErrUnknownLease)
+	// The connection keeps serving after the typed rejections.
+	wantStatus(t, c.insert(1), clientproto.StatusInserted)
+}
+
+// TestOverloadBackpressure holds the heap so in-flight ops pile up to the
+// cap; excess requests get ErrOverloaded, and the server recovers fully
+// once the heap drains.
+func TestOverloadBackpressure(t *testing.T) {
+	s, th, addr := newTestServer(t, func(c *Config) { c.MaxInFlight = 4 })
+	c := dial(t, addr)
+	th.Hold()
+	// Pipeline 10 inserts without reading: 4 fit in flight, 6 bounce.
+	for i := 0; i < 10; i++ {
+		req := &clientproto.Request{Op: clientproto.OpInsert, Prio: 1, Payload: "w"}
+		c.reqID++
+		req.ReqID = c.reqID
+		if err := clientproto.WriteRequest(c.bw, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The 6 rejections arrive while the heap is held (the 4 accepted ops
+	// cannot complete yet).
+	for i := 0; i < 6; i++ {
+		resp, err := clientproto.ReadResponse(c.br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantErr(t, resp, clientproto.ErrOverloaded)
+	}
+	th.Release()
+	for i := 0; i < 4; i++ {
+		resp, err := clientproto.ReadResponse(c.br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantStatus(t, resp, clientproto.StatusInserted)
+	}
+	st := s.Stats()
+	if st.OverloadRejects != 6 || st.InFlight != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Fresh requests are served normally after the spike.
+	wantStatus(t, c.deleteMin(), clientproto.StatusElem)
+}
+
+// TestConnTrackingNoLeak is the regression test for the daemon's client
+// map leak: N connect/disconnect cycles must leave zero tracked conns.
+func TestConnTrackingNoLeak(t *testing.T) {
+	s, _, addr := newTestServer(t, nil)
+	const cycles = 20
+	for i := 0; i < cycles; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := bufio.NewWriter(conn)
+		if err := clientproto.WriteRequest(bw, &clientproto.Request{Op: clientproto.OpInsert, ReqID: 1, Prio: 1}); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		clientproto.ReadResponse(bufio.NewReader(conn))
+		conn.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.Stats().Conns == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d connections still tracked after all %d disconnected", s.Stats().Conns, cycles)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainRejectsAndQuiesces: draining answers everything with
+// ErrShuttingDown while in-flight ops complete, and the final stats are
+// internally consistent.
+func TestDrainRejectsAndQuiesces(t *testing.T) {
+	s, _, addr := newTestServer(t, nil)
+	c := dial(t, addr)
+	wantStatus(t, c.insert(1), clientproto.StatusInserted)
+	s.Drain()
+	wantErr(t, c.insert(2), clientproto.ErrShuttingDown)
+	wantErr(t, c.deleteMin(), clientproto.ErrShuttingDown)
+	wantErr(t, c.ack(1), clientproto.ErrShuttingDown)
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Quiesced() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never quiesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.Rejected != 3 || st.Served != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSlowReaderEviction: a client that stops reading while responses pile
+// past the queue cap is evicted instead of growing the queue unboundedly,
+// and other clients keep being served.
+func TestSlowReaderEviction(t *testing.T) {
+	s, _, addr := newTestServer(t, func(c *Config) { c.MaxConnQueue = 4 })
+	// A synchronous pipe: the writer blocks on the first unread response,
+	// so the queue must absorb everything else — and hit the cap.
+	client, server := net.Pipe()
+	defer client.Close()
+	s.startConn(server, 0)
+	go func() {
+		bw := bufio.NewWriter(client)
+		for i := 0; i < 64; i++ {
+			if err := clientproto.WriteRequest(bw, &clientproto.Request{Op: clientproto.OpInsert, ReqID: uint64(i + 1), Prio: 1}); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+	// Never read a response; the server must cut us off.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().EvictedConns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow reader never evicted: %+v", s.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A well-behaved client is unaffected.
+	c := dial(t, addr)
+	wantStatus(t, c.insert(7), clientproto.StatusInserted)
+	if s.Stats().Conns != 1 {
+		t.Fatalf("evicted conn still tracked: %+v", s.Stats())
+	}
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+	"dpq/internal/seqheap"
+)
+
+// testHeap satisfies Heap with a local sequential heap. Operations
+// complete on a background goroutine (never inside the inject call, like
+// the real protocols), in global injection order — which preserves each
+// host's program order, the property the serving layer relies on. Hold()
+// parks the worker so backpressure tests can pile up in-flight ops.
+type testHeap struct {
+	tr *semantics.Trace
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	h    *seqheap.Heap
+	q    []heldOp
+	hold bool
+	val  int64
+	done bool
+}
+
+type heldOp struct {
+	op   *semantics.Op
+	elem prio.Element
+}
+
+func newTestHeap() *testHeap {
+	th := &testHeap{tr: semantics.NewTrace(), h: seqheap.New(64)}
+	th.cond = sync.NewCond(&th.mu)
+	go th.worker()
+	return th
+}
+
+func (th *testHeap) Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
+	e := prio.Element{ID: id, Prio: prio.Priority(p), Payload: payload}
+	return th.enqueue(th.tr.Issue(host, semantics.Insert, e), e)
+}
+
+func (th *testHeap) Reinsert(host int, e prio.Element) *semantics.Op {
+	return th.enqueue(th.tr.Issue(host, semantics.Insert, e), e)
+}
+
+func (th *testHeap) Delete(host int) *semantics.Op {
+	return th.enqueue(th.tr.Issue(host, semantics.DeleteMin, prio.Element{}), prio.Element{})
+}
+
+func (th *testHeap) Trace() *semantics.Trace { return th.tr }
+
+func (th *testHeap) enqueue(op *semantics.Op, e prio.Element) *semantics.Op {
+	th.mu.Lock()
+	th.q = append(th.q, heldOp{op: op, elem: e})
+	th.mu.Unlock()
+	th.cond.Broadcast()
+	return op
+}
+
+// Hold parks the worker before its next operation; Release resumes it.
+func (th *testHeap) Hold() {
+	th.mu.Lock()
+	th.hold = true
+	th.mu.Unlock()
+}
+
+func (th *testHeap) Release() {
+	th.mu.Lock()
+	th.hold = false
+	th.mu.Unlock()
+	th.cond.Broadcast()
+}
+
+func (th *testHeap) Stop() {
+	th.mu.Lock()
+	th.done = true
+	th.mu.Unlock()
+	th.cond.Broadcast()
+}
+
+func (th *testHeap) worker() {
+	for {
+		th.mu.Lock()
+		for (len(th.q) == 0 || th.hold) && !th.done {
+			th.cond.Wait()
+		}
+		if th.done {
+			th.mu.Unlock()
+			return
+		}
+		ho := th.q[0]
+		th.q = th.q[1:]
+		th.val++
+		val := th.val
+		var result prio.Element
+		if ho.op.Kind == semantics.Insert {
+			th.h.Insert(ho.elem)
+		} else if e, ok := th.h.DeleteMin(); ok {
+			result = e
+		}
+		th.mu.Unlock()
+		// Complete outside th.mu: the callback takes the server lock.
+		th.tr.Complete(ho.op, result, val)
+	}
+}
