@@ -148,6 +148,9 @@ func main() {
 	}
 
 	// Element ids: (proc+1) in the high bits keeps ids unique per daemon.
+	// The counter is seeded after serve.New below — with -wal a restarted
+	// daemon must mint ids above everything the previous incarnation
+	// logged, or a new insert would collide with a recovered element.
 	var idMu sync.Mutex
 	idCtr := uint64(0)
 	nextID := func() prio.ElemID {
@@ -202,6 +205,15 @@ func main() {
 	})
 	if err != nil {
 		fail("%v", err)
+	}
+	// Seed the id counter past the recovered maximum before any client is
+	// served (recovery re-injects elements under their old ids without
+	// consuming new ones). Ids minted under a different process tag cannot
+	// collide with ours and are ignored.
+	if maxID := uint64(srv.MaxRecoveredID()); maxID>>40 == uint64(*proc+1) {
+		idMu.Lock()
+		idCtr = maxID & (1<<40 - 1)
+		idMu.Unlock()
 	}
 	eng.Start()
 

@@ -55,11 +55,12 @@ const (
 	ErrShuttingDown    ErrCode = 4 // daemon is draining; no new operations
 	ErrOverloaded      ErrCode = 5 // too many operations in flight
 	ErrUnknownLease    ErrCode = 6 // ack/nack named an element not leased here
+	ErrPeerUnavailable ErrCode = 7 // replicating the ack to the owner daemon failed; retry
 )
 
 // errCodeCount is the number of defined codes (fuzz/round-trip tests
 // iterate the full range).
-const errCodeCount = 7
+const errCodeCount = 8
 
 func (c ErrCode) String() string {
 	switch c {
@@ -77,6 +78,8 @@ func (c ErrCode) String() string {
 		return "overloaded"
 	case ErrUnknownLease:
 		return "unknown-lease"
+	case ErrPeerUnavailable:
+		return "peer-unavailable"
 	default:
 		return fmt.Sprintf("err-code-%d", uint8(c))
 	}

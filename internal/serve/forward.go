@@ -19,9 +19,20 @@ import (
 	"dpq/internal/prio"
 )
 
+// DefaultForwardTimeout bounds how long one forwarded ack may stay
+// unanswered before it fails and the peer connection is dropped. Without
+// it a stalled owner (half-open TCP, wedged daemon) would keep the lease
+// settling forever: expiry skips settling leases, so the element would
+// neither settle nor redeliver until the socket happened to break.
+const DefaultForwardTimeout = 10 * time.Second
+
 // AckForwarder sends acks to the owning peers of foreign elements. Its
 // Forward method matches the PeerAck hook in Config.
 type AckForwarder struct {
+	// Timeout overrides DefaultForwardTimeout when positive; set before
+	// the first Forward.
+	Timeout time.Duration
+
 	addrs  []string
 	mu     sync.Mutex
 	peers  map[int]*peerConn
@@ -34,7 +45,14 @@ type peerConn struct {
 	conn  net.Conn
 	bw    *bufio.Writer
 	next  uint64
-	calls map[uint64]func(error)
+	calls map[uint64]*fwdCall
+}
+
+// fwdCall is one outstanding forward: its completion callback and the
+// deadline timer that fails it if the owner never answers.
+type fwdCall struct {
+	done  func(error)
+	timer *time.Timer
 }
 
 // NewAckForwarder builds a forwarder over the daemons' client addresses
@@ -45,7 +63,10 @@ func NewAckForwarder(addrs []string) *AckForwarder {
 
 // Forward replicates the ack of id to the owner daemon and calls done with
 // nil once the owner acknowledged (its response is durability-gated), or
-// with the failure. done may be called synchronously on dial errors.
+// with the failure. done may be called synchronously on dial errors. A
+// forward unanswered past the deadline fails and drops the connection —
+// the ack's fate at the owner is then unknown, which is safe: the caller
+// keeps the lease and the element redelivers, never disappears.
 func (f *AckForwarder) Forward(owner int, id prio.ElemID, done func(error)) {
 	f.mu.Lock()
 	if f.closed {
@@ -60,10 +81,14 @@ func (f *AckForwarder) Forward(owner int, id prio.ElemID, done func(error)) {
 	}
 	p := f.peers[owner]
 	if p == nil {
-		p = &peerConn{calls: map[uint64]func(error){}}
+		p = &peerConn{calls: map[uint64]*fwdCall{}}
 		f.peers[owner] = p
 	}
 	addr := f.addrs[owner]
+	timeout := f.Timeout
+	if timeout <= 0 {
+		timeout = DefaultForwardTimeout
+	}
 	f.mu.Unlock()
 
 	p.mu.Lock()
@@ -80,7 +105,8 @@ func (f *AckForwarder) Forward(owner int, id prio.ElemID, done func(error)) {
 	}
 	p.next++
 	reqID := p.next
-	p.calls[reqID] = done
+	c := &fwdCall{done: done}
+	p.calls[reqID] = c
 	err := clientproto.WriteRequest(p.bw, &clientproto.Request{ReqID: reqID, Op: clientproto.OpAck, ID: uint64(id)})
 	if err == nil {
 		err = p.bw.Flush()
@@ -92,7 +118,27 @@ func (f *AckForwarder) Forward(owner int, id prio.ElemID, done func(error)) {
 		done(fmt.Errorf("forward to owner %d: %v", owner, err))
 		return
 	}
+	// Armed before p.mu is released, so the readLoop cannot observe the
+	// call without its timer.
+	c.timer = time.AfterFunc(timeout, func() { p.expire(reqID, owner, timeout) })
 	p.mu.Unlock()
+}
+
+// expire fails one forward whose deadline passed without a response. The
+// connection is dropped too: responses are matched by pipeline order, so
+// after an unanswered request the stream's state is unknowable and every
+// later outstanding call fails with it (they redial fresh).
+func (p *peerConn) expire(reqID uint64, owner int, timeout time.Duration) {
+	p.mu.Lock()
+	c, ok := p.calls[reqID]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.calls, reqID)
+	p.dropLocked(fmt.Errorf("owner %d: connection dropped after an ack went unanswered", owner))
+	p.mu.Unlock()
+	c.done(fmt.Errorf("ack to owner %d unanswered after %v", owner, timeout))
 }
 
 // readLoop matches the peer's responses to outstanding forwards until the
@@ -110,13 +156,14 @@ func (p *peerConn) readLoop(conn net.Conn) {
 			return
 		}
 		p.mu.Lock()
-		done, ok := p.calls[resp.ReqID]
+		c, ok := p.calls[resp.ReqID]
 		delete(p.calls, resp.ReqID)
 		p.mu.Unlock()
 		if !ok {
 			continue
 		}
-		done(resp.Err())
+		c.timer.Stop()
+		c.done(resp.Err())
 	}
 }
 
@@ -128,9 +175,12 @@ func (p *peerConn) dropLocked(err error) {
 		p.conn = nil
 		p.bw = nil
 	}
-	for reqID, done := range p.calls {
+	for reqID, c := range p.calls {
 		delete(p.calls, reqID)
-		go done(err)
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		go c.done(err)
 	}
 }
 

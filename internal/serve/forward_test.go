@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"bufio"
 	"errors"
+	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -60,6 +63,143 @@ func TestRemoteAckReplication(t *testing.T) {
 	}
 }
 
+// TestRemoteAckReclaimsRedelivery: a nacked element whose next delivery
+// (and ack) happens on another daemon reaches the owner only as a
+// replicated ack — the delivery-history entry recorded at the nack must
+// be reclaimed with it, or a long-running daemon's redeliv map grows
+// without bound.
+func TestRemoteAckReclaimsRedelivery(t *testing.T) {
+	s, _, addr := newTestServer(t, nil)
+	c := dial(t, addr)
+	wantStatus(t, c.insert(1), clientproto.StatusInserted)
+	d := c.deleteMin()
+	wantStatus(t, d, clientproto.StatusElem)
+	wantStatus(t, c.nack(d.ID), clientproto.StatusNacked)
+	// The peer-replication channel is an ack for a pending, unleased id —
+	// the redelivery after the nack was served by the other daemon.
+	wantStatus(t, c.ack(d.ID), clientproto.StatusAcked)
+	s.mu.Lock()
+	leaked := len(s.redeliv)
+	s.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d redeliv entries leaked after a replicated ack", leaked)
+	}
+	if st := s.Stats(); st.RemoteAcks != 1 {
+		t.Fatalf("RemoteAcks = %d, want 1", st.RemoteAcks)
+	}
+}
+
+// TestRedelivAgeOut: a delivery-history entry for an element that is not
+// locally pending (a foreign element nacked here whose settling happened
+// entirely on other daemons) is aged out by the expiry scan; entries for
+// locally pending elements are kept regardless of age.
+func TestRedelivAgeOut(t *testing.T) {
+	s, _, addr := newTestServer(t, func(c *Config) { c.LeaseTTL = time.Minute })
+	c := dial(t, addr)
+	wantStatus(t, c.insert(1), clientproto.StatusInserted)
+	d := c.deleteMin()
+	wantStatus(t, d, clientproto.StatusElem)
+	wantStatus(t, c.nack(d.ID), clientproto.StatusNacked) // local: in pendElem
+	s.mu.Lock()
+	s.redeliv[prio.ElemID(1 << 50)] = redelivRec{n: 3, at: time.Now()} // foreign
+	s.mu.Unlock()
+
+	s.expireLeases(time.Now().Add(7 * time.Minute)) // under 8×TTL: both stay
+	s.mu.Lock()
+	kept := len(s.redeliv)
+	s.mu.Unlock()
+	if kept != 2 {
+		t.Fatalf("%d redeliv entries after a young scan, want 2", kept)
+	}
+
+	s.expireLeases(time.Now().Add(9 * time.Minute)) // past 8×TTL
+	s.mu.Lock()
+	_, foreign := s.redeliv[prio.ElemID(1<<50)]
+	_, local := s.redeliv[prio.ElemID(d.ID)]
+	s.mu.Unlock()
+	if foreign {
+		t.Fatal("foreign redeliv entry survived the age-out scan")
+	}
+	if !local {
+		t.Fatal("locally pending element's delivery history aged out")
+	}
+}
+
+// TestForwardTimeoutFailsStalledPeer: an owner that accepts the
+// connection but never answers must not wedge the forward forever — the
+// lease would stay settling and the element would neither settle nor
+// redeliver. The deadline fails the call and drops the connection; the
+// next forward redials and succeeds against a recovered owner.
+func TestForwardTimeoutFailsStalledPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// First connection stalls (read and discard, never respond); later
+	// connections answer every ack — a peer that came back.
+	var connSeq atomic.Uint64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			stall := connSeq.Add(1) == 1
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				bw := bufio.NewWriter(conn)
+				for {
+					req, err := clientproto.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					if stall {
+						continue
+					}
+					resp := &clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusAcked, ID: req.ID}
+					if err := clientproto.WriteResponse(bw, resp); err != nil {
+						return
+					}
+					if err := bw.Flush(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	f := NewAckForwarder([]string{ln.Addr().String()})
+	f.Timeout = 100 * time.Millisecond
+	defer f.Close()
+
+	result := make(chan error, 1)
+	f.Forward(0, 1, func(err error) { result <- err })
+	select {
+	case err := <-result:
+		if err == nil {
+			t.Fatal("forward to a stalled peer reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("forward never timed out against a stalled peer")
+	}
+
+	// The stalled connection was dropped; the retry redials and succeeds.
+	f.Forward(0, 1, func(err error) { result <- err })
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatalf("forward after redial failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("forward after redial never completed")
+	}
+	if n := connSeq.Load(); n != 2 {
+		t.Fatalf("peer saw %d connections, want 2 (stalled one dropped, one redial)", n)
+	}
+}
+
 // TestPeerAckFailureKeepsLease: when the owner daemon is unreachable the
 // client's ack fails and the lease survives, expiring into a redelivery —
 // the element is never lost, never falsely acknowledged.
@@ -76,7 +216,7 @@ func TestPeerAckFailureKeepsLease(t *testing.T) {
 	wantStatus(t, c.insert(1), clientproto.StatusInserted)
 	first := c.deleteMin()
 	wantStatus(t, first, clientproto.StatusElem)
-	wantErr(t, c.ack(first.ID), clientproto.ErrShuttingDown)
+	wantErr(t, c.ack(first.ID), clientproto.ErrPeerUnavailable)
 	if st := s.Stats(); st.Leased != 1 {
 		t.Fatalf("lease dropped after a failed peer ack: %+v", st)
 	}

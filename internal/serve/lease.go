@@ -26,10 +26,22 @@ type lease struct {
 	settling   bool      // an ack is replicating to the owner daemon; hands off
 }
 
+// redelivRec carries a reinserted element's delivery history until its
+// next lease. The timestamp bounds the record's lifetime: in a
+// multi-daemon cluster the next delivery (or the settling ack) may happen
+// on another daemon, in which case nothing here would ever reclaim the
+// entry — expireLeases ages out records whose element is no longer
+// locally pending. Delivery counters are soft state (they already reset
+// across a crash), so an aged-out count merely restarts at 1.
+type redelivRec struct {
+	n  uint32
+	at time.Time
+}
+
 // grantLease records op.Result as leased to whoever reads the response.
 // Caller holds s.mu. Returns the delivery counter for the response.
 func (s *Server) grantLease(e prio.Element, host int) uint32 {
-	n := s.redeliv[e.ID] + 1
+	n := s.redeliv[e.ID].n + 1
 	delete(s.redeliv, e.ID)
 	s.leases[e.ID] = &lease{
 		elem:       e,
@@ -70,7 +82,10 @@ func (s *Server) expiryLoop() {
 
 // expireLeases reinserts every lease overdue at now. Draining suppresses
 // reinsertion so a shutting-down daemon can quiesce; the elements stay
-// pending and survive into the final snapshot.
+// pending and survive into the final snapshot. The same scan ages out
+// stale redeliv records: an entry whose element is not locally pending
+// belongs to a foreign element that may have settled (or redelivered) on
+// another daemon, and nothing else would ever reclaim it.
 func (s *Server) expireLeases(now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -82,9 +97,18 @@ func (s *Server) expireLeases(now time.Time) {
 			continue
 		}
 		delete(s.leases, id)
-		s.redeliv[id] = l.deliveries
+		s.redeliv[id] = redelivRec{n: l.deliveries, at: now}
 		s.stats.Expired++
 		s.heap.Reinsert(l.host, l.elem)
 	}
 	s.stats.Leased = len(s.leases)
+	maxAge := 8 * s.cfg.LeaseTTL
+	for id, r := range s.redeliv {
+		if _, local := s.pendElem[id]; local {
+			continue // still pending here; the count is live until redelivery
+		}
+		if now.Sub(r.at) > maxAge {
+			delete(s.redeliv, id)
+		}
+	}
 }

@@ -104,14 +104,29 @@ func waitQuiesce(t *testing.T, s *Server) {
 	}
 }
 
+// dpqdIDGen mirrors cmd/dpqd's element id scheme for proc 0: ids are
+// (proc+1)<<40 | counter, the counter starts at zero in every incarnation
+// (it dies with the process), and a restarted daemon seeds it past the
+// WAL's recovered maximum exactly as the daemon does after serve.New. A
+// shared cross-incarnation counter here would hide the id-collision bug
+// the seeding exists to prevent.
+type dpqdIDGen struct{ ctr atomic.Uint64 }
+
+func (g *dpqdIDGen) next() prio.ElemID { return prio.ElemID(1<<40 | g.ctr.Add(1)) }
+
+func (g *dpqdIDGen) seed(max prio.ElemID) {
+	if uint64(max)>>40 == 1 {
+		g.ctr.Store(uint64(max) & (1<<40 - 1))
+	}
+}
+
 func TestKillRestartRecovery(t *testing.T) {
 	walDir := t.TempDir()
-	var ids atomic.Uint64
-	nextID := func() prio.ElemID { return prio.ElemID(ids.Add(1)) }
 
 	// Phase 1: live traffic leaving the pending set in all three states —
 	// in heap, acked away, and out under leases — then a crash.
-	c1 := startCluster(t, walDir, nextID)
+	g1 := &dpqdIDGen{}
+	c1 := startCluster(t, walDir, g1.next)
 	cl := dial(t, c1.ln.Addr().String())
 
 	inserted := make(map[uint64]bool)
@@ -178,8 +193,11 @@ func TestKillRestartRecovery(t *testing.T) {
 
 	// Phase 2: a fresh heap and engine recover the same WAL directory. The
 	// distributed protocol state died with the process; the pending set is
-	// re-injected into the new heap before any client is served.
-	c2 := startCluster(t, walDir, nextID)
+	// re-injected into the new heap before any client is served. The id
+	// counter restarts at zero and is seeded like cmd/dpqd's.
+	g2 := &dpqdIDGen{}
+	c2 := startCluster(t, walDir, g2.next)
+	g2.seed(c2.srv.MaxRecoveredID())
 	waitQuiesce(t, c2.srv) // recovery reinserts complete
 	if p := c2.srv.Stats().Pending; p != len(want) {
 		t.Fatalf("recovered %d pending elements, want %d", p, len(want))
@@ -233,5 +251,89 @@ func TestKillRestartRecovery(t *testing.T) {
 	defer w.Close()
 	if len(recovered) != 0 {
 		t.Fatalf("drained cluster still recovers %d elements", len(recovered))
+	}
+}
+
+// TestRestartInsertIDsSkipRecovered pins the crash-restart id collision:
+// the daemon's counter dies with the process, and without seeding it past
+// the WAL's recovered maximum a post-restart insert re-mints a recovered
+// element's id — two live elements then share one pendElem/lease entry
+// and a single ACK record expunges both on the next replay. The
+// high-water mark must span acked elements too (their ids are gone from
+// the pending set but still name live WAL records), so every new id must
+// clear the previous incarnation's entire range, not just what recovery
+// re-injected.
+func TestRestartInsertIDsSkipRecovered(t *testing.T) {
+	walDir := t.TempDir()
+	g1 := &dpqdIDGen{}
+	c1 := startCluster(t, walDir, g1.next)
+	cl := dial(t, c1.ln.Addr().String())
+
+	everMinted := make(map[uint64]bool)
+	pending := make(map[uint64]bool)
+	var maxMinted uint64
+	for i := 0; i < 6; i++ {
+		resp := cl.do(&clientproto.Request{Op: clientproto.OpInsert, Prio: uint64(i), Payload: fmt.Sprintf("pre-%d", i)})
+		wantStatus(t, resp, clientproto.StatusInserted)
+		everMinted[resp.ID] = true
+		pending[resp.ID] = true
+		if resp.ID > maxMinted {
+			maxMinted = resp.ID
+		}
+	}
+	// Consume two: their ids leave the pending set but stay minted.
+	for i := 0; i < 2; i++ {
+		d := cl.deleteMin()
+		wantStatus(t, d, clientproto.StatusElem)
+		wantStatus(t, cl.ack(d.ID), clientproto.StatusAcked)
+		delete(pending, d.ID)
+	}
+	waitQuiesce(t, c1.srv)
+	c1.kill()
+
+	// Restart: a fresh incarnation with a fresh counter, seeded the way
+	// cmd/dpqd seeds it, inserts new work on top of the recovered set.
+	g2 := &dpqdIDGen{}
+	c2 := startCluster(t, walDir, g2.next)
+	g2.seed(c2.srv.MaxRecoveredID())
+	waitQuiesce(t, c2.srv)
+	cl2 := dial(t, c2.ln.Addr().String())
+	want := make(map[uint64]bool)
+	for id := range pending {
+		want[id] = true
+	}
+	for i := 0; i < 4; i++ {
+		resp := cl2.do(&clientproto.Request{Op: clientproto.OpInsert, Prio: uint64(i), Payload: fmt.Sprintf("post-%d", i)})
+		wantStatus(t, resp, clientproto.StatusInserted)
+		if everMinted[resp.ID] {
+			t.Fatalf("post-restart insert re-minted id %d from the previous incarnation", resp.ID)
+		}
+		if resp.ID <= maxMinted {
+			t.Fatalf("post-restart id %d does not clear the previous incarnation's range (max %d)", resp.ID, maxMinted)
+		}
+		everMinted[resp.ID] = true
+		want[resp.ID] = true
+	}
+
+	// Exactly the recovered set plus the new inserts drains out, each
+	// element once, then ⊥.
+	got := make(map[uint64]bool)
+	for i := 0; i < len(want); i++ {
+		resp := cl2.deleteMin()
+		wantStatus(t, resp, clientproto.StatusElem)
+		if got[resp.ID] {
+			t.Fatalf("element %d delivered twice", resp.ID)
+		}
+		if !want[resp.ID] {
+			t.Fatalf("element %d delivered but never pending", resp.ID)
+		}
+		got[resp.ID] = true
+		wantStatus(t, cl2.ack(resp.ID), clientproto.StatusAcked)
+	}
+	wantStatus(t, cl2.deleteMin(), clientproto.StatusBottom)
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("element %d lost across the restart", id)
+		}
 	}
 }

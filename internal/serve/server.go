@@ -125,11 +125,13 @@ type Server struct {
 	heap Heap
 	wal  *WAL // nil without durability
 
+	maxRecovered prio.ElemID // highest element id the WAL ever logged, at New
+
 	mu       sync.Mutex
 	pending  map[*semantics.Op]pendingRef
 	pendElem map[prio.ElemID]prio.Element // the pending set: in heap or leased
 	leases   map[prio.ElemID]*lease
-	redeliv  map[prio.ElemID]uint32 // prior deliveries of reinserted elements
+	redeliv  map[prio.ElemID]redelivRec // prior deliveries of reinserted elements
 	conns    map[*connWriter]bool
 	draining bool
 	hostCtr  int
@@ -178,7 +180,7 @@ func New(cfg Config) (*Server, error) {
 		pending:  map[*semantics.Op]pendingRef{},
 		pendElem: map[prio.ElemID]prio.Element{},
 		leases:   map[prio.ElemID]*lease{},
-		redeliv:  map[prio.ElemID]uint32{},
+		redeliv:  map[prio.ElemID]redelivRec{},
 		conns:    map[*connWriter]bool{},
 		stop:     make(chan struct{}),
 	}
@@ -191,6 +193,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.wal = w
+		s.maxRecovered = w.MaxID()
 		// Re-inject the recovered pending set round-robin across the local
 		// hosts, before any client operation: per-host FIFO injection then
 		// guarantees a client's deletes serialize after the recovery
@@ -380,7 +383,7 @@ func (s *Server) settle(cw *connWriter, host int, req *clientproto.Request) bool
 		// host; the next delivery carries an incremented counter.
 		delete(s.leases, id)
 		s.stats.Leased = len(s.leases)
-		s.redeliv[id] = l.deliveries
+		s.redeliv[id] = redelivRec{n: l.deliveries, at: time.Now()}
 		s.stats.Nacked++
 		s.stats.Served++
 		s.heap.Reinsert(l.host, l.elem)
@@ -416,8 +419,12 @@ func (s *Server) settle(cw *connWriter, host int, req *clientproto.Request) bool
 	}
 	if _, pending := s.pendElem[id]; pending {
 		// Replicated ack from the daemon that served the delivery: expunge
-		// the element we own from the pending set and the log.
+		// the element we own from the pending set and the log. Any delivery
+		// history recorded here (a local nack/expiry whose redelivery
+		// happened on the other daemon) is settled with it — without this
+		// the redeliv entry would never be reclaimed.
 		delete(s.pendElem, id)
+		delete(s.redeliv, id)
 		s.stats.RemoteAcks++
 		s.stats.Served++
 		var seq uint64
@@ -450,7 +457,7 @@ func (s *Server) settleRemote(cw *connWriter, reqID uint64, id prio.ElemID, err 
 		s.stats.Rejected++
 		s.mu.Unlock()
 		s.cfg.Logf("peer ack for element %d failed: %v", id, err)
-		cw.send(&clientproto.Response{ReqID: reqID, Status: clientproto.StatusError, Code: clientproto.ErrShuttingDown})
+		cw.send(&clientproto.Response{ReqID: reqID, Status: clientproto.StatusError, Code: clientproto.ErrPeerUnavailable})
 		return
 	}
 	if l != nil {
@@ -642,6 +649,15 @@ func (s *Server) Kill() {
 		s.wal.Close()
 	}
 }
+
+// MaxRecoveredID returns the highest element id this daemon's WAL had
+// ever logged when the server opened it — acked elements included — or
+// zero without durability. A restarted daemon must seed its id generator
+// past this value: recovered elements keep their pre-crash ids, and a
+// counter restarting at zero would re-mint them, collapsing two live
+// elements onto one pendElem/lease entry so that a single ACK record
+// expunges both on the next replay.
+func (s *Server) MaxRecoveredID() prio.ElemID { return s.maxRecovered }
 
 // Stats returns a point-in-time copy of the serving counters.
 func (s *Server) Stats() Stats {

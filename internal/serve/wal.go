@@ -22,11 +22,15 @@
 //	u32 bodyLen | u32 crc32c(body) | body
 //
 // A WAL record body is `u64 seq | u8 type | u64 id [| u64 prio | string
-// payload]`; the snapshot body is `u64 lastSeq | u32 count | count ×
-// element`. Seqs increase monotonically across the daemon's life; the
-// snapshot's lastSeq says which prefix of the log it already reflects, so
-// replay skips records with seq ≤ lastSeq and the two files never need to
-// be mutually consistent at a crash instant. A torn tail (partial final
+// payload]`; the snapshot body is `u64 lastSeq | u64 maxID | u32 count |
+// count × element`. Seqs increase monotonically across the daemon's life;
+// the snapshot's lastSeq says which prefix of the log it already reflects,
+// so replay skips records with seq ≤ lastSeq and the two files never need
+// to be mutually consistent at a crash instant. maxID is the high-water
+// mark of every element id ever logged — acked elements included, which is
+// why the pending set alone cannot reconstruct it — so a restarted daemon
+// can seed its id counter past everything a previous incarnation minted
+// instead of re-minting ids that still name live WAL records. A torn tail (partial final
 // record, CRC mismatch at end of log) is discarded silently — those
 // records were never acknowledged durable to anyone.
 //
@@ -58,7 +62,7 @@ const (
 
 const (
 	walMagic  = "dpqwal01"
-	snapMagic = "dpqsnap1"
+	snapMagic = "dpqsnap2"
 	// maxWalFrame bounds any WAL or snapshot frame; snapshot bodies of
 	// large pending sets are split implicitly by this never being hit in
 	// practice (a frame holds one record; snapshots count toward it too,
@@ -88,6 +92,7 @@ type WAL struct {
 	next    uint64 // next seq to assign
 	encoded uint64 // last seq encoded into buf
 	durable uint64 // last seq written and fsynced
+	maxID   uint64 // high-water element id over every insert ever logged
 	syncing bool   // sync loop is writing outside the lock
 	err     error  // sticky I/O error; appends and waits fail fast
 	closed  bool
@@ -103,29 +108,35 @@ func Open(dir string) (*WAL, []prio.Element, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("serve: wal dir: %v", err)
 	}
-	pending, lastSeq, err := loadSnapshot(filepath.Join(dir, "snapshot"))
+	pending, lastSeq, maxID, err := loadSnapshot(filepath.Join(dir, "snapshot"))
 	if err != nil {
 		return nil, nil, err
 	}
 	w := &WAL{dir: dir}
 	w.cond = sync.NewCond(&w.mu)
-	maxSeq, discarded, err := replayLog(filepath.Join(dir, "wal"), lastSeq, pending)
+	maxSeq, logMaxID, discarded, err := replayLog(filepath.Join(dir, "wal"), lastSeq, pending)
 	if err != nil {
 		return nil, nil, err
 	}
 	if maxSeq < lastSeq {
 		maxSeq = lastSeq
 	}
+	if logMaxID > maxID {
+		maxID = logMaxID
+	}
 	elems := make([]prio.Element, 0, len(pending))
 	for _, e := range pending {
 		elems = append(elems, e)
+		if uint64(e.ID) > maxID {
+			maxID = uint64(e.ID)
+		}
 	}
 	sort.Slice(elems, func(i, j int) bool { return elems[i].ID < elems[j].ID })
 
 	// Compact: everything recovered goes into one snapshot at maxSeq and
 	// the log restarts empty. Order matters — the snapshot must be durable
 	// before the log it subsumes is truncated.
-	if err := writeSnapshot(dir, maxSeq, elems); err != nil {
+	if err := writeSnapshot(dir, maxSeq, maxID, elems); err != nil {
 		return nil, nil, err
 	}
 	f, err := os.OpenFile(filepath.Join(dir, "wal"), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -143,6 +154,7 @@ func Open(dir string) (*WAL, []prio.Element, error) {
 	w.next = maxSeq + 1
 	w.durable = maxSeq
 	w.encoded = maxSeq
+	w.maxID = maxID
 	w.stats.Recovered = len(elems)
 	w.stats.DiscardedBytes = discarded
 	w.wg.Add(1)
@@ -174,6 +186,9 @@ func (w *WAL) append(typ uint8, e prio.Element) uint64 {
 		body = binary.BigEndian.AppendUint64(body, uint64(e.Prio))
 		body = binary.BigEndian.AppendUint32(body, uint32(len(e.Payload)))
 		body = append(body, e.Payload...)
+		if uint64(e.ID) > w.maxID {
+			w.maxID = uint64(e.ID)
+		}
 	}
 	w.buf = appendFrame(w.buf, body)
 	w.encoded = seq
@@ -244,7 +259,13 @@ func (w *WAL) syncLoop() {
 func (w *WAL) Snapshot(pending []prio.Element, atSeq uint64) error {
 	sorted := append([]prio.Element(nil), pending...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
-	if err := writeSnapshot(w.dir, atSeq, sorted); err != nil {
+	w.mu.Lock()
+	// The id high-water mark may run ahead of atSeq (an insert appended
+	// after the caller's capture); over-stating it in the snapshot is safe,
+	// a restart merely skips a few ids.
+	maxID := w.maxID
+	w.mu.Unlock()
+	if err := writeSnapshot(w.dir, atSeq, maxID, sorted); err != nil {
 		return err
 	}
 	w.mu.Lock()
@@ -254,12 +275,29 @@ func (w *WAL) Snapshot(pending []prio.Element, atSeq uint64) error {
 	// every record in the file is ≤ atSeq.
 	if !w.syncing && len(w.buf) == 0 && w.encoded == atSeq && w.durable == atSeq && w.err == nil && !w.closed {
 		if err := w.f.Truncate(int64(len(walMagic))); err == nil {
-			if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err == nil {
+			if _, serr := w.f.Seek(int64(len(walMagic)), io.SeekStart); serr != nil {
+				// Appending at the stale offset would leave a zero-filled
+				// gap that replay reads as a torn frame, silently dropping
+				// every later durable record — fail stop instead.
+				w.err = fmt.Errorf("serve: wal compact seek: %v", serr)
+				w.cond.Broadcast()
+			} else {
 				w.f.Sync()
 			}
 		}
 	}
 	return nil
+}
+
+// MaxID returns the high-water element id over every insert the log has
+// ever recorded, acked elements included. Immediately after Open this is
+// the recovered maximum — the value a restarted daemon seeds its id
+// counter past so new inserts cannot reuse an id still named by live WAL
+// records.
+func (w *WAL) MaxID() prio.ElemID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return prio.ElemID(w.maxID)
 }
 
 // LastSeq returns the seq of the most recently appended record.
@@ -330,9 +368,10 @@ func readFrame(r io.Reader) ([]byte, error) {
 }
 
 // writeSnapshot atomically replaces dir/snapshot with the given set.
-func writeSnapshot(dir string, lastSeq uint64, elems []prio.Element) error {
+func writeSnapshot(dir string, lastSeq, maxID uint64, elems []prio.Element) error {
 	body := make([]byte, 0, 32+32*len(elems))
 	body = binary.BigEndian.AppendUint64(body, lastSeq)
+	body = binary.BigEndian.AppendUint64(body, maxID)
 	body = binary.BigEndian.AppendUint32(body, uint32(len(elems)))
 	for _, e := range elems {
 		body = binary.BigEndian.AppendUint64(body, uint64(e.ID))
@@ -372,26 +411,27 @@ func writeSnapshot(dir string, lastSeq uint64, elems []prio.Element) error {
 // loadSnapshot reads dir's snapshot into a fresh pending map. A missing
 // file is an empty set; a corrupt snapshot is an error (it was written
 // atomically, so corruption is real damage, not a torn write).
-func loadSnapshot(path string) (map[prio.ElemID]prio.Element, uint64, error) {
+func loadSnapshot(path string) (map[prio.ElemID]prio.Element, uint64, uint64, error) {
 	pending := map[prio.ElemID]prio.Element{}
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return pending, 0, nil
+		return pending, 0, 0, nil
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("serve: snapshot: %v", err)
+		return nil, 0, 0, fmt.Errorf("serve: snapshot: %v", err)
 	}
 	defer f.Close()
 	magic := make([]byte, len(snapMagic))
 	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != snapMagic {
-		return nil, 0, fmt.Errorf("serve: snapshot: bad magic")
+		return nil, 0, 0, fmt.Errorf("serve: snapshot: bad magic")
 	}
 	body, err := readFrame(f)
 	if err != nil {
-		return nil, 0, fmt.Errorf("serve: snapshot: %v", err)
+		return nil, 0, 0, fmt.Errorf("serve: snapshot: %v", err)
 	}
 	r := snapReader{buf: body}
 	lastSeq := r.u64()
+	maxID := r.u64()
 	count := r.u32()
 	for i := uint32(0); i < count; i++ {
 		var e prio.Element
@@ -399,53 +439,56 @@ func loadSnapshot(path string) (map[prio.ElemID]prio.Element, uint64, error) {
 		e.Prio = prio.Priority(r.u64())
 		e.Payload = r.str()
 		if r.err != nil {
-			return nil, 0, fmt.Errorf("serve: snapshot: truncated element %d", i)
+			return nil, 0, 0, fmt.Errorf("serve: snapshot: truncated element %d", i)
 		}
 		pending[e.ID] = e
 	}
 	if r.err != nil || len(r.buf[r.off:]) != 0 {
-		return nil, 0, fmt.Errorf("serve: snapshot: malformed body")
+		return nil, 0, 0, fmt.Errorf("serve: snapshot: malformed body")
 	}
-	return pending, lastSeq, nil
+	return pending, lastSeq, maxID, nil
 }
 
 // replayLog applies dir/wal records with seq > lastSeq onto pending.
-// Returns the highest applied seq and the number of torn-tail bytes
-// discarded. A missing log is empty; a bad magic is an error.
-func replayLog(path string, lastSeq uint64, pending map[prio.ElemID]prio.Element) (uint64, int64, error) {
-	maxSeq := lastSeq
+// Returns the highest applied seq, the highest element id seen in any
+// insert record (even snapshot-subsumed or later-acked ones — the id
+// counter of a restarted daemon must clear those too), and the number of
+// torn-tail bytes discarded. A missing log is empty; a bad magic is an
+// error.
+func replayLog(path string, lastSeq uint64, pending map[prio.ElemID]prio.Element) (uint64, uint64, int64, error) {
+	maxSeq, maxID := lastSeq, uint64(0)
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return maxSeq, 0, nil
+		return maxSeq, 0, 0, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("serve: wal: %v", err)
+		return 0, 0, 0, fmt.Errorf("serve: wal: %v", err)
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return 0, 0, fmt.Errorf("serve: wal: %v", err)
+		return 0, 0, 0, fmt.Errorf("serve: wal: %v", err)
 	}
 	if st.Size() == 0 {
 		// A crash right after O_TRUNC can leave an empty file; same as none.
-		return maxSeq, 0, nil
+		return maxSeq, 0, 0, nil
 	}
 	magic := make([]byte, len(walMagic))
 	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != walMagic {
-		return 0, 0, fmt.Errorf("serve: wal: bad magic")
+		return 0, 0, 0, fmt.Errorf("serve: wal: bad magic")
 	}
 	read := int64(len(walMagic))
 	for {
 		body, err := readFrame(f)
 		if err == io.EOF {
-			return maxSeq, 0, nil
+			return maxSeq, maxID, 0, nil
 		}
 		if errors.Is(err, errTorn) {
 			// Unacknowledged tail of a crashed run: drop it.
-			return maxSeq, st.Size() - read, nil
+			return maxSeq, maxID, st.Size() - read, nil
 		}
 		if err != nil {
-			return 0, 0, fmt.Errorf("serve: wal: %v", err)
+			return 0, 0, 0, fmt.Errorf("serve: wal: %v", err)
 		}
 		read += int64(8 + len(body))
 		r := snapReader{buf: body}
@@ -458,18 +501,21 @@ func replayLog(path string, lastSeq uint64, pending map[prio.ElemID]prio.Element
 			e.ID = id
 			e.Prio = prio.Priority(r.u64())
 			e.Payload = r.str()
+			if uint64(id) > maxID {
+				maxID = uint64(id)
+			}
 		case recAck:
 		default:
-			return 0, 0, fmt.Errorf("serve: wal: unknown record type %d", typ)
+			return 0, 0, 0, fmt.Errorf("serve: wal: unknown record type %d", typ)
 		}
 		if r.err != nil {
-			return 0, 0, fmt.Errorf("serve: wal: malformed record seq %d", seq)
+			return 0, 0, 0, fmt.Errorf("serve: wal: malformed record seq %d", seq)
 		}
 		if seq <= lastSeq {
 			continue // already reflected in the snapshot
 		}
 		if seq <= maxSeq {
-			return 0, 0, fmt.Errorf("serve: wal: seq %d out of order (have %d)", seq, maxSeq)
+			return 0, 0, 0, fmt.Errorf("serve: wal: seq %d out of order (have %d)", seq, maxSeq)
 		}
 		maxSeq = seq
 		if typ == recInsert {

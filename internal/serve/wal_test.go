@@ -183,6 +183,50 @@ func TestWALSnapshotCompaction(t *testing.T) {
 	}
 }
 
+// TestWALMaxIDSpansAcksAndRestarts: the id high-water mark covers every
+// insert ever logged — elements already acked away included — and
+// survives crash-recovery and snapshot compaction cycles. It is what a
+// restarted daemon seeds its id counter from, so forgetting an acked id
+// would let the next incarnation re-mint it.
+func TestWALMaxIDSpansAcksAndRestarts(t *testing.T) {
+	w, dir := openEmpty(t)
+	if got := w.MaxID(); got != 0 {
+		t.Fatalf("fresh wal MaxID = %d, want 0", got)
+	}
+	w.AppendInsert(elem(7, 1, "a"))
+	w.AppendInsert(elem(9, 2, "b"))
+	last := w.AppendAck(9) // the max id leaves the pending set
+	if err := w.WaitDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MaxID(); got != 9 {
+		t.Fatalf("MaxID = %d after appends, want 9", got)
+	}
+
+	// Crash-recover: pending is {7}, but the high-water mark is still 9.
+	w2, rec := reopen(t, dir)
+	if len(rec) != 1 || rec[0].ID != 7 {
+		t.Fatalf("recovered %v, want only element 7", rec)
+	}
+	if got := w2.MaxID(); got != 9 {
+		t.Fatalf("recovered MaxID = %d, want 9", got)
+	}
+
+	// And again after a compacting snapshot (log empty, snapshot only).
+	seq := w2.LastSeq()
+	if err := w2.Snapshot(rec, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, _ := reopen(t, dir)
+	defer w3.Close()
+	if got := w3.MaxID(); got != 9 {
+		t.Fatalf("MaxID = %d after snapshot round-trip, want 9", got)
+	}
+}
+
 // TestWALCorruptSnapshot: snapshot damage is a hard error, not silent loss.
 func TestWALCorruptSnapshot(t *testing.T) {
 	w, dir := openEmpty(t)
