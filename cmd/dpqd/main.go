@@ -65,6 +65,10 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "max accepted-but-incomplete heap ops before ErrOverloaded (negative: unlimited)")
 	maxConnQueue := flag.Int("max-conn-queue", serve.DefaultMaxConnQueue, "max unwritten responses per connection before eviction (negative: unlimited)")
 	snapshotEvery := flag.Duration("snapshot-every", 10*time.Second, "pending-set snapshot period with -wal (0: only at shutdown)")
+	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "peer heartbeat period in a multi-daemon cluster (0: no failure detection)")
+	suspectAfter := flag.Duration("suspect-after", 0, "silence before a peer is suspect (0: 4×heartbeat)")
+	downAfter := flag.Duration("down-after", 0, "silence before a peer is down (0: 10×heartbeat)")
+	settleDelay := flag.Duration("reconcile-settle", 250*time.Millisecond, "quiescence window between a cluster reset and the reconciliation lease scan")
 	of := obs.AddFlags()
 	flag.Parse()
 
@@ -127,21 +131,105 @@ func main() {
 	}
 	heap.SetObs(sess.Collector())
 
-	handlers, _ := sim.WrapAllReliable(heap.Handlers(), sim.DefaultTransportConfig())
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dpqd[%d]: "+format+"\n", append([]any{*proc}, args...)...)
+	}
+
+	// In a multi-daemon cluster an element's WAL records live on the
+	// daemon that accepted its insert, but the heap may deliver it to any
+	// daemon's client. Acks therefore replicate to the owner (recovered
+	// from the id's process bits) over the client protocol; without that,
+	// a crash-restart cycle would resurrect already-consumed elements.
+	// Built before the engine: the failure detector's callbacks park and
+	// flush its per-owner queues.
+	var fwd *serve.AckForwarder
+	var clientAddrs []string
+	var ownerOf func(prio.ElemID) int
+	var peerAck func(int, prio.ElemID, func(error))
+	if procs > 1 {
+		if *clients == "" {
+			if *walDir != "" {
+				fail("-clients is required with -wal in a multi-daemon cluster (acks must replicate to the inserting daemon's log)")
+			}
+		} else {
+			clientAddrs = strings.Split(*clients, ",")
+			if len(clientAddrs) != procs {
+				fail("-clients lists %d addresses for %d daemons", len(clientAddrs), procs)
+			}
+			fwd = serve.NewAckForwarder(clientAddrs)
+			ownerOf = func(id prio.ElemID) int { return int(uint64(id)>>40) - 1 }
+			peerAck = fwd.Forward
+		}
+	}
+
+	handlers, transports := sim.WrapAllReliable(heap.Handlers(), sim.DefaultTransportConfig())
 	groups, group := heap.Overlay().Group()
+	nodeOwner := func(id sim.NodeID) int { return hostOwner[ldb.HostOf(id)] }
+	anchorProc := nodeOwner(heap.Overlay().Anchor)
+	if procs > 1 {
+		// The anchor's daemon is the reset injector (a structural single
+		// point of failure); operators and the partial-crash CI job pick
+		// their victim from this line.
+		logf("dpqd: anchor virtual node owned by proc %d", anchorProc)
+	}
+
+	// rec is assigned after the serving layer exists; the engine callbacks
+	// below only fire once the engine starts, which is later still.
+	var rec *serve.Reconciler
+	hb := *heartbeat
+	if procs == 1 {
+		hb = 0
+	}
 	eng, err := netrun.New(netrun.Config{
-		Proc:     *proc,
-		Addrs:    addrs,
-		Handlers: handlers,
-		Owner:    func(id sim.NodeID) int { return hostOwner[ldb.HostOf(id)] },
-		Seed:     *seed + 1,
-		Groups:   groups,
-		Group:    group,
-		Tick:     *tick,
-		Observer: sess.Observer(),
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "dpqd[%d]: "+format+"\n", append([]any{*proc}, args...)...)
+		Proc:           *proc,
+		Addrs:          addrs,
+		Handlers:       handlers,
+		Owner:          nodeOwner,
+		Seed:           *seed + 1,
+		Groups:         groups,
+		Group:          group,
+		Tick:           *tick,
+		Observer:       sess.Observer(),
+		HeartbeatEvery: hb,
+		SuspectAfter:   *suspectAfter,
+		DownAfter:      *downAfter,
+		OnPeerState: func(p int, state netrun.PeerState) {
+			if rec == nil {
+				return
+			}
+			switch state {
+			case netrun.PeerDown:
+				rec.PeerDown(p)
+			case netrun.PeerUp:
+				// Recovered without a restart (network blip, slow peer):
+				// nothing was lost, just release any parked acks. A real
+				// restart additionally fires OnPeerRejoin below.
+				if fwd != nil {
+					fwd.SetPeerDown(p, false)
+				}
+			}
 		},
+		OnPeerRejoin: func(p int) {
+			// Runs on the engine's handler goroutine, so the transports may
+			// be touched directly: the restarted process renumbers its
+			// reliable-transport frames from zero, and without forgetting
+			// the old dedup state every post-restart frame from its nodes
+			// would be swallowed as a duplicate.
+			for i, t := range transports {
+				if nodeOwner(sim.NodeID(i)) != *proc {
+					continue
+				}
+				for v := range transports {
+					if nodeOwner(sim.NodeID(v)) == p {
+						t.ResetPeer(sim.NodeID(v))
+					}
+				}
+			}
+			if rec != nil {
+				go rec.PeerRejoined(p)
+			}
+		},
+		Logf: logf,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -160,33 +248,17 @@ func main() {
 		return prio.ElemID(uint64(*proc+1)<<40 | idCtr)
 	}
 
-	// In a multi-daemon cluster an element's WAL records live on the
-	// daemon that accepted its insert, but the heap may deliver it to any
-	// daemon's client. Acks therefore replicate to the owner (recovered
-	// from the id's process bits) over the client protocol; without that,
-	// a crash-restart cycle would resurrect already-consumed elements.
-	var fwd *serve.AckForwarder
-	var ownerOf func(prio.ElemID) int
-	var peerAck func(int, prio.ElemID, func(error))
-	if procs > 1 {
-		if *clients == "" {
-			if *walDir != "" {
-				fail("-clients is required with -wal in a multi-daemon cluster (acks must replicate to the inserting daemon's log)")
-			}
-		} else {
-			clientAddrs := strings.Split(*clients, ",")
-			if len(clientAddrs) != procs {
-				fail("-clients lists %d addresses for %d daemons", len(clientAddrs), procs)
-			}
-			fwd = serve.NewAckForwarder(clientAddrs)
-			ownerOf = func(id prio.ElemID) int { return int(uint64(id)>>40) - 1 }
-			peerAck = fwd.Forward
-		}
-	}
-
 	// The serving layer recovers and re-injects this daemon's durable
 	// pending set before the engine starts ticking, so recovery inserts
-	// serialize before any client operation on the same host.
+	// serialize before any client operation on the same host. In a
+	// reconciling multi-daemon cluster recovery is deferred instead: the
+	// survivors' cluster reset must land before re-injection, or the
+	// recovered elements would race the abandoned positions.
+	var degraded func() bool
+	if procs > 1 && hb > 0 {
+		degraded = eng.AnyPeerDown
+	}
+	deferRecovery := procs > 1 && *walDir != "" && fwd != nil
 	srv, err := serve.New(serve.Config{
 		Heap:          heap,
 		Hosts:         localHosts,
@@ -199,12 +271,30 @@ func main() {
 		Proc:          *proc,
 		Owner:         ownerOf,
 		PeerAck:       peerAck,
+		Degraded:      degraded,
+		DeferRecovery: deferRecovery,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dpqd[%d]: serve: "+format+"\n", append([]any{*proc}, args...)...)
 		},
 	})
 	if err != nil {
 		fail("%v", err)
+	}
+	// Partial-failure reconciliation needs the reset protocol (Skeap) and
+	// the cross-daemon ack channel; with both present, peer crashes and
+	// rejoins are handled instead of merely logged.
+	if rh, ok := heap.(serve.ResettableHeap); ok && fwd != nil {
+		rec = &serve.Reconciler{
+			Server:      srv,
+			Heap:        rh,
+			Fwd:         fwd,
+			AnchorLocal: anchorProc == *proc,
+			Peers:       clientAddrs,
+			Proc:        *proc,
+			SettleDelay: *settleDelay,
+			Logf:        logf,
+		}
+		fwd.OnParkFlush = func(owner int, id prio.ElemID, err error) { srv.SettleParked(id, err) }
 	}
 	// Seed the id counter past the recovered maximum before any client is
 	// served (recovery re-injects elements under their old ids without
@@ -216,6 +306,12 @@ func main() {
 		idMu.Unlock()
 	}
 	eng.Start()
+	if deferRecovery && rec != nil {
+		// Recovery re-injection waits for the survivors' cluster reset (or
+		// the cold-start timeout on a fresh/full-cluster start); it blocks
+		// on engine progress, so it must not run on this goroutine.
+		go rec.RecoverAsRestarter()
+	}
 
 	ln, err := net.Listen("tcp", *clientAddr)
 	if err != nil {
@@ -253,6 +349,9 @@ func main() {
 	}
 	m := eng.Metrics()
 	sess.SetExtra("serve", st)
+	if procs > 1 && hb > 0 {
+		sess.SetExtra("peers", eng.Health())
+	}
 	if err := sess.Close(&m); err != nil {
 		fail("%v", err)
 	}

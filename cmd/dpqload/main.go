@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"os"
 	"sort"
@@ -46,11 +47,15 @@ type seqVal struct {
 }
 
 // pendingReq is one in-flight request: when it was sent and what it was,
-// so rejections and lease responses can be routed.
+// so rejections and lease responses can be routed and retryable failures
+// (StatusUnavailable during a peer outage) can re-issue the request.
 type pendingReq struct {
-	at time.Time
-	op uint8
-	id uint64 // OpAck/OpNack: the leased element
+	at      time.Time
+	op      uint8
+	id      uint64 // OpAck/OpNack: the leased element
+	prio    uint64 // OpInsert: original priority, for re-issue
+	payload string // OpInsert: original payload, for re-issue
+	retries int    // re-issues so far
 }
 
 // conn is one pipelined client connection with its recorded outcomes.
@@ -63,8 +68,17 @@ type conn struct {
 	sent     map[uint64]pendingReq // reqID → in-flight request
 	mode     string                // ack, nack or none
 	consumed *atomic.Int64         // cluster-wide consumed elements (nack mode)
+	// maxRetries bounds per-request re-issues of retryable rejections
+	// (a cluster serving degraded answers StatusUnavailable for work that
+	// needs a crashed peer); 0 turns any retryable rejection into a
+	// failure. allowRedeliv accepts delivery counts > 1 in ack mode — a
+	// crash-recovery drain legitimately sees expiry redeliveries.
+	maxRetries   int
+	allowRedeliv bool
+	rng          *rand.Rand
 
 	values       []seqVal // serialization values tagged with issue order
+	retries      int      // retryable rejections re-issued
 	insertIDs    []uint64
 	deleteIDs    []uint64 // consumed elements (delivered, in "none" mode)
 	bottoms      int
@@ -79,8 +93,10 @@ func (c *conn) nextReqID() uint64 {
 	return uint64(c.idx)<<32 | c.seq
 }
 
-func (c *conn) write(req *clientproto.Request, id uint64) error {
-	c.sent[req.ReqID] = pendingReq{at: time.Now(), op: req.Op, id: id}
+func (c *conn) write(req *clientproto.Request, pend pendingReq) error {
+	pend.at = time.Now()
+	pend.op = req.Op
+	c.sent[req.ReqID] = pend
 	if err := clientproto.WriteRequest(c.bw, req); err != nil {
 		return err
 	}
@@ -99,12 +115,33 @@ func (c *conn) sendOne(insert bool, prios uint64) error {
 	} else {
 		req.Op = clientproto.OpDelete
 	}
-	return c.write(req, 0)
+	return c.write(req, pendingReq{prio: req.Prio, payload: req.Payload})
 }
 
 // settle acks or nacks a leased element.
 func (c *conn) settle(op uint8, id uint64) error {
-	return c.write(&clientproto.Request{ReqID: c.nextReqID(), Op: op, ID: id}, id)
+	return c.write(&clientproto.Request{ReqID: c.nextReqID(), Op: op, ID: id}, pendingReq{id: id})
+}
+
+// retry re-issues a retryably rejected request under a fresh reqID after
+// a jittered exponential backoff. The backoff sleeps on the connection's
+// goroutine — stalling this pipeline while a peer daemon restarts is the
+// point.
+func (c *conn) retry(pend pendingReq) error {
+	d := 10 * time.Millisecond << uint(pend.retries)
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	time.Sleep(d/2 + time.Duration(c.rng.Int63n(int64(d))))
+	c.retries++
+	req := &clientproto.Request{
+		ReqID: c.nextReqID(), Op: pend.op, ID: pend.id,
+		Prio: pend.prio, Payload: pend.payload,
+	}
+	return c.write(req, pendingReq{
+		id: pend.id, prio: pend.prio, payload: pend.payload,
+		retries: pend.retries + 1,
+	})
 }
 
 // readOne consumes one response, records its outcome and drives the lease
@@ -119,6 +156,15 @@ func (c *conn) readOne() error {
 		return fmt.Errorf("response for unknown reqID %d", resp.ReqID)
 	}
 	delete(c.sent, resp.ReqID)
+	if resp.Retryable() {
+		// The cluster is serving degraded (a peer daemon is down): the
+		// request is valid, the cluster just cannot complete it yet. Back
+		// off and re-issue, up to the retry budget.
+		if pend.retries >= c.maxRetries {
+			return fmt.Errorf("gave up after %d retries: %v", pend.retries, resp.Err())
+		}
+		return c.retry(pend)
+	}
 	if err := resp.Err(); err != nil {
 		// A typed server rejection: the load generator never sends invalid
 		// requests, so any error code is a verdict failure — surface which
@@ -126,9 +172,11 @@ func (c *conn) readOne() error {
 		return err
 	}
 	c.latencies = append(c.latencies, time.Since(pend.at))
-	if pend.op == clientproto.OpInsert || pend.op == clientproto.OpDelete {
+	if (pend.op == clientproto.OpInsert || pend.op == clientproto.OpDelete) && resp.Value >= 0 {
 		// Only heap operations carry serialization values; ack/nack are
-		// serving-layer bookkeeping outside the order ≺.
+		// serving-layer bookkeeping outside the order ≺. A negative value
+		// marks a degraded-mode insert that was durably logged but not yet
+		// serialized — it has no place in the order.
 		c.values = append(c.values, seqVal{seq: resp.ReqID & (1<<32 - 1), v: resp.Value})
 	}
 	switch resp.Status {
@@ -137,8 +185,11 @@ func (c *conn) readOne() error {
 	case clientproto.StatusElem:
 		switch c.mode {
 		case "ack":
-			if resp.Deliveries != 1 {
+			if resp.Deliveries != 1 && !c.allowRedeliv {
 				return fmt.Errorf("element %d delivered %d times without any nack or expiry", resp.ID, resp.Deliveries)
+			}
+			if resp.Deliveries > 1 {
+				c.redeliveries++
 			}
 			c.deleteIDs = append(c.deleteIDs, resp.ID)
 			return c.settle(clientproto.OpAck, resp.ID)
@@ -189,12 +240,15 @@ func (c *conn) runPhase(insert bool, quota, window int, prios uint64) error {
 	return nil
 }
 
-// runDrain deletes (acking every delivery) until the first ⊥. In a
-// delete-only workload the queue size is monotone, so one ⊥ means empty
-// for good — this is how a crash-recovery harness empties a restarted
-// cluster and learns exactly which elements survived.
-func (c *conn) runDrain(window int) error {
+// runDrain deletes (acking every delivery) until ⊥ means empty. In a
+// delete-only workload against a quiesced cluster the queue size is
+// monotone, so the first ⊥ means empty for good (patience 0). A cluster
+// still reconciling after a restart returns transient ⊥s while orphaned
+// elements are re-injected, so with a patience window a ⊥ only ends the
+// drain once no element has been delivered for that long.
+func (c *conn) runDrain(window int, patience time.Duration) error {
 	sawBottom := false
+	lastProgress := time.Now()
 	for !sawBottom || len(c.sent) > 0 {
 		if !sawBottom && len(c.sent) < window {
 			if err := c.sendOne(false, 0); err != nil {
@@ -202,12 +256,19 @@ func (c *conn) runDrain(window int) error {
 			}
 			continue
 		}
-		pre := c.bottoms
+		preB, preD := c.bottoms, len(c.deleteIDs)
 		if err := c.readOne(); err != nil {
 			return err
 		}
-		if c.bottoms > pre {
-			sawBottom = true
+		if len(c.deleteIDs) > preD {
+			lastProgress = time.Now()
+		}
+		if c.bottoms > preB {
+			if patience <= 0 || time.Since(lastProgress) > patience {
+				sawBottom = true
+			} else if len(c.sent) == 0 {
+				time.Sleep(5 * time.Millisecond)
+			}
 		}
 	}
 	return nil
@@ -290,6 +351,8 @@ func main() {
 	phase := flag.String("phase", "full", "full: insert then delete; insert: inserts only (elements stay pending); drain: delete+ack a recovered cluster until empty")
 	idsOut := flag.String("ids-out", "", "write acknowledged inserted ids (phase insert/full) or consumed ids (phase drain) to FILE, one per line")
 	expectMin := flag.Int("expect-min", -1, "phase drain: fail unless at least this many elements were consumed")
+	maxRetries := flag.Int("max-retries", 12, "re-issues per request on retryable rejections (StatusUnavailable while a peer daemon is down); 0 fails fast")
+	drainPatience := flag.Duration("drain-patience", 0, "phase drain: treat ⊥ as empty only after this long without a delivery (reconciling clusters return transient ⊥s)")
 	quick := flag.Bool("quick", false, "CI preset: 6000 inserts + 6000 deletes")
 	flag.Parse()
 
@@ -330,11 +393,14 @@ func main() {
 			defer nc.Close()
 			conns = append(conns, &conn{
 				idx: len(conns), c: nc,
-				br:       bufio.NewReader(nc),
-				bw:       bufio.NewWriter(nc),
-				sent:     map[uint64]pendingReq{},
-				mode:     *ackMode,
-				consumed: &consumed,
+				br:           bufio.NewReader(nc),
+				bw:           bufio.NewWriter(nc),
+				sent:         map[uint64]pendingReq{},
+				mode:         *ackMode,
+				consumed:     &consumed,
+				maxRetries:   *maxRetries,
+				allowRedeliv: *phase == "drain",
+				rng:          rand.New(rand.NewSource(int64(len(conns)) + 1)),
 			})
 		}
 	}
@@ -371,6 +437,13 @@ func main() {
 		}
 		return m
 	}
+	totalRetries := func() int {
+		n := 0
+		for _, c := range conns {
+			n += c.retries
+		}
+		return n
+	}
 
 	// writeIDs dumps acknowledged ids for cross-run comparisons (the
 	// crash-recovery harness diffs the ids inserted before a SIGKILL
@@ -395,7 +468,7 @@ func main() {
 	if *phase == "drain" {
 		start := time.Now()
 		drainStart := latMark()
-		if err := runAll(func(i int, c *conn) error { return c.runDrain(*window) }); err != nil {
+		if err := runAll(func(i int, c *conn) error { return c.runDrain(*window, *drainPatience) }); err != nil {
 			fail("drain: %v", err)
 		}
 		elapsed := time.Since(start)
@@ -417,8 +490,8 @@ func main() {
 			fail("drained %d elements, want at least %d", len(consumed), *expectMin)
 		}
 		writeIDs(func(c *conn) []uint64 { return c.deleteIDs })
-		fmt.Printf("dpqload: drain phase: %s\n", phaseStats(conns, drainStart, latMark(), elapsed))
-		fmt.Printf("dpqload: OK drained=%d acked=%d conns=%d\n", len(consumed), acked, len(conns))
+		fmt.Printf("dpqload: drain phase: %s retries=%d\n", phaseStats(conns, drainStart, latMark(), elapsed), totalRetries())
+		fmt.Printf("dpqload: OK drained=%d acked=%d retries=%d conns=%d\n", len(consumed), acked, totalRetries(), len(conns))
 		return
 	}
 
@@ -430,6 +503,7 @@ func main() {
 	}
 	insertElapsed := time.Since(start)
 	insertEnd := latMark()
+	insertRetries := totalRetries()
 	writeIDs(func(c *conn) []uint64 { return c.insertIDs })
 
 	if *phase == "insert" {
@@ -445,8 +519,8 @@ func main() {
 		if len(inserted) != *inserts {
 			fail("%d inserts acknowledged, want %d", len(inserted), *inserts)
 		}
-		fmt.Printf("dpqload: insert phase: %s\n", phaseStats(conns, phaseStart, insertEnd, insertElapsed))
-		fmt.Printf("dpqload: OK inserts=%d conns=%d (left pending)\n", len(inserted), len(conns))
+		fmt.Printf("dpqload: insert phase: %s retries=%d\n", phaseStats(conns, phaseStart, insertEnd, insertElapsed), insertRetries)
+		fmt.Printf("dpqload: OK inserts=%d retries=%d conns=%d (left pending)\n", len(inserted), insertRetries, len(conns))
 		return
 	}
 
@@ -547,8 +621,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("dpqload: insert phase: %s\n", phaseStats(conns, phaseStart, insertEnd, insertElapsed))
-	fmt.Printf("dpqload: delete phase: %s\n", phaseStats(conns, insertEnd, deleteEnd, deleteElapsed))
-	fmt.Printf("dpqload: OK inserts=%d consumed=%d acked=%d nacked=%d redelivered=%d conns=%d mode=%s drained=%v\n",
-		len(inserted), len(deleted), acked, nacked, redeliveries, len(conns), *ackMode, drained)
+	fmt.Printf("dpqload: insert phase: %s retries=%d\n", phaseStats(conns, phaseStart, insertEnd, insertElapsed), insertRetries)
+	fmt.Printf("dpqload: delete phase: %s retries=%d\n", phaseStats(conns, insertEnd, deleteEnd, deleteElapsed), totalRetries()-insertRetries)
+	fmt.Printf("dpqload: OK inserts=%d consumed=%d acked=%d nacked=%d redelivered=%d retries=%d conns=%d mode=%s drained=%v\n",
+		len(inserted), len(deleted), acked, nacked, redeliveries, totalRetries(), len(conns), *ackMode, drained)
 }

@@ -126,12 +126,51 @@ type Runner struct {
 	ov     *ldb.Overlay
 	protos map[Tag]*Proto
 	states map[key]*state
+	// floors suppress instances below a per-tag sequence floor: after a
+	// partial-failure reset every message of an aborted instance — late
+	// starts queued at a crashed peer, stale ups, stale downs — must be
+	// dropped, or it would resurrect state for an iteration whose
+	// operations have already been re-buffered elsewhere.
+	floors  map[Tag]uint64
+	dropped int64
 }
 
 // NewRunner creates a Runner for the virtual node whose VInfo the handler
 // passes on every call.
 func NewRunner(ov *ldb.Overlay) *Runner {
-	return &Runner{ov: ov, protos: make(map[Tag]*Proto), states: make(map[key]*state)}
+	return &Runner{ov: ov, protos: make(map[Tag]*Proto), states: make(map[key]*state), floors: make(map[Tag]uint64)}
+}
+
+// AbortBelow abandons every instance of tag with seq < floor and suppresses
+// their future messages: states are deleted and later Start/Up/Down frames
+// for those instances are consumed silently. Callers must re-buffer any
+// operations the aborted instances carried — the Runner only forgets.
+// Floors are monotone; a lower floor than the current one is a no-op.
+func (r *Runner) AbortBelow(tag Tag, floor uint64) {
+	if floor <= r.floors[tag] {
+		return
+	}
+	r.floors[tag] = floor
+	for k := range r.states {
+		if k.tag == tag && k.seq < floor {
+			delete(r.states, k)
+		}
+	}
+}
+
+// Floor returns the current suppression floor for tag (0 = none).
+func (r *Runner) Floor(tag Tag) uint64 { return r.floors[tag] }
+
+// Dropped returns how many messages the floors have suppressed.
+func (r *Runner) Dropped() int64 { return r.dropped }
+
+// below reports (and counts) whether an instance seq is floored for tag.
+func (r *Runner) below(tag Tag, seq uint64) bool {
+	if seq < r.floors[tag] {
+		r.dropped++
+		return true
+	}
+	return false
 }
 
 // Register binds tag to proto on this node. All nodes must register the
@@ -161,10 +200,16 @@ func (r *Runner) Handle(ctx *sim.Context, self *ldb.VInfo, from sim.NodeID, msg 
 		if _, ok := r.protos[m.Tag]; !ok {
 			return false
 		}
+		if r.below(m.Tag, m.Seq) {
+			return true
+		}
 		r.begin(ctx, self, m.Tag, m.Seq, m.Params)
 	case *UpMsg:
 		if _, ok := r.protos[m.Tag]; !ok {
 			return false
+		}
+		if r.below(m.Tag, m.Seq) {
+			return true
 		}
 		st := r.state(m.Tag, m.Seq)
 		st.kids = append(st.kids, KidValue{From: from, V: m.V})
@@ -172,6 +217,21 @@ func (r *Runner) Handle(ctx *sim.Context, self *ldb.VInfo, from sim.NodeID, msg 
 	case *DownMsg:
 		if _, ok := r.protos[m.Tag]; !ok {
 			return false
+		}
+		if r.below(m.Tag, m.Seq) {
+			return true
+		}
+		if st, ok := r.states[key{m.Tag, m.Seq}]; !ok || !st.begun {
+			// An assignment for an instance this node never began: a peer's
+			// reliable transport retransmitted a pre-crash frame into a
+			// restarted process. Without gather state it cannot be split,
+			// and the instance is below the reset floor about to land — drop
+			// it (and any stale kid-value stub) rather than corrupt state.
+			// In one incarnation this cannot happen: the parent's StartMsg
+			// precedes its DownMsg on the same FIFO channel.
+			delete(r.states, key{m.Tag, m.Seq})
+			r.dropped++
+			return true
 		}
 		r.scatter(ctx, self, m.Tag, m.Seq, m.V)
 	default:
@@ -239,6 +299,9 @@ func (r *Runner) maybeCombine(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq ui
 func (r *Runner) scatter(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq uint64, down Value) {
 	p := r.proto(tag)
 	st := r.state(tag, seq)
+	if !st.begun {
+		panic(fmt.Sprintf("aggtree: %s scatter at node %d for un-begun instance seq %d (floor %d, kids %d)", p.Name, self.ID, seq, r.floors[tag], len(st.kids)))
+	}
 	ownPart, kidParts := p.Split(self, seq, st.params, down, st.own, st.kids)
 	if len(kidParts) != len(st.kids) {
 		panic(fmt.Sprintf("aggtree: %s Split returned %d parts for %d children", p.Name, len(kidParts), len(st.kids)))

@@ -52,6 +52,25 @@ func (s *AnchorState) SetLIFO(on bool) {
 	}
 }
 
+// Abandon empties every priority interval at its high-water mark: the
+// positions currently believed occupied are dropped from the assignable
+// range without being reused (Last keeps growing from where it is, Count
+// stays monotone). A partial-failure reset calls this after a daemon crash
+// destroyed an unknown subset of the occupied DHT cells — the surviving
+// cells become unreachable orphans and every live element re-enters through
+// a fresh insert, so no delete is ever assigned a position whose cell died
+// with the crashed daemon (such a Get would park forever, §3.2.4).
+func (s *AnchorState) Abandon() {
+	for q := range s.First {
+		s.First[q] = s.Last[q] + 1
+	}
+	if s.lifo {
+		for q := range s.runs {
+			s.runs[q] = nil
+		}
+	}
+}
+
 // Size returns the current number of elements the anchor believes the heap
 // holds.
 func (s *AnchorState) Size() int64 {

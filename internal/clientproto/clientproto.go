@@ -30,6 +30,13 @@ const (
 	OpDelete = 2
 	OpAck    = 3 // settle a leased element for good (ID names the element)
 	OpNack   = 4 // return a leased element for immediate redelivery
+	// OpLeaseScan iterates a daemon's live leases for restart
+	// reconciliation: ID carries the cursor (scan after this element id)
+	// and the response names the smallest leased id above it (StatusElem —
+	// the element is only named, NOT leased to the caller) or StatusBottom
+	// when the scan is done. Daemons issue it to each other; ordinary
+	// clients never need it.
+	OpLeaseScan = 5
 )
 
 // Response statuses.
@@ -40,6 +47,11 @@ const (
 	StatusError    = 4 // request rejected; Code carries the typed reason
 	StatusAcked    = 5 // ack settled the element; it will never redeliver
 	StatusNacked   = 6 // nack reinserted the element for redelivery
+	// StatusUnavailable parks the request retryably: the daemon cannot
+	// complete it right now because a peer daemon is down (degraded mode),
+	// but retrying the same request later is expected to succeed. Code
+	// carries the reason (ErrPeerUnavailable).
+	StatusUnavailable = 7
 )
 
 // ErrCode is the typed rejection reason carried on the wire with
@@ -149,12 +161,21 @@ type Response struct {
 	Deliveries uint32
 }
 
-// Err returns the typed error of a StatusError response, nil otherwise.
+// Err returns the typed error of a StatusError or StatusUnavailable
+// response, nil otherwise. StatusUnavailable errors carry
+// ErrPeerUnavailable, which clients treat as retryable.
 func (r *Response) Err() error {
-	if r.Status != StatusError {
+	if r.Status != StatusError && r.Status != StatusUnavailable {
 		return nil
 	}
 	return &ProtoError{Code: r.Code, ReqID: r.ReqID}
+}
+
+// Retryable reports whether the response is a transient degraded-mode
+// rejection worth retrying with backoff.
+func (r *Response) Retryable() bool {
+	return r.Status == StatusUnavailable ||
+		(r.Status == StatusError && r.Code == ErrPeerUnavailable)
 }
 
 func writeFrame(w io.Writer, body []byte) error {
@@ -197,7 +218,7 @@ func WriteRequest(w io.Writer, req *Request) error {
 	case OpInsert:
 		b.U64(req.Prio)
 		b.String(req.Payload)
-	case OpAck, OpNack:
+	case OpAck, OpNack, OpLeaseScan:
 		b.U64(req.ID)
 	}
 	return writeFrame(w, b.Bytes())
@@ -222,7 +243,7 @@ func ReadRequest(r io.Reader) (*Request, error) {
 		req.Prio = fr.U64()
 		req.Payload = fr.String()
 	case OpDelete:
-	case OpAck, OpNack:
+	case OpAck, OpNack, OpLeaseScan:
 		req.ID = fr.U64()
 	default:
 		return nil, &ReqError{Code: ErrBadOp, ReqID: req.ReqID, Cause: fmt.Sprintf("op %d", req.Op)}
@@ -282,7 +303,7 @@ func ReadResponse(r io.Reader) (*Response, error) {
 			return nil, fmt.Errorf("clientproto: status %d carries error code %s", resp.Status, resp.Code)
 		}
 		return resp, nil
-	case StatusError:
+	case StatusError, StatusUnavailable:
 		if resp.Code == ErrNone || resp.Code >= errCodeCount {
 			return nil, fmt.Errorf("clientproto: error response with invalid code %d", uint8(resp.Code))
 		}

@@ -80,6 +80,11 @@ type DHT struct {
 	pending map[uint64][]waiter
 	nextReq uint64
 	onReply map[uint64]func(e prio.Element, found bool)
+	// aborted remembers requests cancelled by a partial-failure reset: a
+	// straggler reply (for example a stale Put matching a parked Get of an
+	// abandoned position) must be consumed silently instead of tripping the
+	// unknown-request panic that guards against real protocol bugs.
+	aborted map[uint64]bool
 }
 
 // New creates the DHT component of one virtual node.
@@ -89,6 +94,7 @@ func New(ov *ldb.Overlay) *DHT {
 		store:   make(map[uint64][]prio.Element),
 		pending: make(map[uint64][]waiter),
 		onReply: make(map[uint64]func(prio.Element, bool)),
+		aborted: make(map[uint64]bool),
 	}
 }
 
@@ -181,12 +187,27 @@ func (d *DHT) Put(ctx *sim.Context, self *ldb.VInfo, key uint64, e prio.Element,
 
 // Get routes a retrieve request for key; cb runs at this node with the
 // element once it has been fetched (found is always true for matched
-// requests — an unmatched Get waits forever, per §3.2.4).
-func (d *DHT) Get(ctx *sim.Context, self *ldb.VInfo, key uint64, cb func(e prio.Element, found bool)) {
+// requests — an unmatched Get waits forever, per §3.2.4). The returned
+// request id can be passed to Abort when a reset cancels the fetch.
+func (d *DHT) Get(ctx *sim.Context, self *ldb.VInfo, key uint64, cb func(e prio.Element, found bool)) uint64 {
 	d.nextReq++
 	m := &GetMsg{Key: key, ReplyTo: self.ID, ReqID: d.nextReq}
 	d.onReply[m.ReqID] = cb
 	d.dispatch(ctx, self, key, m)
+	return m.ReqID
+}
+
+// Abort cancels an outstanding request: its callback will never run, and a
+// straggler reply is dropped silently. Used by partial-failure resets. The
+// aborted-id memory is bounded by the requests in flight at reset time; an
+// id is reclaimed when its straggler reply arrives (fetches parked forever
+// at a crashed node leak one map entry per reset).
+func (d *DHT) Abort(reqID uint64) {
+	if _, ok := d.onReply[reqID]; !ok {
+		return
+	}
+	delete(d.onReply, reqID)
+	d.aborted[reqID] = true
 }
 
 func (d *DHT) dispatch(ctx *sim.Context, self *ldb.VInfo, key uint64, payload sim.Message) {
@@ -218,6 +239,10 @@ func (d *DHT) Handle(ctx *sim.Context, from sim.NodeID, msg sim.Message) bool {
 	}
 	cb, known := d.onReply[r.ReqID]
 	if !known {
+		if d.aborted[r.ReqID] {
+			delete(d.aborted, r.ReqID)
+			return true
+		}
 		panic("dht: reply for unknown request")
 	}
 	delete(d.onReply, r.ReqID)

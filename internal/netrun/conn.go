@@ -22,13 +22,23 @@ import (
 	"dpq/internal/wire"
 )
 
-// handshake layout: magic, codec version, sender process id.
+// handshake layout: magic, codec version, sender process id, sender
+// incarnation (a timestamp drawn at Engine construction — a restarted
+// process presents a new incarnation, which is how survivors distinguish a
+// crash-and-rejoin from a plain TCP reconnect).
 const (
-	magic        = uint32(0x44505157) // "DPQW"
-	maxFrameSize = 1 << 24
+	magic          = uint32(0x44505157) // "DPQW"
+	maxFrameSize   = 1 << 24
+	handshakeBytes = 18
 	// frameHeader is the per-frame body prefix: from, to, sender tick.
 	frameHeaderBytes = 24
 )
+
+// heartbeatFrom marks a heartbeat frame: a body of exactly
+// frameHeaderBytes whose from field is -1. Heartbeats are liveness
+// evidence for the failure detector only — they are intercepted before
+// decoding and never reach handlers or metrics.
+const heartbeatFrom = int64(-1)
 
 // appendFrame appends one length-prefixed frame (u32 length, then body:
 // from, to, sender tick, encoded message) to dst. On error dst is returned
@@ -76,27 +86,28 @@ func decodeFrame(body []byte) (inEnv, error) {
 	return env, nil
 }
 
-func writeHandshake(w io.Writer, proc int) error {
-	var b [10]byte
+func writeHandshake(w io.Writer, proc int, incarnation uint64) error {
+	var b [handshakeBytes]byte
 	binary.BigEndian.PutUint32(b[0:], magic)
 	binary.BigEndian.PutUint16(b[4:], wire.Version)
 	binary.BigEndian.PutUint32(b[6:], uint32(proc))
+	binary.BigEndian.PutUint64(b[10:], incarnation)
 	_, err := w.Write(b[:])
 	return err
 }
 
-func readHandshake(r io.Reader) (proc int, err error) {
-	var b [10]byte
+func readHandshake(r io.Reader) (proc int, incarnation uint64, err error) {
+	var b [handshakeBytes]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if got := binary.BigEndian.Uint32(b[0:]); got != magic {
-		return 0, fmt.Errorf("netrun: bad handshake magic %#x", got)
+		return 0, 0, fmt.Errorf("netrun: bad handshake magic %#x", got)
 	}
 	if v := binary.BigEndian.Uint16(b[4:]); v != wire.Version {
-		return 0, fmt.Errorf("netrun: codec version mismatch: got %d, want %d", v, wire.Version)
+		return 0, 0, fmt.Errorf("netrun: codec version mismatch: got %d, want %d", v, wire.Version)
 	}
-	return int(binary.BigEndian.Uint32(b[6:])), nil
+	return int(binary.BigEndian.Uint32(b[6:])), binary.BigEndian.Uint64(b[10:]), nil
 }
 
 // readFrameInto reads one length-prefixed frame body, reusing *scratch as
@@ -155,13 +166,14 @@ func (e *Engine) serveConn(conn net.Conn) {
 	}()
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	br := bufio.NewReader(conn)
-	peerProc, err := readHandshake(br)
+	peerProc, peerInc, err := readHandshake(br)
 	if err != nil {
 		e.cfg.Logf("netrun: inbound handshake: %v", err)
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 	e.cfg.Logf("netrun: proc %d connected from %s", peerProc, conn.RemoteAddr())
+	e.noteHandshake(peerProc, peerInc)
 	var scratch []byte // per-connection read buffer, reused across frames
 	for {
 		body, err := readFrameInto(br, &scratch)
@@ -170,6 +182,10 @@ func (e *Engine) serveConn(conn net.Conn) {
 				e.cfg.Logf("netrun: read from proc %d: %v", peerProc, err)
 			}
 			return
+		}
+		e.noteAlive(peerProc)
+		if len(body) == frameHeaderBytes && int64(binary.BigEndian.Uint64(body)) == heartbeatFrom {
+			continue // liveness-only heartbeat, nothing to deliver
 		}
 		env, err := decodeFrame(body)
 		if err != nil {
@@ -256,6 +272,27 @@ func (p *peer) enqueueMsg(from, to sim.NodeID, tick int64, msg sim.Message) {
 	p.cond.Signal()
 }
 
+// enqueueHeartbeat appends one heartbeat frame, but only when the pending
+// buffer is idle: real frames are themselves liveness evidence, and a down
+// peer must not accumulate an unbounded heartbeat backlog (at most one
+// heartbeat waits in pending while the writer is stuck redialing).
+func (p *peer) enqueueHeartbeat(tick int64) {
+	p.mu.Lock()
+	if p.closed || len(p.pending) > 0 {
+		p.mu.Unlock()
+		return
+	}
+	var b [4 + frameHeaderBytes]byte
+	binary.BigEndian.PutUint32(b[0:], frameHeaderBytes)
+	hb := heartbeatFrom // variable: -1 converts to uint64 at runtime only
+	binary.BigEndian.PutUint64(b[4:], uint64(hb))
+	binary.BigEndian.PutUint64(b[12:], uint64(hb))
+	binary.BigEndian.PutUint64(b[20:], uint64(tick))
+	p.pending = append(p.pending, b[:]...)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
 func (p *peer) close() {
 	p.mu.Lock()
 	p.closed = true
@@ -329,13 +366,18 @@ func (p *peer) run(e *Engine) {
 			}
 			c, err := net.DialTimeout("tcp", p.addr, time.Second)
 			if err == nil {
-				if err = writeHandshake(c, e.cfg.Proc); err == nil {
+				if err = writeHandshake(c, e.cfg.Proc, e.incarnation); err == nil {
 					conn = c
-					p.bo.reset()
+					// The backoff is NOT reset here: a peer that accepts the
+					// dial but fails every write (half-dead, or dying between
+					// accept and read) would otherwise be redialed at the
+					// floor interval forever. Reset happens after the first
+					// successful write below.
 					break
 				}
 				c.Close()
 			}
+			e.noteRedial(p.proc)
 			sleep := p.bo.next()
 			e.cfg.Logf("netrun: dial proc %d (%s): %v (retry in %v)", p.proc, p.addr, err, sleep)
 			if closing {
@@ -366,6 +408,7 @@ func (p *peer) run(e *Engine) {
 			}
 			p.requeue(batch)
 		} else {
+			p.bo.reset()
 			p.recycle(batch)
 		}
 	}

@@ -1,0 +1,235 @@
+package netrun
+
+// Failure detection. Each engine sends a tiny heartbeat frame to every
+// peer once per Config.HeartbeatEvery (only when the outbound buffer is
+// otherwise idle — real frames count as liveness evidence too), and a
+// monitor goroutine grades peers by how long ago the last inbound frame
+// from them arrived: up → suspect after SuspectAfter → down after
+// DownAfter. A crash-and-restart is detected separately, by incarnation:
+// the handshake carries a per-engine-lifetime timestamp, so the first
+// inbound connection from a restarted process fires OnPeerRejoin even if
+// the outage was shorter than the suspicion window.
+//
+// State transitions and rejoin events are marshaled onto the engine's run
+// goroutine (the one that executes handlers), so callbacks may touch
+// handler and transport state without extra locking — the same discipline
+// sim engines give their handlers.
+
+import (
+	"sort"
+	"time"
+)
+
+// PeerState grades one remote process's liveness.
+type PeerState int
+
+// Detector states: a peer is up until heartbeats go missing, suspect
+// after SuspectAfter without evidence, down after DownAfter.
+const (
+	PeerUp PeerState = iota
+	PeerSuspect
+	PeerDown
+)
+
+// String names the state for logs and obs output.
+func (s PeerState) String() string {
+	switch s {
+	case PeerUp:
+		return "up"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDown:
+		return "down"
+	}
+	return "invalid"
+}
+
+// PeerHealth is one peer's detector snapshot.
+type PeerHealth struct {
+	Proc        int
+	State       PeerState
+	LastAlive   time.Time
+	Incarnation uint64 // last incarnation seen in a handshake (0 = never)
+	Redials     int64  // failed outbound dial attempts
+}
+
+// healthRec is the mutable detector record for one peer (guarded by
+// Engine.healthMu).
+type healthRec struct {
+	state       PeerState
+	lastAlive   time.Time
+	incarnation uint64
+	redials     int64
+}
+
+// initHealth seeds every peer as up at engine construction time: a peer
+// that never connects degrades through suspect to down on schedule.
+func (e *Engine) initHealth() {
+	now := time.Now()
+	e.health = make(map[int]*healthRec, len(e.peers))
+	for p := range e.peers {
+		e.health[p] = &healthRec{state: PeerUp, lastAlive: now}
+	}
+}
+
+// noteAlive records inbound-frame evidence from proc. A suspect or down
+// peer recovers to up immediately.
+func (e *Engine) noteAlive(proc int) {
+	e.healthMu.Lock()
+	rec := e.health[proc]
+	if rec == nil {
+		e.healthMu.Unlock()
+		return
+	}
+	rec.lastAlive = time.Now()
+	changed := rec.state != PeerUp
+	if changed {
+		rec.state = PeerUp
+	}
+	e.healthMu.Unlock()
+	if changed {
+		e.emitPeerState(proc, PeerUp)
+	}
+}
+
+// noteHandshake records an inbound connection's handshake. A different
+// incarnation than the previously recorded one means the peer process
+// restarted in between — survivors run restart reconciliation off this
+// event, not off the down→up transition (a short crash can beat the
+// suspicion window).
+func (e *Engine) noteHandshake(proc int, incarnation uint64) {
+	e.healthMu.Lock()
+	rec := e.health[proc]
+	if rec == nil {
+		e.healthMu.Unlock()
+		return
+	}
+	rec.lastAlive = time.Now()
+	recovered := rec.state != PeerUp
+	if recovered {
+		rec.state = PeerUp
+	}
+	rejoined := rec.incarnation != 0 && rec.incarnation != incarnation
+	rec.incarnation = incarnation
+	e.healthMu.Unlock()
+	if recovered {
+		e.emitPeerState(proc, PeerUp)
+	}
+	if rejoined {
+		e.cfg.Logf("netrun: proc %d rejoined with a new incarnation", proc)
+		if cb := e.cfg.OnPeerRejoin; cb != nil {
+			e.pushCtl(func() { cb(proc) })
+		}
+	}
+}
+
+// noteRedial counts one failed outbound dial attempt toward proc.
+func (e *Engine) noteRedial(proc int) {
+	e.healthMu.Lock()
+	if rec := e.health[proc]; rec != nil {
+		rec.redials++
+	}
+	e.healthMu.Unlock()
+}
+
+// emitPeerState marshals an OnPeerState callback onto the run goroutine.
+func (e *Engine) emitPeerState(proc int, s PeerState) {
+	e.cfg.Logf("netrun: proc %d is %s", proc, s)
+	if cb := e.cfg.OnPeerState; cb != nil {
+		e.pushCtl(func() { cb(proc, s) })
+	}
+}
+
+// checkHealth degrades peers whose evidence went stale.
+func (e *Engine) checkHealth(now time.Time) {
+	type change struct {
+		proc int
+		s    PeerState
+	}
+	var changes []change
+	e.healthMu.Lock()
+	for proc, rec := range e.health {
+		elapsed := now.Sub(rec.lastAlive)
+		want := rec.state
+		switch {
+		case elapsed >= e.cfg.DownAfter:
+			want = PeerDown
+		case elapsed >= e.cfg.SuspectAfter:
+			if rec.state == PeerUp {
+				want = PeerSuspect
+			}
+		}
+		if want != rec.state {
+			rec.state = want
+			changes = append(changes, change{proc, want})
+		}
+	}
+	e.healthMu.Unlock()
+	sort.Slice(changes, func(i, j int) bool { return changes[i].proc < changes[j].proc })
+	for _, c := range changes {
+		e.emitPeerState(c.proc, c.s)
+	}
+}
+
+// monitor is the heartbeat/detector goroutine: every HeartbeatEvery it
+// offers a heartbeat to each idle peer buffer and re-grades the evidence.
+func (e *Engine) monitor() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			tick := e.currentTick()
+			for _, p := range e.peers {
+				p.enqueueHeartbeat(tick)
+			}
+			e.checkHealth(time.Now())
+		}
+	}
+}
+
+// Health returns a snapshot of every peer's detector record, ordered by
+// process id. Empty when the detector is disabled or single-process.
+func (e *Engine) Health() []PeerHealth {
+	e.healthMu.Lock()
+	out := make([]PeerHealth, 0, len(e.health))
+	for proc, rec := range e.health {
+		out = append(out, PeerHealth{
+			Proc:        proc,
+			State:       rec.state,
+			LastAlive:   rec.lastAlive,
+			Incarnation: rec.incarnation,
+			Redials:     rec.redials,
+		})
+	}
+	e.healthMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
+	return out
+}
+
+// PeerIsDown reports whether the detector currently grades proc as down.
+func (e *Engine) PeerIsDown(proc int) bool {
+	e.healthMu.Lock()
+	defer e.healthMu.Unlock()
+	rec := e.health[proc]
+	return rec != nil && rec.state == PeerDown
+}
+
+// AnyPeerDown reports whether any peer is currently graded down.
+func (e *Engine) AnyPeerDown() bool {
+	e.healthMu.Lock()
+	defer e.healthMu.Unlock()
+	for _, rec := range e.health {
+		if rec.state == PeerDown {
+			return true
+		}
+	}
+	return false
+}
+
+// Incarnation returns this engine's own incarnation (what peers see in
+// the handshake).
+func (e *Engine) Incarnation() uint64 { return e.incarnation }

@@ -67,6 +67,21 @@ type Config struct {
 	// FlushTimeout bounds how long Close waits for unsent frames per peer
 	// (default 2s).
 	FlushTimeout time.Duration
+	// HeartbeatEvery enables the failure detector: each peer gets a
+	// heartbeat frame per period (when its buffer is idle) and is graded
+	// up/suspect/down by inbound-frame recency. 0 disables the detector
+	// (the pre-detector behavior; single-process engines never need it).
+	HeartbeatEvery time.Duration
+	// SuspectAfter/DownAfter are the detector's staleness thresholds
+	// (defaults 4× and 10× HeartbeatEvery).
+	SuspectAfter time.Duration
+	DownAfter    time.Duration
+	// OnPeerState fires on every detector transition; OnPeerRejoin fires
+	// when an inbound handshake shows a peer restarted (new incarnation).
+	// Both run on the engine's handler goroutine, so they may touch handler
+	// and transport state directly.
+	OnPeerState  func(proc int, state PeerState)
+	OnPeerRejoin func(proc int)
 	// Logf, when set, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -87,11 +102,18 @@ type Engine struct {
 	localIDs []sim.NodeID
 	ctxs     map[sim.NodeID]*sim.Context
 
-	mu     sync.Mutex // guards inbox
+	mu     sync.Mutex // guards inbox and ctl
 	inbox  []inEnv
+	ctl    []func() // detector callbacks awaiting the run goroutine
 	notify chan struct{}
 
 	peers map[int]*peer
+
+	// incarnation identifies this engine lifetime in handshakes; healthMu
+	// guards the failure detector's per-peer records.
+	incarnation uint64
+	healthMu    sync.Mutex
+	health      map[int]*healthRec
 
 	connMu sync.Mutex // guards inbound conns for shutdown
 	conns  map[net.Conn]bool
@@ -140,17 +162,29 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.FlushTimeout <= 0 {
 		cfg.FlushTimeout = 2 * time.Second
 	}
+	if cfg.HeartbeatEvery > 0 {
+		if cfg.SuspectAfter <= 0 {
+			cfg.SuspectAfter = 4 * cfg.HeartbeatEvery
+		}
+		if cfg.DownAfter <= cfg.SuspectAfter {
+			cfg.DownAfter = 10 * cfg.HeartbeatEvery
+		}
+		if cfg.DownAfter <= cfg.SuspectAfter {
+			cfg.DownAfter = 2 * cfg.SuspectAfter
+		}
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 
 	e := &Engine{
-		cfg:    cfg,
-		ctxs:   make(map[sim.NodeID]*sim.Context),
-		notify: make(chan struct{}, 1),
-		peers:  make(map[int]*peer),
-		conns:  make(map[net.Conn]bool),
-		stop:   make(chan struct{}),
+		cfg:         cfg,
+		ctxs:        make(map[sim.NodeID]*sim.Context),
+		notify:      make(chan struct{}, 1),
+		peers:       make(map[int]*peer),
+		conns:       make(map[net.Conn]bool),
+		stop:        make(chan struct{}),
+		incarnation: uint64(time.Now().UnixNano()),
 	}
 	e.metrics.Deliveries = make([]int64, cfg.Groups)
 	e.tickLoad = make([]int, cfg.Groups)
@@ -189,6 +223,7 @@ func New(cfg Config) (*Engine, error) {
 			e.peers[p] = newPeer(p, cfg.Addrs[p], cfg.DialBackoffMin, cfg.DialBackoffMax, boSeed)
 		}
 	}
+	e.initHealth()
 	return e, nil
 }
 
@@ -230,6 +265,10 @@ func (e *Engine) Start() {
 	for _, p := range e.peers {
 		e.wg.Add(1)
 		go p.run(e)
+	}
+	if e.cfg.HeartbeatEvery > 0 && len(e.peers) > 0 {
+		e.wg.Add(1)
+		go e.monitor()
 	}
 	e.wg.Add(1)
 	go e.run()
@@ -294,15 +333,32 @@ func (e *Engine) run() {
 	}
 }
 
-// deliverPending drains the inbox and runs the local handlers.
+// pushCtl schedules f on the run goroutine (detector callbacks run where
+// handlers run, so they may touch handler-owned state).
+func (e *Engine) pushCtl(f func()) {
+	e.mu.Lock()
+	e.ctl = append(e.ctl, f)
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+// deliverPending drains the control queue and the inbox and runs the
+// local handlers.
 func (e *Engine) deliverPending() {
 	for {
 		e.mu.Lock()
 		box := e.inbox
-		e.inbox = nil
+		ctl := e.ctl
+		e.inbox, e.ctl = nil, nil
 		e.mu.Unlock()
-		if len(box) == 0 {
+		if len(box) == 0 && len(ctl) == 0 {
 			return
+		}
+		for _, f := range ctl {
+			f()
 		}
 		for _, env := range box {
 			ctx := e.ctxs[env.to]

@@ -10,6 +10,7 @@ package serve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -18,6 +19,16 @@ import (
 	"dpq/internal/clientproto"
 	"dpq/internal/prio"
 )
+
+// ErrAckParked is the sentinel completion of a Forward whose owner daemon
+// is marked down: the ack was queued for replay on the owner's recovery
+// rather than sent. The caller keeps the lease in a parked state and
+// answers the client retryably (StatusUnavailable).
+var ErrAckParked = errors.New("serve: ack parked until the owner daemon recovers")
+
+// maxParkedPerOwner bounds one down owner's parked-ack queue; overflow is
+// shed with a plain error (the lease then expires into a redelivery).
+const maxParkedPerOwner = 1024
 
 // DefaultForwardTimeout bounds how long one forwarded ack may stay
 // unanswered before it fails and the peer connection is dropped. Without
@@ -32,10 +43,19 @@ type AckForwarder struct {
 	// Timeout overrides DefaultForwardTimeout when positive; set before
 	// the first Forward.
 	Timeout time.Duration
+	// OnParkFlush, when set, observes the terminal outcome of each parked
+	// ack once a recovery flush attempts it: nil error means the owner has
+	// the ack durable. Re-parks (the owner went down again mid-flush) are
+	// not terminal and are not reported. Set before the first Forward.
+	OnParkFlush func(owner int, id prio.ElemID, err error)
 
 	addrs  []string
 	mu     sync.Mutex
 	peers  map[int]*peerConn
+	down   map[int]bool
+	parked map[int][]prio.ElemID // FIFO replay queue per down owner
+	inPark map[int]map[prio.ElemID]bool
+	shed   int64
 	closed bool
 }
 
@@ -58,7 +78,66 @@ type fwdCall struct {
 // NewAckForwarder builds a forwarder over the daemons' client addresses
 // (indexed by process, the same order as the cluster's peer list).
 func NewAckForwarder(addrs []string) *AckForwarder {
-	return &AckForwarder{addrs: addrs, peers: map[int]*peerConn{}}
+	return &AckForwarder{
+		addrs:  addrs,
+		peers:  map[int]*peerConn{},
+		down:   map[int]bool{},
+		parked: map[int][]prio.ElemID{},
+		inPark: map[int]map[prio.ElemID]bool{},
+	}
+}
+
+// SetPeerDown marks one owner daemon down or up. While down, forwards to
+// it are parked (bounded, deduplicated by element id) instead of dialed;
+// marking it up replays the parked queue in order, reporting each ack's
+// terminal outcome through OnParkFlush.
+func (f *AckForwarder) SetPeerDown(owner int, down bool) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	if down {
+		f.down[owner] = true
+		f.mu.Unlock()
+		return
+	}
+	delete(f.down, owner)
+	ids := f.parked[owner]
+	delete(f.parked, owner)
+	delete(f.inPark, owner)
+	cb := f.OnParkFlush
+	f.mu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	go func() {
+		for _, id := range ids {
+			ch := make(chan error, 1)
+			f.Forward(owner, id, func(err error) { ch <- err })
+			err := <-ch
+			if errors.Is(err, ErrAckParked) {
+				continue // owner went down again; the ack is queued anew
+			}
+			if cb != nil {
+				cb(owner, id, err)
+			}
+		}
+	}()
+}
+
+// Shed returns how many parked acks were dropped at the queue cap.
+func (f *AckForwarder) Shed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shed
+}
+
+// ParkedCount returns how many acks are currently parked for owner.
+func (f *AckForwarder) ParkedCount(owner int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.parked[owner])
 }
 
 // Forward replicates the ack of id to the owner daemon and calls done with
@@ -77,6 +156,27 @@ func (f *AckForwarder) Forward(owner int, id prio.ElemID, done func(error)) {
 	if owner < 0 || owner >= len(f.addrs) {
 		f.mu.Unlock()
 		done(fmt.Errorf("element %d owned by unknown process %d", id, owner))
+		return
+	}
+	if f.down[owner] {
+		if f.inPark[owner][id] {
+			f.mu.Unlock()
+			done(ErrAckParked) // already queued; the client keeps retrying
+			return
+		}
+		if len(f.parked[owner]) >= maxParkedPerOwner {
+			f.shed++
+			f.mu.Unlock()
+			done(fmt.Errorf("parked-ack queue for owner %d is full", owner))
+			return
+		}
+		if f.inPark[owner] == nil {
+			f.inPark[owner] = map[prio.ElemID]bool{}
+		}
+		f.inPark[owner][id] = true
+		f.parked[owner] = append(f.parked[owner], id)
+		f.mu.Unlock()
+		done(ErrAckParked)
 		return
 	}
 	p := f.peers[owner]

@@ -101,7 +101,7 @@ func TestRedelivAgeOut(t *testing.T) {
 	wantStatus(t, d, clientproto.StatusElem)
 	wantStatus(t, c.nack(d.ID), clientproto.StatusNacked) // local: in pendElem
 	s.mu.Lock()
-	s.redeliv[prio.ElemID(1 << 50)] = redelivRec{n: 3, at: time.Now()} // foreign
+	s.redeliv[prio.ElemID(1<<50)] = redelivRec{n: 3, at: time.Now()} // foreign
 	s.mu.Unlock()
 
 	s.expireLeases(time.Now().Add(7 * time.Minute)) // under 8×TTL: both stay

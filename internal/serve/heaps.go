@@ -46,6 +46,22 @@ func (q skeapHeap) Handlers() []sim.Handler       { return q.h.Handlers() }
 func (q skeapHeap) Overlay() *ldb.Overlay         { return q.h.Overlay() }
 func (q skeapHeap) SetObs(c *obs.Collector)       { q.h.SetObs(c) }
 
+// Skeap supports the partial-failure reset (see ResettableHeap).
+func (q skeapHeap) InjectReset()           { q.h.InjectReset() }
+func (q skeapHeap) LastResetFloor() uint64 { return q.h.LastResetFloor() }
+
+// ResettableHeap is implemented by protocol heaps that support the
+// partial-failure reset protocol (Skeap). The Reconciler requires it;
+// Seap does not implement it and is gated to single-daemon deployments.
+type ResettableHeap interface {
+	// InjectReset asks the anchor (which must be local) to broadcast a
+	// cluster-wide iteration reset on its next activation.
+	InjectReset()
+	// LastResetFloor reports the highest reset floor any local virtual
+	// node has applied (0 before the first reset).
+	LastResetFloor() uint64
+}
+
 // seapHeap adapts seap (sequentially consistent variant): client
 // priorities map into [1, bound].
 type seapHeap struct {

@@ -12,10 +12,16 @@
 package serve
 
 import (
+	"sort"
 	"time"
 
 	"dpq/internal/prio"
 )
+
+// sortIDs orders element ids ascending (deterministic reconciliation).
+func sortIDs(ids []prio.ElemID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
 
 // lease is one element currently handed out to a client.
 type lease struct {
@@ -24,7 +30,17 @@ type lease struct {
 	deadline   time.Time // expiry instant
 	deliveries uint32    // deliveries so far, the current one included
 	settling   bool      // an ack is replicating to the owner daemon; hands off
+	// parked marks a settling ack waiting for a down owner daemon: the
+	// deadline is stretched (parkedLeaseTTLFactor) so the flushed ack
+	// normally wins, but a permanently dead owner cannot strand the lease
+	// — past the stretched deadline it expires into a redelivery.
+	parked bool
 }
+
+// parkedLeaseTTLFactor stretches a parked lease's deadline: the parked
+// ack should settle on the owner's recovery well before the element is
+// given up on and redelivered.
+const parkedLeaseTTLFactor = 8
 
 // redelivRec carries a reinserted element's delivery history until its
 // next lease. The timestamp bounds the record's lifetime: in a
@@ -93,13 +109,19 @@ func (s *Server) expireLeases(now time.Time) {
 		return
 	}
 	for id, l := range s.leases {
-		if l.settling || now.Before(l.deadline) {
+		if now.Before(l.deadline) {
 			continue
 		}
+		if l.settling && !l.parked {
+			continue
+		}
+		// A parked lease past its stretched deadline is given up on: the
+		// owner never recovered in time, so the element redelivers (the
+		// straggling parked ack, if it ever flushes, settles idempotently).
 		delete(s.leases, id)
 		s.redeliv[id] = redelivRec{n: l.deliveries, at: now}
 		s.stats.Expired++
-		s.heap.Reinsert(l.host, l.elem)
+		s.reinsertLocked(l.host, l.elem)
 	}
 	s.stats.Leased = len(s.leases)
 	maxAge := 8 * s.cfg.LeaseTTL

@@ -88,6 +88,19 @@ type Config struct {
 	Owner   func(prio.ElemID) int
 	PeerAck func(owner int, id prio.ElemID, done func(error))
 
+	// Partial-failure hooks. Degraded, when non-nil, reports whether the
+	// cluster is currently degraded (a peer daemon down): the distributed
+	// heap cannot complete operations while a subtree is dark, so inserts
+	// are acknowledged on WAL durability alone (the heap op completes after
+	// recovery; the response carries Value -1, no serialization value yet)
+	// and deletes are parked with StatusUnavailable for the client to
+	// retry. DeferRecovery postpones re-injection of the recovered pending
+	// set: New loads it into the pending set but leaves the heap empty
+	// until ReinjectPendingUnleased runs — a restarting daemon must first
+	// learn from survivors which of its elements are still leased there.
+	Degraded      func() bool
+	DeferRecovery bool
+
 	Logf func(format string, args ...any)
 }
 
@@ -103,11 +116,15 @@ type Stats struct {
 	Expired         int64 `json:"expired"`      // leases that timed out
 	Redeliveries    int64 `json:"redeliveries"` // deliveries beyond an element's first
 	OverloadRejects int64 `json:"overloadRejects"`
-	EvictedConns    int64 `json:"evictedConns"` // slow readers dropped at the queue cap
-	Conns           int   `json:"conns"`        // currently connected clients
-	InFlight        int   `json:"inFlight"`     // heap ops issued, not yet completed
-	Leased          int   `json:"leased"`       // elements currently out under lease
-	Pending         int   `json:"pending"`      // pending set size (heap + leased)
+	DegradedInserts int64 `json:"degradedInserts"` // inserts acked on WAL durability alone (peer down)
+	Unavailable     int64 `json:"unavailable"`     // requests parked with StatusUnavailable
+	ParkedAcks      int64 `json:"parkedAcks"`      // foreign acks parked for a down owner
+	Reinjected      int64 `json:"reinjected"`      // elements re-injected by reconciliation
+	EvictedConns    int64 `json:"evictedConns"`    // slow readers dropped at the queue cap
+	Conns           int   `json:"conns"`           // currently connected clients
+	InFlight        int   `json:"inFlight"`        // heap ops issued, not yet completed
+	Leased          int   `json:"leased"`          // elements currently out under lease
+	Pending         int   `json:"pending"`         // pending set size (heap + leased)
 
 	WAL WALStats `json:"wal"`
 }
@@ -130,12 +147,25 @@ type Server struct {
 	mu       sync.Mutex
 	pending  map[*semantics.Op]pendingRef
 	pendElem map[prio.ElemID]prio.Element // the pending set: in heap or leased
-	leases   map[prio.ElemID]*lease
-	redeliv  map[prio.ElemID]redelivRec // prior deliveries of reinserted elements
-	conns    map[*connWriter]bool
-	draining bool
-	hostCtr  int
-	stats    Stats
+	// liveIns counts in-flight insert/reinsert heap ops per element id. An
+	// element with a live op is inside the heap protocol's buffers — a
+	// partial-failure reset re-buffers it there, so reconciliation must not
+	// re-inject it a second time.
+	liveIns map[prio.ElemID]int
+	// appliedAt records, per pending element, the heap's reset floor at
+	// the moment its (re)insert op last applied. An element applied at or
+	// after the current floor is resident in the post-reset heap (its op
+	// was re-buffered and re-executed by the reset), so reconciliation
+	// must not re-inject it: liveIns alone cannot tell it from an orphan
+	// once the re-buffered op completes.
+	appliedAt map[prio.ElemID]uint64
+	rheap     ResettableHeap // cfg.Heap when it supports resets, else nil
+	leases    map[prio.ElemID]*lease
+	redeliv   map[prio.ElemID]redelivRec // prior deliveries of reinserted elements
+	conns     map[*connWriter]bool
+	draining  bool
+	hostCtr   int
+	stats     Stats
 
 	// Durability gate: responses waiting for their WAL record to fsync.
 	durMu   sync.Mutex
@@ -175,16 +205,19 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{
-		cfg:      cfg,
-		heap:     cfg.Heap,
-		pending:  map[*semantics.Op]pendingRef{},
-		pendElem: map[prio.ElemID]prio.Element{},
-		leases:   map[prio.ElemID]*lease{},
-		redeliv:  map[prio.ElemID]redelivRec{},
-		conns:    map[*connWriter]bool{},
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		heap:      cfg.Heap,
+		pending:   map[*semantics.Op]pendingRef{},
+		pendElem:  map[prio.ElemID]prio.Element{},
+		liveIns:   map[prio.ElemID]int{},
+		appliedAt: map[prio.ElemID]uint64{},
+		leases:    map[prio.ElemID]*lease{},
+		redeliv:   map[prio.ElemID]redelivRec{},
+		conns:     map[*connWriter]bool{},
+		stop:      make(chan struct{}),
 	}
 	s.durCond = sync.NewCond(&s.durMu)
+	s.rheap, _ = cfg.Heap.(ResettableHeap)
 	s.heap.Trace().SetOnComplete(s.onComplete)
 
 	if cfg.WALDir != "" {
@@ -198,12 +231,17 @@ func New(cfg Config) (*Server, error) {
 		// hosts, before any client operation: per-host FIFO injection then
 		// guarantees a client's deletes serialize after the recovery
 		// inserts on the same host. Completions are silent (no client).
+		// With DeferRecovery the elements only enter the pending set; the
+		// reconciler injects them later, minus those still leased at
+		// surviving peers (ReinjectPendingUnleased).
 		for i, e := range recovered {
 			s.pendElem[e.ID] = e
-			s.heap.Reinsert(cfg.Hosts[i%len(cfg.Hosts)], e)
+			if !cfg.DeferRecovery {
+				s.reinsertLocked(cfg.Hosts[i%len(cfg.Hosts)], e)
+			}
 		}
 		if len(recovered) > 0 {
-			cfg.Logf("recovered %d pending elements from %s", len(recovered), cfg.WALDir)
+			cfg.Logf("recovered %d pending elements from %s (deferred=%v)", len(recovered), cfg.WALDir, cfg.DeferRecovery)
 		}
 	}
 
@@ -316,6 +354,8 @@ func (s *Server) handle(cw *connWriter, host int, req *clientproto.Request) bool
 	switch req.Op {
 	case clientproto.OpAck, clientproto.OpNack:
 		return s.settle(cw, host, req)
+	case clientproto.OpLeaseScan:
+		return s.leaseScan(cw, req)
 	}
 
 	s.mu.Lock()
@@ -330,6 +370,14 @@ func (s *Server) handle(cw *connWriter, host int, req *clientproto.Request) bool
 		s.mu.Unlock()
 		return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrOverloaded})
 	}
+	degraded := s.cfg.Degraded != nil && s.cfg.Degraded()
+	if degraded && req.Op == clientproto.OpDelete {
+		// A dark subtree stalls the heap's serialization, so no delete can
+		// complete; park the request retryably instead of wedging it.
+		s.stats.Unavailable++
+		s.mu.Unlock()
+		return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusUnavailable, Code: clientproto.ErrPeerUnavailable})
+	}
 	// Holding s.mu across inject+track closes the window in which the
 	// protocol could complete the op before it is tracked; the WAL append
 	// shares the critical section so the in-memory pending set and the log
@@ -340,8 +388,23 @@ func (s *Server) handle(cw *connWriter, host int, req *clientproto.Request) bool
 	if req.Op == clientproto.OpInsert {
 		op = s.heap.Insert(host, s.cfg.NextID(), req.Prio, req.Payload)
 		s.pendElem[op.Elem.ID] = op.Elem
+		s.liveIns[op.Elem.ID]++
 		if s.wal != nil {
 			seq = s.wal.AppendInsert(op.Elem)
+		}
+		if degraded {
+			// The op stays buffered until the cluster heals; the client's
+			// acceptance rests on WAL durability alone. Value -1 marks the
+			// missing serialization value.
+			s.stats.DegradedInserts++
+			s.stats.Served++
+			s.mu.Unlock()
+			resp := &clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusInserted, ID: uint64(op.Elem.ID), Value: -1}
+			if seq != 0 {
+				s.gateOnDurable(seq, cw, resp)
+				return true
+			}
+			return cw.send(resp)
 		}
 	} else {
 		op = s.heap.Delete(host)
@@ -350,6 +413,28 @@ func (s *Server) handle(cw *connWriter, host int, req *clientproto.Request) bool
 	s.stats.InFlight = len(s.pending)
 	s.mu.Unlock()
 	return true
+}
+
+// leaseScan answers one OpLeaseScan step: the smallest leased element id
+// above the cursor (StatusElem, element named only) or StatusBottom when
+// the scan is exhausted. Parked and settling leases are included — they
+// are exactly the leases a reconciling peer must not re-inject under.
+func (s *Server) leaseScan(cw *connWriter, req *clientproto.Request) bool {
+	after := prio.ElemID(req.ID)
+	var best prio.ElemID
+	found := false
+	s.mu.Lock()
+	for id := range s.leases {
+		if id > after && (!found || id < best) {
+			best, found = id, true
+		}
+	}
+	s.stats.Served++
+	s.mu.Unlock()
+	if !found {
+		return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusBottom})
+	}
+	return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusElem, ID: uint64(best)})
 }
 
 // settle serves an ack or nack for a leased element. Acks come in three
@@ -386,7 +471,7 @@ func (s *Server) settle(cw *connWriter, host int, req *clientproto.Request) bool
 		s.redeliv[id] = redelivRec{n: l.deliveries, at: time.Now()}
 		s.stats.Nacked++
 		s.stats.Served++
-		s.heap.Reinsert(l.host, l.elem)
+		s.reinsertLocked(l.host, l.elem)
 		s.mu.Unlock()
 		return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusNacked, ID: req.ID})
 	}
@@ -403,6 +488,7 @@ func (s *Server) settle(cw *connWriter, host int, req *clientproto.Request) bool
 		delete(s.leases, id)
 		s.stats.Leased = len(s.leases)
 		delete(s.pendElem, id)
+		delete(s.appliedAt, id)
 		s.stats.Acked++
 		s.stats.Served++
 		var seq uint64
@@ -424,6 +510,7 @@ func (s *Server) settle(cw *connWriter, host int, req *clientproto.Request) bool
 		// happened on the other daemon) is settled with it — without this
 		// the redeliv entry would never be reclaimed.
 		delete(s.pendElem, id)
+		delete(s.appliedAt, id)
 		delete(s.redeliv, id)
 		s.stats.RemoteAcks++
 		s.stats.Served++
@@ -439,6 +526,27 @@ func (s *Server) settle(cw *connWriter, host int, req *clientproto.Request) bool
 		}
 		return cw.send(resp)
 	}
+	if req.Op == clientproto.OpAck && s.cfg.Owner != nil {
+		// Only clustered deployments get idempotent ack fallthrough: a
+		// client retrying after StatusUnavailable may race the flushed
+		// parked ack that already settled its element. A single-daemon
+		// server keeps the strict unknown-lease rejection.
+		if owner := s.ownerOf(id); owner == s.cfg.Proc {
+			// Locally owned but no longer pending: the element was already
+			// settled (possibly by a parked ack flushed while the client was
+			// retrying). Acks are idempotent — report success.
+			s.stats.Served++
+			s.mu.Unlock()
+			return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusAcked, ID: req.ID})
+		} else if s.cfg.PeerAck != nil {
+			// Foreign element with no local lease: the lease may have lived
+			// on a daemon that since crashed, or was settled by a flushed
+			// parked ack. Forward to the owner, which answers idempotently.
+			s.mu.Unlock()
+			s.cfg.PeerAck(owner, id, func(err error) { s.settleRemote(cw, req.ReqID, id, err) })
+			return true
+		}
+	}
 	s.stats.Rejected++
 	s.mu.Unlock()
 	return cw.send(&clientproto.Response{ReqID: req.ReqID, Status: clientproto.StatusError, Code: clientproto.ErrUnknownLease})
@@ -446,10 +554,25 @@ func (s *Server) settle(cw *connWriter, host int, req *clientproto.Request) bool
 
 // settleRemote finishes a foreign-element ack once the owner daemon
 // answered (or failed). On failure the lease stands and will expire into
-// a redelivery — the client was never told the ack succeeded.
+// a redelivery — the client was never told the ack succeeded. A parked
+// forward (owner down) keeps the lease in a parked-settling state with a
+// stretched deadline and answers StatusUnavailable: the flush settles it
+// when the owner recovers, or the stretched expiry redelivers.
 func (s *Server) settleRemote(cw *connWriter, reqID uint64, id prio.ElemID, err error) {
 	s.mu.Lock()
 	l := s.leases[id]
+	if errors.Is(err, ErrAckParked) {
+		if l != nil {
+			l.settling = true
+			l.parked = true
+			l.deadline = time.Now().Add(parkedLeaseTTLFactor * s.cfg.LeaseTTL)
+		}
+		s.stats.ParkedAcks++
+		s.stats.Unavailable++
+		s.mu.Unlock()
+		cw.send(&clientproto.Response{ReqID: reqID, Status: clientproto.StatusUnavailable, Code: clientproto.ErrPeerUnavailable})
+		return
+	}
 	if err != nil {
 		if l != nil {
 			l.settling = false
@@ -478,6 +601,110 @@ func (s *Server) ownerOf(id prio.ElemID) int {
 	return s.cfg.Owner(id)
 }
 
+// reinsertLocked re-injects an element into the heap and tracks the live
+// op (caller holds s.mu).
+func (s *Server) reinsertLocked(host int, e prio.Element) {
+	s.liveIns[e.ID]++
+	s.heap.Reinsert(host, e)
+}
+
+// PendingUnleasedIDs returns, in ascending order, every element of the
+// local pending set that is neither leased here nor inside an in-flight
+// heap op — the candidates reconciliation may need to re-inject after a
+// cluster reset abandoned their positions.
+func (s *Server) PendingUnleasedIDs() []prio.ElemID {
+	s.mu.Lock()
+	floor := s.floorLocked()
+	out := make([]prio.ElemID, 0, len(s.pendElem))
+	for id := range s.pendElem {
+		if !s.reinjectableLocked(id, floor) {
+			continue
+		}
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	sortIDs(out)
+	return out
+}
+
+func (s *Server) floorLocked() uint64 {
+	if s.rheap == nil {
+		return 0
+	}
+	return s.rheap.LastResetFloor()
+}
+
+// reinjectableLocked reports whether a pending element is an orphan that
+// reconciliation must re-inject: not leased here, not inside a live heap
+// op, and not applied since the current reset floor (an element whose
+// re-buffered op re-applied after the reset is already resident).
+func (s *Server) reinjectableLocked(id prio.ElemID, floor uint64) bool {
+	if _, ok := s.pendElem[id]; !ok {
+		return false
+	}
+	if _, leased := s.leases[id]; leased {
+		return false
+	}
+	if s.liveIns[id] > 0 {
+		return false
+	}
+	if floor > 0 {
+		if at, ok := s.appliedAt[id]; ok && at >= floor {
+			return false
+		}
+	}
+	return true
+}
+
+// ReinjectPendingUnleased re-injects every pending element that is not
+// leased locally, not inside a live heap op, and not in skip (ids leased
+// at other live daemons, learned by a lease scan). It returns how many
+// elements were re-injected. After a partial-failure reset the heap's
+// occupied positions were abandoned wholesale, so every at-rest element
+// must re-enter the serialization exactly once — its owner injects it,
+// peers' leases suppress it.
+func (s *Server) ReinjectPendingUnleased(skip map[prio.ElemID]bool) int {
+	ids := s.PendingUnleasedIDs()
+	s.mu.Lock()
+	floor := s.floorLocked()
+	n := 0
+	for _, id := range ids {
+		if skip[id] || !s.reinjectableLocked(id, floor) {
+			continue
+		}
+		s.reinsertLocked(s.cfg.Hosts[n%len(s.cfg.Hosts)], s.pendElem[id])
+		n++
+	}
+	s.stats.Reinjected += int64(n)
+	s.mu.Unlock()
+	return n
+}
+
+// SettleParked resolves one parked foreign ack after its flush attempt:
+// on success the lease is settled for good (the owner has the ack
+// durable; the client was answered StatusUnavailable long ago), on
+// failure the lease is unparked and expires promptly into a redelivery.
+// Wire it to AckForwarder.OnParkFlush.
+func (s *Server) SettleParked(id prio.ElemID, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.leases[id]
+	if l == nil || !l.parked {
+		return
+	}
+	if err != nil {
+		l.parked = false
+		l.settling = false
+		l.deadline = time.Now()
+		s.cfg.Logf("parked ack for element %d failed to flush: %v; lease will expire", id, err)
+		return
+	}
+	delete(s.leases, id)
+	delete(s.redeliv, id)
+	s.stats.Leased = len(s.leases)
+	s.stats.Acked++
+}
+
 // reject answers a request with a typed error code instead of serving it.
 func (s *Server) reject(cw *connWriter, reqID uint64, code clientproto.ErrCode) {
 	s.mu.Lock()
@@ -492,6 +719,18 @@ func (s *Server) reject(cw *connWriter, reqID uint64, code clientproto.ErrCode) 
 // response is enqueued, so a client can ack the instant it reads it.
 func (s *Server) onComplete(op *semantics.Op) {
 	s.mu.Lock()
+	if op.Kind == semantics.Insert {
+		if n := s.liveIns[op.Elem.ID]; n <= 1 {
+			delete(s.liveIns, op.Elem.ID)
+		} else {
+			s.liveIns[op.Elem.ID] = n - 1
+		}
+		if s.rheap != nil {
+			if _, pend := s.pendElem[op.Elem.ID]; pend {
+				s.appliedAt[op.Elem.ID] = s.rheap.LastResetFloor()
+			}
+		}
+	}
 	ref, ok := s.pending[op]
 	if ok {
 		delete(s.pending, op)

@@ -63,6 +63,14 @@ const (
 const (
 	walMagic  = "dpqwal01"
 	snapMagic = "dpqsnap2"
+	// snapMagicV1 names the original snapshot layout, which lacked the
+	// maxID field (`u64 lastSeq | u32 count | count × element`). Open
+	// still reads it — the id high-water mark is then reconstructed from
+	// the recovered elements and the log, which under-states ids that
+	// were acked before the snapshot; v1 predates id-reuse hardening, so
+	// this matches the guarantee those directories ever had. The first
+	// compaction rewrites the directory at v2.
+	snapMagicV1 = "dpqsnap1"
 	// maxWalFrame bounds any WAL or snapshot frame; snapshot bodies of
 	// large pending sets are split implicitly by this never being hit in
 	// practice (a frame holds one record; snapshots count toward it too,
@@ -422,7 +430,11 @@ func loadSnapshot(path string) (map[prio.ElemID]prio.Element, uint64, uint64, er
 	}
 	defer f.Close()
 	magic := make([]byte, len(snapMagic))
-	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != snapMagic {
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, 0, 0, fmt.Errorf("serve: snapshot: bad magic")
+	}
+	v1 := string(magic) == snapMagicV1
+	if !v1 && string(magic) != snapMagic {
 		return nil, 0, 0, fmt.Errorf("serve: snapshot: bad magic")
 	}
 	body, err := readFrame(f)
@@ -431,7 +443,10 @@ func loadSnapshot(path string) (map[prio.ElemID]prio.Element, uint64, uint64, er
 	}
 	r := snapReader{buf: body}
 	lastSeq := r.u64()
-	maxID := r.u64()
+	var maxID uint64
+	if !v1 {
+		maxID = r.u64()
+	}
 	count := r.u32()
 	for i := uint32(0); i < count; i++ {
 		var e prio.Element

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -284,5 +286,149 @@ func TestWALConcurrentAppends(t *testing.T) {
 	defer w2.Close()
 	if len(rec) != workers*per {
 		t.Fatalf("recovered %d elements, want %d", len(rec), workers*per)
+	}
+}
+
+// writeV1Snapshot hand-crafts a snapshot in the original (pre-maxID)
+// layout: magic "dpqsnap1", body `u64 lastSeq | u32 count | elements`.
+func writeV1Snapshot(t *testing.T, dir string, lastSeq uint64, elems []prio.Element) {
+	t.Helper()
+	body := binary.BigEndian.AppendUint64(nil, lastSeq)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(elems)))
+	for _, e := range elems {
+		body = binary.BigEndian.AppendUint64(body, uint64(e.ID))
+		body = binary.BigEndian.AppendUint64(body, uint64(e.Prio))
+		body = binary.BigEndian.AppendUint32(body, uint32(len(e.Payload)))
+		body = append(body, e.Payload...)
+	}
+	data := append([]byte(snapMagicV1), appendFrame(nil, body)...)
+	if err := os.WriteFile(filepath.Join(dir, "snapshot"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALSnapshotV1Upgrade opens a directory whose snapshot is in the
+// original pre-maxID layout, checks recovery merges it with newer log
+// records, and checks the first Open rewrites the directory at v2.
+func TestWALSnapshotV1Upgrade(t *testing.T) {
+	// Build a directory with a real log, then swap in a v1 snapshot that
+	// subsumes the first record only.
+	w, dir := openEmpty(t)
+	s1 := w.AppendInsert(elem(3, 1, "old"))
+	w.AppendInsert(elem(5, 2, "new"))
+	s3 := w.AppendAck(3)
+	if err := w.WaitDurable(s3); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	writeV1Snapshot(t, dir, s1, []prio.Element{elem(3, 1, "old")})
+
+	w2, rec := reopen(t, dir)
+	// Replay past the v1 snapshot: insert 5 applies, ack 3 removes 3.
+	if len(rec) != 1 || rec[0].ID != 5 || rec[0].Payload != "new" {
+		t.Fatalf("recovered %v, want just element 5", rec)
+	}
+	// maxID is reconstructed from snapshot elements and log records: the
+	// acked element 3 appears in the v1 snapshot, insert 5 in the log.
+	if got := w2.MaxID(); got != 5 {
+		t.Fatalf("maxID %d, want 5", got)
+	}
+	w2.Close()
+
+	// Open compacted the directory: the snapshot must now be v2.
+	magic := make([]byte, len(snapMagic))
+	f, err := os.Open(filepath.Join(dir, "snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != snapMagic {
+		t.Fatalf("post-upgrade snapshot magic %q, want %q", magic, snapMagic)
+	}
+	w3, rec3 := reopen(t, dir)
+	defer w3.Close()
+	if len(rec3) != 1 || rec3[0].ID != 5 {
+		t.Fatalf("v2 re-recovery got %v", rec3)
+	}
+}
+
+// TestWALTornSnapshotTmpAtEveryByte simulates a crash mid-snapshot: the
+// previous snapshot was replaced atomically, so a torn write can only
+// materialize as a partial snapshot.tmp next to an intact snapshot.
+// Recovery must ignore the tmp at every possible truncation length and
+// recover the full durable set.
+func TestWALTornSnapshotTmpAtEveryByte(t *testing.T) {
+	w, dir := openEmpty(t)
+	var last uint64
+	for i := 1; i <= 4; i++ {
+		last = w.AppendInsert(elem(i, i, fmt.Sprintf("p%d", i)))
+	}
+	if err := w.WaitDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot([]prio.Element{elem(1, 1, "p1"), elem(2, 2, "p2"), elem(3, 3, "p3"), elem(4, 4, "p4")}, last); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	full, err := os.ReadFile(filepath.Join(dir, "snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "snapshot.tmp")
+	for n := 0; n <= len(full); n++ {
+		if err := os.WriteFile(tmp, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, rec, err := Open(dir)
+		if err != nil {
+			t.Fatalf("tmp torn at %d bytes: %v", n, err)
+		}
+		if len(rec) != 4 {
+			t.Fatalf("tmp torn at %d bytes: recovered %d elements, want 4", n, len(rec))
+		}
+		w2.Close()
+	}
+}
+
+// TestWALTruncatedSnapshotAtEveryByte truncates the main snapshot at
+// every byte. The file is written atomically, so any truncation is real
+// damage; Open must fail cleanly at every length — never panic, and never
+// "succeed" with a silently smaller pending set.
+func TestWALTruncatedSnapshotAtEveryByte(t *testing.T) {
+	w, dir := openEmpty(t)
+	var last uint64
+	for i := 1; i <= 3; i++ {
+		last = w.AppendInsert(elem(i, i, "x"))
+	}
+	if err := w.WaitDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot([]prio.Element{elem(1, 1, "x"), elem(2, 2, "x"), elem(3, 3, "x")}, last); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	path := filepath.Join(dir, "snapshot")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(full); n++ {
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, rec, err := Open(dir)
+		if err == nil {
+			w2.Close()
+			t.Fatalf("snapshot truncated at %d/%d bytes accepted (recovered %d elements)", n, len(full), len(rec))
+		}
+	}
+	// Restore the intact snapshot: recovery works again.
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w3, rec := reopen(t, dir)
+	defer w3.Close()
+	if len(rec) != 3 {
+		t.Fatalf("intact snapshot recovered %d elements, want 3", len(rec))
 	}
 }

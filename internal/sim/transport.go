@@ -163,6 +163,14 @@ func (t *ReliableTransport) Outstanding() int { return len(t.outstanding) }
 // Inner returns the wrapped handler.
 func (t *ReliableTransport) Inner() Handler { return t.inner }
 
+// ResetPeer forgets the receive-side dedup state for frames from one
+// sender. A restarted process begins numbering its frames from zero again;
+// without the reset, every frame it sends would be swallowed as a
+// duplicate of its previous incarnation's traffic. Call it on the
+// receiving node's goroutine for each virtual node of the restarted
+// process.
+func (t *ReliableTransport) ResetPeer(from NodeID) { delete(t.seen, from) }
+
 // SumTransportStats totals the counters of a wrapped network.
 func SumTransportStats(ts []*ReliableTransport) TransportStats {
 	var s TransportStats

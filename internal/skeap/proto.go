@@ -137,10 +137,13 @@ func (n *Node) apply(ctx *sim.Context, self *ldb.VInfo, seq uint64, asn *batch.A
 		if s.delIdx < int64(len(expanded[s.entry])) {
 			loc := expanded[s.entry][s.delIdx]
 			key := n.heap.hasher.Pair(uint64(loc.p), uint64(loc.pos))
-			op := s.op.op
-			n.store.Get(ctx, self, key, func(e prio.Element, found bool) {
-				n.heap.trace.Complete(op, e, value)
+			po := s.op
+			var reqID uint64
+			reqID = n.store.Get(ctx, self, key, func(e prio.Element, found bool) {
+				delete(n.pendingGets, reqID)
+				n.heap.trace.Complete(po.op, e, value)
 			})
+			n.pendingGets[reqID] = pendingGet{op: po, seq: seq}
 		} else {
 			// The heap was empty at this point of the serialization:
 			// DeleteMin returns ⊥ (Definition 1.2, property (2) boundary).

@@ -23,6 +23,7 @@ package skeap
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"dpq/internal/aggtree"
 	"dpq/internal/batch"
@@ -65,6 +66,13 @@ type pendingOp struct {
 	op   *semantics.Op
 }
 
+// pendingGet is one Phase-4 DHT fetch in flight, tagged with the
+// iteration that issued it (see Node.pendingGets).
+type pendingGet struct {
+	op  pendingOp
+	seq uint64
+}
+
 // slot records how a snapshotted operation maps into its batch: its entry,
 // and its indices within the entry in issue order and per priority.
 type slot struct {
@@ -85,11 +93,22 @@ type Node struct {
 	buffer    []pendingOp
 	snapshots map[uint64][]slot
 
+	// pendingGets tracks Phase-4 DHT fetches in flight, by request id, so a
+	// partial-failure reset can abort them and re-buffer their operations
+	// (a fetch aimed at a cell lost in a crash would otherwise park forever).
+	// Each record keeps its iteration seq: a reset only aborts fetches of
+	// iterations below the floor, so a node that sees the ResetMsg late
+	// cannot cancel fetches the post-reset serialization already issued.
+	pendingGets map[uint64]pendingGet
+
 	// anchor-only state
 	anchorState *batch.AnchorState
 	inFlight    bool
 	nextSeq     uint64
 	iterations  int
+	// resetPending, set by InjectReset under mu, makes the anchor broadcast
+	// a ResetMsg on its next activation.
+	resetPending bool
 }
 
 // Heap drives a Skeap network: it owns the overlay, the per-virtual-node
@@ -111,6 +130,11 @@ type Heap struct {
 	// col, when set, receives the phase timeline of each iteration:
 	// gather (phase 1), scatter (phases 2–3) and dht (phase 4).
 	col *obs.Collector
+
+	// resetFloor/resetApplied publish partial-failure reset progress to the
+	// (possibly remote-driving) serving layer; see reset.go.
+	resetFloor   atomic.Uint64
+	resetApplied atomic.Int64
 }
 
 // MigratedLastChange returns how many stored elements changed hosts during
@@ -133,10 +157,11 @@ func New(cfg Config) *Heap {
 	h.nodes = make([]*Node, h.ov.NumVirtual())
 	for i := range h.nodes {
 		n := &Node{
-			heap:      h,
-			runner:    aggtree.NewRunner(h.ov),
-			store:     dht.New(h.ov),
-			snapshots: make(map[uint64][]slot),
+			heap:        h,
+			runner:      aggtree.NewRunner(h.ov),
+			store:       dht.New(h.ov),
+			snapshots:   make(map[uint64][]slot),
+			pendingGets: make(map[uint64]pendingGet),
 		}
 		if sim.NodeID(i) == h.ov.Anchor {
 			n.anchorState = batch.NewAnchorState(cfg.P)
@@ -274,6 +299,8 @@ func (nh *nodeHandler) HandleMessage(ctx *sim.Context, from sim.NodeID, msg sim.
 				panic("skeap: unexpected routed payload")
 			}
 		}
+	case *ResetMsg:
+		n.applyReset(m.Floor)
 	default:
 		if n.runner.Handle(ctx, self, from, msg) {
 			return
@@ -287,7 +314,17 @@ func (nh *nodeHandler) HandleMessage(ctx *sim.Context, from sim.NodeID, msg sim.
 
 func (nh *nodeHandler) Activate(ctx *sim.Context) {
 	n := nh.n
-	if nh.id != n.heap.ov.Anchor || !n.heap.autoRepeat {
+	if nh.id != n.heap.ov.Anchor {
+		return
+	}
+	n.mu.Lock()
+	reset := n.resetPending
+	n.resetPending = false
+	n.mu.Unlock()
+	if reset {
+		n.broadcastReset(ctx, nh.id)
+	}
+	if !n.heap.autoRepeat {
 		return
 	}
 	if !n.inFlight {
