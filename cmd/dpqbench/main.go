@@ -8,7 +8,9 @@
 // speedup.
 //
 // Results are written as `dpq-bench/1` JSON (committed as BENCH_5.json
-// and, for the GOMAXPROCS=4 serial-vs-parallel pairing, BENCH_6.json).
+// and, for the GOMAXPROCS=4 serial-vs-parallel pairing, BENCH_6.json;
+// BENCH_9.json adds the -relax dimension: the seap workload served by
+// the relaxation engine, strict vs SampleK(k=2,4) vs BatchLocal).
 // With -baseline the run compares itself against a previous result file
 // and fails when any matching case allocates >2x per round or loses more
 // than 25% rounds/sec — the CI bench-smoke job uses this to keep the hot
@@ -35,6 +37,7 @@ import (
 	"dpq/internal/ldb"
 	"dpq/internal/mathx"
 	"dpq/internal/prio"
+	"dpq/internal/relax"
 	"dpq/internal/seap"
 	"dpq/internal/sim"
 	"dpq/internal/skeap"
@@ -126,6 +129,35 @@ func prepSeap(n, opsPerNode, workers int, seed uint64) batch {
 	return batch{
 		eng:   eng,
 		start: func() { h.StartCycle(eng.Context(h.Overlay().Anchor)) },
+		done:  h.Done,
+		virt:  h.Overlay().NumVirtual(),
+	}
+}
+
+// prepRelax drives the seap workload (same op mix, same priority
+// universe) through the relaxation engine instead of the strict
+// protocol, so a relax row is directly comparable to the seap row of the
+// same n.
+func prepRelax(n, opsPerNode, workers int, seed uint64, mode relax.Mode, k, batchSz int) batch {
+	bound := uint64(n) * uint64(n) * 16
+	h := relax.New(relax.Config{N: n, Seed: seed, Mode: mode, K: k, Batch: batchSz, PrioBound: bound})
+	rnd := hashutil.NewRand(seed + 1)
+	id := prio.ElemID(1)
+	for host := 0; host < n; host++ {
+		for i := 0; i < opsPerNode; i++ {
+			if rnd.Bool(0.6) {
+				h.InjectInsert(host, id, rnd.Uint64n(bound)+1, "")
+				id++
+			} else {
+				h.InjectDelete(host)
+			}
+		}
+	}
+	eng := h.NewSyncEngine()
+	eng.SetParallel(workers)
+	return batch{
+		eng:   eng,
+		start: func() {}, // relax nodes self-start on activation
 		done:  h.Done,
 		virt:  h.Overlay().NumVirtual(),
 	}
@@ -246,6 +278,7 @@ func main() {
 	speedTol := flag.Float64("speedtol", 0.25, "fractional rounds/s drop tolerated by -baseline (0 disables the wall-clock gate)")
 	workers := flag.Int("workers", 0, "worker pool size for the parallel cases (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "deterministic workload seed")
+	relaxDim := flag.Bool("relax", false, "add relaxed-DeleteMin cases (the seap workload served by SampleK k=2,4 and BatchLocal) next to the strict protocols")
 	flag.Parse()
 
 	sizes := []int{256, 1024, 4096}
@@ -276,9 +309,13 @@ func main() {
 		label string
 		w     int
 	}{{"serial", 1}, {"parallel", parW}}
+	protos := []string{"skeap", "seap", "kselect"}
+	if *relaxDim {
+		protos = append(protos, "relax-samplek2", "relax-samplek4", "relax-batchlocal")
+	}
 	for _, n := range sizes {
 		for _, e := range engines {
-			for _, proto := range []string{"skeap", "seap", "kselect"} {
+			for _, proto := range protos {
 				fmt.Fprintf(os.Stderr, "dpqbench: %s n=%d workers=%d\n", proto, n, e.w)
 				var b batch
 				switch proto {
@@ -286,6 +323,12 @@ func main() {
 					b = prepSkeap(n, opsPerNode, e.w, *seed)
 				case "seap":
 					b = prepSeap(n, opsPerNode, e.w, *seed)
+				case "relax-samplek2":
+					b = prepRelax(n, opsPerNode, e.w, *seed, relax.SampleK, 2, 0)
+				case "relax-samplek4":
+					b = prepRelax(n, opsPerNode, e.w, *seed, relax.SampleK, 4, 0)
+				case "relax-batchlocal":
+					b = prepRelax(n, opsPerNode, e.w, *seed, relax.BatchLocal, 0, 8)
 				default:
 					b = prepKSelect(n, e.w, *seed)
 				}

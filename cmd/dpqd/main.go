@@ -44,6 +44,7 @@ import (
 	"dpq/internal/netrun"
 	"dpq/internal/obs"
 	"dpq/internal/prio"
+	"dpq/internal/relax"
 	"dpq/internal/seap"
 	"dpq/internal/serve"
 	"dpq/internal/sim"
@@ -69,6 +70,9 @@ func main() {
 	suspectAfter := flag.Duration("suspect-after", 0, "silence before a peer is suspect (0: 4×heartbeat)")
 	downAfter := flag.Duration("down-after", 0, "silence before a peer is down (0: 10×heartbeat)")
 	settleDelay := flag.Duration("reconcile-settle", 250*time.Millisecond, "quiescence window between a cluster reset and the reconciliation lease scan")
+	relaxMode := flag.String("relax", "", "relaxed DeleteMin mode: samplek or batchlocal (empty: strict; replaces -proto, single-process only)")
+	relaxK := flag.Int("relax-k", 0, "samplek: hosts sampled per DeleteMin (0: default)")
+	relaxBatch := flag.Int("relax-batch", 0, "batchlocal: prefetch refill batch size (0: default)")
 	of := obs.AddFlags()
 	flag.Parse()
 
@@ -109,6 +113,28 @@ func main() {
 			uint64(*prios))
 	default:
 		fail("unknown -proto %q", *proto)
+	}
+	// -relax swaps the heap for the relaxation engine (internal/relax): the
+	// same serving layer, but deletes are served coordination-free at a
+	// measured rank error (reported as the "rankError" metrics extra at
+	// shutdown). Single-process only: the engine has no reset protocol, so
+	// partial-failure reconciliation cannot cover it.
+	var relaxH *relax.Heap
+	if *relaxMode != "" {
+		if procs > 1 {
+			fail("-relax requires a single-process cluster (got %d peers)", procs)
+		}
+		mode, err := relax.ParseMode(*relaxMode)
+		if err != nil || mode == relax.Strict {
+			fail("-relax %q: want samplek or batchlocal", *relaxMode)
+		}
+		relaxH = relax.New(relax.Config{
+			N: *hosts, Seed: *seed, Mode: mode,
+			K: *relaxK, Batch: *relaxBatch,
+			PrioBound: uint64(*prios),
+		})
+		heap = serve.NewRelaxHeap(relaxH, uint64(*prios))
+		*proto = "relax-" + mode.String()
 	}
 
 	// Contiguous host sharding: daemon p owns hosts [p·H/P, (p+1)·H/P).
@@ -351,6 +377,13 @@ func main() {
 	sess.SetExtra("serve", st)
 	if procs > 1 && hb > 0 {
 		sess.SetExtra("peers", eng.Health())
+	}
+	if relaxH != nil {
+		// The rank-error histogram of everything this daemon delivered:
+		// the relaxed counterpart of the strict protocols' semantics
+		// battery, quantifying how far each delivery was from the true
+		// minimum at its serialization point.
+		sess.SetExtra("rankError", obs.TraceRankError(relaxH.Trace()))
 	}
 	if err := sess.Close(&m); err != nil {
 		fail("%v", err)

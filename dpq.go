@@ -38,8 +38,10 @@ import (
 	"dpq/internal/core"
 	"dpq/internal/counter"
 	"dpq/internal/kselect"
+	"dpq/internal/obs"
 	"dpq/internal/prio"
 	"dpq/internal/queue"
+	"dpq/internal/relax"
 	"dpq/internal/semantics"
 )
 
@@ -76,6 +78,30 @@ const (
 	// EngineConc runs nodes as goroutines; one batch→Drain cycle per PQ.
 	EngineConc = core.EngineConc
 )
+
+// Relaxation configures relaxed DeleteMin semantics (Options.Relaxation):
+// the zero value keeps the exact protocols; RelaxSampleK and
+// RelaxBatchLocal trade bounded rank error for coordination-free
+// throughput, quantified by PQ.RankError.
+type Relaxation = relax.Options
+
+// RelaxMode selects the relaxation discipline (Relaxation.Mode).
+type RelaxMode = relax.Mode
+
+// Relaxation modes.
+const (
+	// RelaxNone keeps strict semantics (the default).
+	RelaxNone = relax.Strict
+	// RelaxSampleK serves each DeleteMin with the best of k sampled
+	// per-host minima (expected rank error O(n/k)).
+	RelaxSampleK = relax.SampleK
+	// RelaxBatchLocal serves DeleteMins from a host-local prefetch buffer
+	// refilled in batches (rank error grows with the buffer depth).
+	RelaxBatchLocal = relax.BatchLocal
+)
+
+// RankStats is the rank-error histogram of an execution (PQ.RankError).
+type RankStats = obs.RankStats
 
 // PQ is a distributed priority queue running on a simulated network.
 type PQ = core.PQ

@@ -21,7 +21,9 @@ import (
 	"dpq/internal/kselect"
 	"dpq/internal/ldb"
 	"dpq/internal/mathx"
+	"dpq/internal/obs"
 	"dpq/internal/prio"
+	"dpq/internal/relax"
 	"dpq/internal/seap"
 	"dpq/internal/semantics"
 	"dpq/internal/sim"
@@ -73,6 +75,12 @@ type Options struct {
 	// units (0 = the default of 2). Setting it with any other engine is an
 	// error.
 	MaxDelay float64
+	// Relaxation trades strict DeleteMin semantics for coordination-free
+	// throughput (internal/relax). The zero value keeps the exact
+	// protocols; any relaxed mode weakens Verify to relaxed validity and
+	// makes the rank error measurable via RankError. Incompatible with
+	// MaxHeap and SeqConsistent.
+	Relaxation relax.Options
 }
 
 // Delivery is the outcome of one DeleteMin.
@@ -87,8 +95,10 @@ type Delivery struct {
 // PQ is a distributed priority queue running on a simulated network.
 type PQ struct {
 	proto    Protocol
-	sk       *skeap.Heap
-	se       *seap.Heap
+	be       relax.Backend // the uniform injection interface (always set)
+	sk       *skeap.Heap   // strict Skeap (nil when relaxed or Seap)
+	se       *seap.Heap    // strict Seap (nil when relaxed or Skeap)
+	rx       *relax.Heap   // relaxation engine (nil when strict)
 	kind     EngineKind
 	eng      *sim.SyncEngine  // EngineSync / EngineSyncParallel
 	async    *sim.AsyncEngine // EngineAsync
@@ -112,6 +122,17 @@ func New(proto Protocol, opts Options) (*PQ, error) {
 	if err := validateEngine(opts); err != nil {
 		return nil, err
 	}
+	if err := opts.Relaxation.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.Relaxation.Enabled() {
+		if opts.MaxHeap {
+			return nil, errors.New("core: Relaxation is incompatible with MaxHeap")
+		}
+		if opts.SeqConsistent {
+			return nil, errors.New("core: Relaxation is incompatible with SeqConsistent (a relaxed heap is not even serializable)")
+		}
+	}
 	pq := &PQ{proto: proto, nodes: opts.Nodes}
 	switch proto {
 	case Skeap:
@@ -122,7 +143,15 @@ func New(proto Protocol, opts Options) (*PQ, error) {
 		if p > 64 {
 			return nil, fmt.Errorf("core: Skeap needs a constant priority universe (got %d; use Seap)", p)
 		}
+		if opts.Relaxation.Enabled() {
+			pq.rx = relax.New(relax.Config{N: opts.Nodes, Seed: opts.Seed,
+				Mode: opts.Relaxation.Mode, K: opts.Relaxation.K, Batch: opts.Relaxation.Batch,
+				PrioBound: p})
+			pq.be = pq.rx
+			break
+		}
 		pq.sk = skeap.New(skeap.Config{N: opts.Nodes, P: int(p), Seed: opts.Seed, MaxHeap: opts.MaxHeap})
+		pq.be = relax.WrapSkeap(pq.sk)
 		pq.maxHeap = opts.MaxHeap
 	case Seap:
 		if opts.MaxHeap {
@@ -132,7 +161,15 @@ func New(proto Protocol, opts Options) (*PQ, error) {
 		if bound == 0 {
 			bound = 1 << 30 // "arbitrary" priorities: a generous poly(n) default
 		}
+		if opts.Relaxation.Enabled() {
+			pq.rx = relax.New(relax.Config{N: opts.Nodes, Seed: opts.Seed,
+				Mode: opts.Relaxation.Mode, K: opts.Relaxation.K, Batch: opts.Relaxation.Batch,
+				PrioBound: bound})
+			pq.be = pq.rx
+			break
+		}
 		pq.se = seap.New(seap.Config{N: opts.Nodes, PrioBound: bound, Seed: opts.Seed, SeqConsistent: opts.SeqConsistent})
+		pq.be = relax.WrapSeap(pq.se)
 		pq.seqCons = opts.SeqConsistent
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %d", proto)
@@ -152,22 +189,14 @@ func (pq *PQ) insert(host int, priority uint64, payload string) prio.ElemID {
 	pq.checkHost(host)
 	pq.nextID++
 	id := prio.ElemID(pq.nextID)
-	if pq.sk != nil {
-		pq.sk.InjectInsert(host, id, int(priority-1), payload)
-	} else {
-		pq.se.InjectInsert(host, id, priority, payload)
-	}
+	pq.be.InjectInsert(host, id, priority, payload)
 	return id
 }
 
 // deleteMin issues DeleteMin() at host.
 func (pq *PQ) deleteMin(host int) {
 	pq.checkHost(host)
-	if pq.sk != nil {
-		pq.sk.InjectDelete(host)
-	} else {
-		pq.se.InjectDelete(host)
-	}
+	pq.be.InjectDelete(host)
 }
 
 // Insert issues Insert(e) at the given host. Priorities are 1-based
@@ -204,12 +233,7 @@ func (pq *PQ) Run(maxRounds int) bool {
 	return ok && err == nil
 }
 
-func (pq *PQ) done() bool {
-	if pq.sk != nil {
-		return pq.sk.Done()
-	}
-	return pq.se.Done()
-}
+func (pq *PQ) done() bool { return pq.be.Done() }
 
 // Results returns the outcome of every completed DeleteMin since the PQ
 // was created, in serialization order. Drain is usually more convenient:
@@ -236,20 +260,19 @@ func (pq *PQ) Results() []Delivery {
 	return out
 }
 
-func (pq *PQ) trace() *semantics.Trace {
-	if pq.sk != nil {
-		return pq.sk.Trace()
-	}
-	return pq.se.Trace()
-}
+func (pq *PQ) trace() *semantics.Trace { return pq.be.Trace() }
 
 // Verify replays the recorded execution against the paper's correctness
 // definitions and returns an error describing the first violations, if
 // any. Skeap is checked for sequential consistency + heap consistency
-// (Definition 1.1 + 1.2), Seap for serializability + heap consistency.
+// (Definition 1.1 + 1.2), Seap for serializability + heap consistency. A
+// relaxed PQ is checked for relaxed validity only — ordering strictness is
+// quantified by RankError, not judged here.
 func (pq *PQ) Verify() error {
 	var rep *semantics.Report
 	switch {
+	case pq.rx != nil:
+		rep = semantics.CheckRelaxedValidity(pq.trace())
 	case pq.sk != nil && pq.maxHeap:
 		rep = semantics.CheckAllMax(pq.trace(), semantics.FIFO)
 	case pq.sk != nil:
@@ -287,6 +310,18 @@ func (pq *PQ) SkeapHeap() *skeap.Heap { return pq.sk }
 
 // SeapHeap exposes the underlying Seap instance (nil when running Skeap).
 func (pq *PQ) SeapHeap() *seap.Heap { return pq.se }
+
+// RelaxHeap exposes the relaxation engine (nil when running strict).
+func (pq *PQ) RelaxHeap() *relax.Heap { return pq.rx }
+
+// Relaxed reports whether the PQ runs a relaxed DeleteMin discipline.
+func (pq *PQ) Relaxed() bool { return pq.rx != nil }
+
+// RankError replays the execution trace against the sequential oracle and
+// returns the rank-error histogram of its DeleteMins: how far each
+// delivered element ranked from the true minimum of the live set. Strict
+// PQs report all zeros — the observer doubles as a strictness proof.
+func (pq *PQ) RankError() obs.RankStats { return obs.TraceRankError(pq.trace()) }
 
 // Engine exposes the synchronous engine driving the PQ (nil unless the
 // engine kind is EngineSync or EngineSyncParallel).

@@ -79,11 +79,7 @@ func (pq *PQ) buildEngine(opts Options) {
 	pq.kind = opts.Engine
 	switch opts.Engine {
 	case EngineSync, EngineSyncParallel:
-		if pq.sk != nil {
-			pq.eng = pq.sk.NewSyncEngine()
-		} else {
-			pq.eng = pq.se.NewSyncEngine()
-		}
+		pq.eng = pq.be.NewSyncEngine()
 		if opts.Engine == EngineSyncParallel {
 			pq.eng.SetParallel(opts.Workers)
 		}
@@ -92,17 +88,9 @@ func (pq *PQ) buildEngine(opts Options) {
 		if d == 0 {
 			d = 2
 		}
-		if pq.sk != nil {
-			pq.async = pq.sk.NewAsyncEngine(d)
-		} else {
-			pq.async = pq.se.NewAsyncEngine(d)
-		}
+		pq.async = pq.be.NewAsyncEngine(d)
 	case EngineConc:
-		if pq.sk != nil {
-			pq.conc = pq.sk.NewConcEngine()
-		} else {
-			pq.conc = pq.se.NewConcEngine()
-		}
+		pq.conc = pq.be.NewConcEngine()
 	}
 }
 

@@ -1,4 +1,4 @@
-// Package harness runs the reproduction experiments E-F2 and E1–E24 of
+// Package harness runs the reproduction experiments E-F2 and E1–E28 of
 // DESIGN.md and renders their tables: for every quantitative claim of the
 // paper it measures the corresponding quantity on the simulator and
 // reports the observed scaling next to the claim. cmd/benchall uses it to
@@ -120,6 +120,7 @@ func Registry() []Experiment {
 		{"E25", "parallel engine speedup", ParallelEngineSpeedup},
 		{"E26", "sweep: skew/contention envelopes", SweepEnvelopes},
 		{"E27", "sweep: burst/phase conformance", SweepConformance},
+		{"E28", "relax: throughput vs rank error", RelaxFrontier},
 	}
 }
 

@@ -76,6 +76,71 @@ func SweepEnvelopes(sz Sizes) Table {
 	return t
 }
 
+// RelaxFrontier: E28 — the relaxed-DeleteMin throughput-vs-rank-error
+// frontier. The "relax" sweep experiment runs each (n, workload) profile
+// strict and under SampleK(k=2,4)/BatchLocal(batch=8); this table puts
+// the measured ops/s next to the rank-error histogram, so the trade the
+// relaxation buys is a number, not a slogan.
+func RelaxFrontier(sz Sizes) Table {
+	t := Table{
+		ID:     "E28",
+		Title:  "Relaxed DeleteMin: throughput vs rank-error frontier",
+		Claim:  "SampleK and BatchLocal serve deletes without the strict protocols' coordination (higher ops/s than the strict baseline on the same workload) at a measured, bounded rank error; SampleK's mean stays inside the power-of-choice envelope RankA·(n/k)+RankB",
+		Header: []string{"cell", "ops/s", "vs strict", "rank mean", "≤ pred", "rank max", "rank p99", "verdict"},
+	}
+	f, err := runSweepExperiments(sz, "relax")
+	if err != nil {
+		t.Notef("sweep failed: %v", err)
+		return t
+	}
+	// Strict baselines, keyed by workload profile.
+	type profile struct {
+		n             int
+		dist, pattern string
+	}
+	baseline := map[profile]float64{}
+	for _, er := range f.Experiments {
+		for _, r := range er.Cells {
+			if r.Cell.Relax == "" || r.Cell.Relax == "strict" {
+				key := profile{r.Cell.N, string(r.Cell.Dist), string(r.Cell.Pattern)}
+				baseline[key] = float64(r.Measured.Ops) / (float64(r.Measured.WallNs) / 1e9)
+			}
+		}
+	}
+	diverged, slower := 0, 0
+	for _, er := range f.Experiments {
+		for _, r := range er.Cells {
+			opsPerSec := float64(r.Measured.Ops) / (float64(r.Measured.WallNs) / 1e9)
+			if r.Cell.Relax == "" || r.Cell.Relax == "strict" {
+				t.AddRow(r.Cell.Label(), fmt.Sprintf("%.0f", opsPerSec), "baseline",
+					r.Measured.RankMean, "—", r.Measured.RankMax, r.Measured.RankP99, verdictCell(r))
+				continue
+			}
+			speedup := 0.0
+			if base := baseline[profile{r.Cell.N, string(r.Cell.Dist), string(r.Cell.Pattern)}]; base > 0 {
+				speedup = opsPerSec / base
+			}
+			if speedup < 1 {
+				slower++
+			}
+			pred := "—"
+			if r.Predicted.RankMean > 0 {
+				pred = fmt.Sprintf("%.1f", r.Predicted.RankMean)
+			}
+			t.AddRow(r.Cell.Label(), fmt.Sprintf("%.0f", opsPerSec), fmt.Sprintf("%.1fx", speedup),
+				fmt.Sprintf("%.2f", r.Measured.RankMean), pred,
+				r.Measured.RankMax, r.Measured.RankP99, verdictCell(r))
+			if r.Verdict != sweep.VerdictPass {
+				diverged++
+			}
+		}
+	}
+	t.Notef("rank error of a delivery = how many smaller live elements the sequential oracle held when it was served (0 = exact); measured by replaying the trace in serialization order against internal/seqheap's order-statistic treap.")
+	t.Notef("SampleK envelope: mean ≤ RankA·(n/k)+RankB with the committed twin constants; the intercept absorbs pipelining (up to MaxInFlight concurrent deletes per host race for the same minima). BatchLocal is measured, not bounded — its error scales with the prefetch batch, not n.")
+	t.Notef("%d relaxed cells diverged from the rank envelope; %d were slower than their strict baseline.", diverged, slower)
+	return t
+}
+
 // SweepConformance: E27 — burst/drain and phase-shifting load with the
 // oracle replay, plus the serial-vs-parallel engine pairing.
 func SweepConformance(sz Sizes) Table {

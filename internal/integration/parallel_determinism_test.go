@@ -18,6 +18,7 @@ import (
 	"dpq/internal/ldb"
 	"dpq/internal/obs"
 	"dpq/internal/prio"
+	"dpq/internal/relax"
 	"dpq/internal/seap"
 	"dpq/internal/sim"
 	"dpq/internal/skeap"
@@ -81,6 +82,31 @@ func runTraced(t *testing.T, proto string, workers int, seed uint64) ([]byte, si
 		eng = sel.NewSyncEngine(seed + 3)
 		start = func() { sel.Start(eng.Context(sel.Anchor()), int64(2*n)) }
 		done = sel.Done
+	case "relax-samplek", "relax-batchlocal":
+		// The relaxation axis: relaxed semantics must not cost engine
+		// determinism — randomized probe targets and steal victims come
+		// from the per-node deterministic streams, so the worker pool must
+		// replay them identically.
+		cfg := relax.Config{N: n, Seed: seed, Mode: relax.SampleK, K: 2, PrioBound: 1 << 20}
+		if proto == "relax-batchlocal" {
+			cfg.Mode, cfg.K, cfg.Batch = relax.BatchLocal, 0, 4
+		}
+		h := relax.New(cfg)
+		rnd := hashutil.NewRand(seed + 1)
+		id := prio.ElemID(1)
+		for host := 0; host < n; host++ {
+			for i := 0; i < opsPerNode; i++ {
+				if rnd.Bool(0.6) {
+					h.InjectInsert(host, id, rnd.Uint64n(1<<20)+1, "")
+					id++
+				} else {
+					h.InjectDelete(host)
+				}
+			}
+		}
+		eng = h.NewSyncEngine()
+		start = func() {} // relax nodes self-start on activation
+		done = h.Done
 	default:
 		t.Fatalf("unknown proto %q", proto)
 	}
@@ -118,7 +144,7 @@ func firstTraceDiff(a, b []byte) string {
 // count (a divisor and a non-divisor of the node count, so both even and
 // ragged partitions are covered).
 func TestParallelEngineDeterminism(t *testing.T) {
-	for _, proto := range []string{"skeap", "seap", "kselect"} {
+	for _, proto := range []string{"skeap", "seap", "kselect", "relax-samplek", "relax-batchlocal"} {
 		for seed := uint64(1); seed <= 5; seed++ {
 			t.Run(fmt.Sprintf("%s/seed%d", proto, seed), func(t *testing.T) {
 				serialTrace, serialMet := runTraced(t, proto, 1, seed)

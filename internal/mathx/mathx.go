@@ -120,6 +120,30 @@ func Min(xs []float64) float64 {
 	return m
 }
 
+// NearestRank returns the 0-based index of the q-th quantile (q a
+// fraction in [0,1]) in a sorted sample of n values, using the ceil-based
+// nearest-rank rule: rank = ⌈q·n⌉, 1-based, clamped to [1,n]. It is the
+// single percentile rule of the repo — mathx.Percentile, cmd/dpqload's
+// latency quantiles and the rank-error histograms all index through it, so
+// no caller can drift into the truncation variant (which reads one sample
+// too low whenever q·n is not integral).
+func NearestRank(n int, q float64) int {
+	if n <= 0 || q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return n - 1
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank - 1
+}
+
 // Percentile returns the p-th percentile (p in [0,100]) of xs using
 // nearest-rank on a sorted copy; 0 for empty input.
 func Percentile(xs []float64, p float64) float64 {
@@ -128,17 +152,7 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
-	if p <= 0 {
-		return cp[0]
-	}
-	if p >= 100 {
-		return cp[len(cp)-1]
-	}
-	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	return cp[rank]
+	return cp[NearestRank(len(cp), p/100)]
 }
 
 // Fit is a least-squares fit y ≈ A·f(x) + B together with its coefficient

@@ -2,6 +2,7 @@ package mathx
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -106,6 +107,52 @@ func TestPercentile(t *testing.T) {
 	}
 	if Percentile(nil, 50) != 0 {
 		t.Fatal("empty percentile")
+	}
+}
+
+// TestNearestRankCeilConvention pins the rule every percentile site in the
+// repo shares: rank = ⌈q·n⌉ (nearest-rank), never truncation. The q=0.90,
+// n=4 case is the discriminating one — truncation would give index 2,
+// ceil gives 3.
+func TestNearestRankCeilConvention(t *testing.T) {
+	cases := []struct {
+		n    int
+		q    float64
+		want int
+	}{
+		{0, 0.5, 0},
+		{1, 0.5, 0},
+		{10, 0, 0},
+		{10, 1, 9},
+		{10, 1.5, 9},
+		{10, -2, 0},
+		{10, 0.5, 4},   // ⌈5⌉ = 5 → index 4
+		{10, 0.99, 9},  // ⌈9.9⌉ = 10 → index 9
+		{4, 0.90, 3},   // ⌈3.6⌉ = 4 → index 3; truncation would say 2
+		{3, 0.5, 1},    // ⌈1.5⌉ = 2 → index 1
+		{100, 0.99, 98}, // ⌈99⌉ = 99 → index 98
+		{101, 0.99, 99}, // ⌈99.99⌉ = 100 → index 99
+		{10, 0.001, 0},
+	}
+	for _, c := range cases {
+		if got := NearestRank(c.n, c.q); got != c.want {
+			t.Errorf("NearestRank(%d, %v) = %d, want %d", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+// Percentile must agree with indexing a sorted copy via NearestRank — they
+// are the same rule by construction; this guards against the two drifting
+// apart again.
+func TestPercentileMatchesNearestRank(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 10}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{0, 1, 25, 50, 90, 99, 100} {
+		want := sorted[NearestRank(len(sorted), p/100)]
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("Percentile(xs, %v) = %v, want %v", p, got, want)
+		}
 	}
 }
 

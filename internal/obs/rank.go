@@ -1,0 +1,82 @@
+package obs
+
+// The rank-error observer: quantifies how relaxed a relaxed execution
+// actually was. It replays a completed trace in serialization order and,
+// for every successful DeleteMin, computes the returned element's true
+// rank among the elements live at that point — rank 1 is the exact
+// minimum, so rank−1 is the delivery's rank error. A relaxation mode
+// without this histogram is a hand-wave; with it, every cell of the
+// experiment matrix reports exactly how much strictness was traded for
+// its throughput.
+
+import (
+	"sort"
+
+	"dpq/internal/mathx"
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+	"dpq/internal/seqheap"
+)
+
+// RankStats is the rank-error histogram of one execution.
+type RankStats struct {
+	// Deletes counts successful (non-⊥) DeleteMins.
+	Deletes int `json:"deletes"`
+	// Empty counts ⊥ results while the live set really was empty.
+	Empty int `json:"empty"`
+	// EmptyMisses counts ⊥ results while elements were live — the relaxed
+	// engine's probes missed them all. Legal, but worth counting: a high
+	// miss rate means k (or the steal fan-out) is too small for the load.
+	EmptyMisses int `json:"emptyMisses"`
+	// Max, Mean and P99 summarize the rank errors (0 = exact minimum) of
+	// the successful deletes.
+	Max  int     `json:"max"`
+	Mean float64 `json:"mean"`
+	P99  int     `json:"p99"`
+}
+
+// TraceRankError replays t in serialization order against an
+// order-statistic set of the live elements and returns the rank-error
+// histogram of its DeleteMins. The replay is deterministic, so equal
+// traces yield equal stats. Strict executions yield all-zero errors —
+// the observer doubles as a strictness proof for Mode=Strict runs.
+func TraceRankError(t *semantics.Trace) RankStats {
+	ops := semantics.CompletedByValue(t)
+	live := seqheap.NewRankSet()
+	var errs []int
+	var st RankStats
+	for _, op := range ops {
+		switch op.Kind {
+		case semantics.Insert:
+			live.Insert(prio.KeyOf(op.Elem))
+		case semantics.DeleteMin:
+			if op.Result.Nil() {
+				if live.Len() == 0 {
+					st.Empty++
+				} else {
+					st.EmptyMisses++
+				}
+				continue
+			}
+			k := prio.KeyOf(op.Result)
+			e := live.Rank(k) - 1
+			live.Delete(k)
+			errs = append(errs, e)
+		}
+	}
+	st.Deletes = len(errs)
+	if len(errs) == 0 {
+		return st
+	}
+	sum := 0
+	for _, e := range errs {
+		if e > st.Max {
+			st.Max = e
+		}
+		sum += e
+	}
+	st.Mean = float64(sum) / float64(len(errs))
+	sort.Ints(errs)
+	st.P99 = errs[mathx.NearestRank(len(errs), 0.99)]
+	return st
+}

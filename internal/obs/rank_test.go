@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+)
+
+func rankTrace(steps ...func(t *semantics.Trace, v *int64)) *semantics.Trace {
+	tr := semantics.NewTrace()
+	var v int64
+	for _, s := range steps {
+		s(tr, &v)
+	}
+	return tr
+}
+
+func ins(id, p uint64) func(*semantics.Trace, *int64) {
+	return func(tr *semantics.Trace, v *int64) {
+		e := prio.Element{ID: prio.ElemID(id), Prio: prio.Priority(p)}
+		op := tr.Issue(0, semantics.Insert, e)
+		*v++
+		tr.Complete(op, prio.Element{}, *v)
+	}
+}
+
+func del(id, p uint64) func(*semantics.Trace, *int64) {
+	return func(tr *semantics.Trace, v *int64) {
+		op := tr.Issue(0, semantics.DeleteMin, prio.Element{})
+		*v++
+		tr.Complete(op, prio.Element{ID: prio.ElemID(id), Prio: prio.Priority(p)}, *v)
+	}
+}
+
+func delBottom() func(*semantics.Trace, *int64) {
+	return func(tr *semantics.Trace, v *int64) {
+		op := tr.Issue(0, semantics.DeleteMin, prio.Element{})
+		*v++
+		tr.Complete(op, prio.Element{}, *v)
+	}
+}
+
+func TestTraceRankErrorExactExecution(t *testing.T) {
+	st := TraceRankError(rankTrace(
+		ins(1, 10), ins(2, 20), ins(3, 30),
+		del(1, 10), del(2, 20), del(3, 30),
+		delBottom(),
+	))
+	want := RankStats{Deletes: 3, Empty: 1}
+	if st != want {
+		t.Fatalf("exact execution: got %+v want %+v", st, want)
+	}
+}
+
+func TestTraceRankErrorRelaxedExecution(t *testing.T) {
+	// Live {10,20,30}: deleting 30 first is rank error 2, then 20 from
+	// {10,20} is error 1, then 10 exactly. One ⊥ while 10 was still live
+	// counts as a miss, not an emptiness.
+	st := TraceRankError(rankTrace(
+		ins(1, 10), ins(2, 20), ins(3, 30),
+		del(3, 30),
+		del(2, 20),
+		delBottom(),
+		del(1, 10),
+	))
+	if st.Deletes != 3 || st.Max != 2 || st.EmptyMisses != 1 || st.Empty != 0 {
+		t.Fatalf("got %+v", st)
+	}
+	if math.Abs(st.Mean-1.0) > 1e-12 {
+		t.Fatalf("mean: got %v want 1.0", st.Mean)
+	}
+	if st.P99 != 2 {
+		t.Fatalf("p99: got %d want 2", st.P99)
+	}
+}
+
+func TestTraceRankErrorTiesBreakByID(t *testing.T) {
+	// Equal priorities rank by element id (the oracle's total order):
+	// delivering the higher id first is rank error 1.
+	st := TraceRankError(rankTrace(
+		ins(1, 10), ins(2, 10),
+		del(2, 10),
+		del(1, 10),
+	))
+	if st.Max != 1 || st.Deletes != 2 {
+		t.Fatalf("got %+v", st)
+	}
+}
+
+func TestTraceRankErrorEmptyTrace(t *testing.T) {
+	if st := TraceRankError(semantics.NewTrace()); st != (RankStats{}) {
+		t.Fatalf("empty trace: got %+v", st)
+	}
+}
+
+func TestTraceRankErrorInterleaved(t *testing.T) {
+	// Rank is judged against the live set at the delete's point in value
+	// order, not the final set: deleting 50 while only {50,70} are live is
+	// exact even though 10 arrives later.
+	st := TraceRankError(rankTrace(
+		ins(1, 50), ins(2, 70),
+		del(1, 50),
+		ins(3, 10),
+		del(3, 10),
+		del(2, 70),
+	))
+	if st.Max != 0 || st.Deletes != 3 {
+		t.Fatalf("got %+v", st)
+	}
+}

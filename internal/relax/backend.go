@@ -1,0 +1,73 @@
+package relax
+
+import (
+	"dpq/internal/ldb"
+	"dpq/internal/obs"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/semantics"
+	"dpq/internal/sim"
+	"dpq/internal/skeap"
+)
+
+// Backend is the single injection interface the facade drives, whatever
+// heap runs underneath: the exact Skeap/Seap protocols (via the wrappers
+// below) or the relaxation engine (*Heap implements it directly).
+// Priorities are always the caller's 1-based values; a wrapper owns any
+// protocol-internal remapping, so the facade has exactly one code path.
+type Backend interface {
+	InjectInsert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op
+	InjectDelete(host int) *semantics.Op
+	Trace() *semantics.Trace
+	Done() bool
+	Handlers() []sim.Handler
+	Overlay() *ldb.Overlay
+	SetObs(c *obs.Collector)
+	NewSyncEngine() *sim.SyncEngine
+	NewAsyncEngine(maxDelay float64) *sim.AsyncEngine
+	NewConcEngine() *sim.ConcEngine
+}
+
+// skeapBackend adapts *skeap.Heap: Skeap takes 0-based int priorities.
+type skeapBackend struct{ h *skeap.Heap }
+
+// WrapSkeap adapts a strict Skeap heap to Backend.
+func WrapSkeap(h *skeap.Heap) Backend { return skeapBackend{h} }
+
+func (b skeapBackend) InjectInsert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
+	return b.h.InjectInsert(host, id, int(p-1), payload)
+}
+func (b skeapBackend) InjectDelete(host int) *semantics.Op { return b.h.InjectDelete(host) }
+func (b skeapBackend) Trace() *semantics.Trace             { return b.h.Trace() }
+func (b skeapBackend) Done() bool                          { return b.h.Done() }
+func (b skeapBackend) Handlers() []sim.Handler             { return b.h.Handlers() }
+func (b skeapBackend) Overlay() *ldb.Overlay               { return b.h.Overlay() }
+func (b skeapBackend) SetObs(c *obs.Collector)             { b.h.SetObs(c) }
+func (b skeapBackend) NewSyncEngine() *sim.SyncEngine      { return b.h.NewSyncEngine() }
+func (b skeapBackend) NewAsyncEngine(d float64) *sim.AsyncEngine {
+	return b.h.NewAsyncEngine(d)
+}
+func (b skeapBackend) NewConcEngine() *sim.ConcEngine { return b.h.NewConcEngine() }
+
+// seapBackend adapts *seap.Heap, whose signature already matches.
+type seapBackend struct{ h *seap.Heap }
+
+// WrapSeap adapts a strict Seap heap to Backend.
+func WrapSeap(h *seap.Heap) Backend { return seapBackend{h} }
+
+func (b seapBackend) InjectInsert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
+	return b.h.InjectInsert(host, id, p, payload)
+}
+func (b seapBackend) InjectDelete(host int) *semantics.Op { return b.h.InjectDelete(host) }
+func (b seapBackend) Trace() *semantics.Trace             { return b.h.Trace() }
+func (b seapBackend) Done() bool                          { return b.h.Done() }
+func (b seapBackend) Handlers() []sim.Handler             { return b.h.Handlers() }
+func (b seapBackend) Overlay() *ldb.Overlay               { return b.h.Overlay() }
+func (b seapBackend) SetObs(c *obs.Collector)             { b.h.SetObs(c) }
+func (b seapBackend) NewSyncEngine() *sim.SyncEngine      { return b.h.NewSyncEngine() }
+func (b seapBackend) NewAsyncEngine(d float64) *sim.AsyncEngine {
+	return b.h.NewAsyncEngine(d)
+}
+func (b seapBackend) NewConcEngine() *sim.ConcEngine { return b.h.NewConcEngine() }
+
+var _ Backend = (*Heap)(nil)

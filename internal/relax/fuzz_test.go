@@ -1,0 +1,70 @@
+package relax
+
+import (
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/obs"
+	"dpq/internal/prio"
+	"dpq/internal/semantics"
+)
+
+// FuzzRelaxOptions drives the relaxation engine across fuzzed (mode, k,
+// batch, seed) configurations: invalid knob combinations must be rejected
+// by Validate, and every valid configuration must pass the oracle battery
+// — relaxed validity, the Lamport insert-before-delivery floor, a rank
+// error below the structural bound (an element can never rank below more
+// than the live-set size), and same-seed reproducibility.
+func FuzzRelaxOptions(f *testing.F) {
+	f.Add(uint8(1), uint8(2), uint8(0), uint64(1))
+	f.Add(uint8(1), uint8(4), uint8(0), uint64(7))
+	f.Add(uint8(2), uint8(0), uint8(8), uint64(3))
+	f.Add(uint8(2), uint8(0), uint8(1), uint64(9))
+	f.Add(uint8(1), uint8(0), uint8(0), uint64(5))
+	f.Add(uint8(0), uint8(3), uint8(0), uint64(2)) // invalid: strict + K
+	f.Fuzz(func(t *testing.T, modeB, kB, batchB uint8, seed uint64) {
+		o := Options{Mode: Mode(modeB % 4), K: int(kB % 9), Batch: int(batchB % 17)}
+		if err := o.Validate(); err != nil {
+			return // invalid knob combination, correctly rejected
+		}
+		if !o.Enabled() {
+			return // strict mode exercises the exact protocols, not this engine
+		}
+		const n = 4
+		run := func() (obs.RankStats, *semantics.Trace) {
+			h := New(Config{N: n, Seed: seed, Mode: o.Mode, K: o.K, Batch: o.Batch})
+			rnd := hashutil.NewRand(seed + 1)
+			id := prio.ElemID(1)
+			inserts := 0
+			for host := 0; host < n; host++ {
+				for i := 0; i < 8; i++ {
+					if rnd.Bool(0.6) {
+						h.InjectInsert(host, id, rnd.Uint64n(64)+1, "")
+						id++
+						inserts++
+					} else {
+						h.InjectDelete(host)
+					}
+				}
+			}
+			eng := h.NewSyncEngine()
+			if !eng.RunUntil(h.Done, maxRounds(n)) {
+				t.Fatalf("%v seed=%d: engine stuck", o, seed)
+			}
+			st := obs.TraceRankError(h.Trace())
+			if rep := semantics.CheckRelaxedValidity(h.Trace()); !rep.Ok() {
+				t.Fatalf("%v seed=%d: relaxed validity violated:\n%s", o, seed, rep.Error())
+			}
+			if inserts > 0 && st.Max >= inserts {
+				t.Fatalf("%v seed=%d: rank error %d exceeds structural bound %d",
+					o, seed, st.Max, inserts-1)
+			}
+			return st, h.Trace()
+		}
+		st1, _ := run()
+		st2, _ := run()
+		if st1 != st2 {
+			t.Fatalf("%v seed=%d: rank stats not reproducible: %+v vs %+v", o, seed, st1, st2)
+		}
+	})
+}

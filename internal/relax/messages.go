@@ -1,0 +1,109 @@
+// Protocol messages of the relaxation engine. Every message carries a
+// Lamport stamp: the sender's logical clock at send time. Receivers
+// advance their clock past the stamp, and serialization values are minted
+// from the receiver's clock — so any element's Insert is guaranteed to
+// serialize before every DeleteMin that returns it, on every engine
+// (synchronous, asynchronous or the network runtime), without any global
+// coordination. That causal floor is all the relaxed semantics promise
+// about ordering; the rest is measured rank error.
+package relax
+
+import "dpq/internal/prio"
+
+// stamped is implemented by every relax message: the Lamport stamp set at
+// send time.
+type stamped interface {
+	stamp() uint64
+	setStamp(uint64)
+}
+
+// probeMsg asks a host for the minimum of its local heap. SampleK sends k
+// of these per DeleteMin attempt; BatchLocal sends n of them as the
+// all-empty survey before conceding ⊥.
+type probeMsg struct {
+	Stamp uint64
+	Req   uint64 // requester-local id of the delete (or survey) this serves
+}
+
+func (m *probeMsg) stamp() uint64     { return m.Stamp }
+func (m *probeMsg) setStamp(s uint64) { m.Stamp = s }
+func (m *probeMsg) Kind() string      { return "relax/probe" }
+func (m *probeMsg) Bits() int         { return 128 }
+
+// probeReply answers a probe with the probed heap's minimum key (or
+// Empty). It carries the key only — the element itself moves in popReply,
+// keeping probes O(log n)-bit.
+type probeReply struct {
+	Stamp uint64
+	Req   uint64
+	Empty bool
+	Min   prio.Key
+}
+
+func (m *probeReply) stamp() uint64     { return m.Stamp }
+func (m *probeReply) setStamp(s uint64) { m.Stamp = s }
+func (m *probeReply) Kind() string      { return "relax/probe-reply" }
+func (m *probeReply) Bits() int         { return 128 + 1 + 128 }
+
+// popMsg asks the probe winner to pop and hand over its current minimum.
+// The pop is of whatever the heap's minimum is *now* — a concurrent pop
+// may have taken the probed element; the reply is still the best the
+// chosen heap has, which is exactly MultiQueue semantics.
+type popMsg struct {
+	Stamp uint64
+	Req   uint64
+}
+
+func (m *popMsg) stamp() uint64     { return m.Stamp }
+func (m *popMsg) setStamp(s uint64) { m.Stamp = s }
+func (m *popMsg) Kind() string      { return "relax/pop" }
+func (m *popMsg) Bits() int         { return 128 }
+
+// popReply carries the popped element, or OK=false when the heap emptied
+// between probe and pop (the requester re-probes).
+type popReply struct {
+	Stamp uint64
+	Req   uint64
+	OK    bool
+	Elem  prio.Element
+}
+
+func (m *popReply) stamp() uint64     { return m.Stamp }
+func (m *popReply) setStamp(s uint64) { m.Stamp = s }
+func (m *popReply) Kind() string      { return "relax/pop-reply" }
+func (m *popReply) Bits() int {
+	b := 128 + 1
+	if m.OK {
+		b += m.Elem.Bits()
+	}
+	return b
+}
+
+// stealMsg asks a peer to pop up to Max elements off its local heap for
+// the requester's prefetch buffer (BatchLocal refill).
+type stealMsg struct {
+	Stamp uint64
+	Max   uint32
+}
+
+func (m *stealMsg) stamp() uint64     { return m.Stamp }
+func (m *stealMsg) setStamp(s uint64) { m.Stamp = s }
+func (m *stealMsg) Kind() string      { return "relax/steal" }
+func (m *stealMsg) Bits() int         { return 64 + 32 }
+
+// stealReply carries the stolen batch (possibly empty).
+type stealReply struct {
+	Stamp uint64
+	Elems []prio.Element
+}
+
+func (m *stealReply) stamp() uint64     { return m.Stamp }
+func (m *stealReply) setStamp(s uint64) { m.Stamp = s }
+func (m *stealReply) Kind() string      { return "relax/steal-reply" }
+func (m *stealReply) Bits() int {
+	b := 64 + 32
+	for _, e := range m.Elems {
+		b += e.Bits()
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+// Package relax is the relaxed-DeleteMin layer: it wraps the repo's heap
+// engines behind one injection interface (Backend) and adds a relaxation
+// engine that trades strict DeleteMin semantics for coordination-free
+// throughput, in the spirit of the MultiQueue / "Power of Choice in
+// Priority Scheduling" line of work (PAPERS.md).
+//
+// Two relaxation modes are implemented:
+//
+//   - SampleK: every DeleteMin samples k of the n per-host local heaps,
+//     asks each for its minimum, and pops the best of the k answers. The
+//     power-of-choice analysis bounds the expected rank of the returned
+//     element by O(n/k); the analytical twin (internal/sweep) checks the
+//     measured mean rank error against that envelope.
+//   - BatchLocal: every host serves DeleteMins from a local prefetch
+//     buffer that is refilled in batches of `Batch` elements (from the
+//     host's own heap, or stolen from a sampled peer when the own heap is
+//     empty) — the pbuffer idea: delivery latency decouples from refill
+//     cadence, at the cost of rank error that grows with the buffer depth.
+//     BatchLocal has no analytical rank bound; its error is measured, not
+//     promised.
+//
+// Every relaxed delivery is measured: the rank-error observer
+// (internal/obs) replays the trace against the sequential oracle and
+// records how far each returned element was from the true minimum. A
+// relaxation mode without its measured strictness curve is a hand-wave;
+// here the two ship together.
+package relax
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects the relaxation discipline.
+type Mode int
+
+// Relaxation modes. Strict (the zero value) means "no relaxation": the
+// facade routes operations to the exact Skeap/Seap protocols and every
+// published guarantee holds unchanged.
+const (
+	Strict Mode = iota
+	SampleK
+	BatchLocal
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Strict:
+		return "strict"
+	case SampleK:
+		return "samplek"
+	case BatchLocal:
+		return "batchlocal"
+	default:
+		return fmt.Sprintf("mode-%d", int(m))
+	}
+}
+
+// ParseMode maps a mode name ("", "strict", "samplek", "batchlocal") to
+// its constant.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "strict":
+		return Strict, nil
+	case "samplek":
+		return SampleK, nil
+	case "batchlocal":
+		return BatchLocal, nil
+	default:
+		return 0, fmt.Errorf("relax: unknown mode %q (want strict, samplek or batchlocal)", s)
+	}
+}
+
+// Options is the public relaxation knob (dpq.Options.Relaxation). The
+// zero value selects strict semantics.
+type Options struct {
+	// Mode selects the relaxation discipline (Strict = none).
+	Mode Mode
+	// K is SampleK's sample size: how many per-host heaps each DeleteMin
+	// probes (0 = the default of 2). Larger k means smaller rank error and
+	// more probe traffic; k ≥ n degenerates to probing every host.
+	K int
+	// Batch is BatchLocal's prefetch refill size (0 = the default of 8).
+	// Larger batches mean fewer refills and larger rank error.
+	Batch int
+}
+
+// Defaults for the per-mode knobs.
+const (
+	DefaultK     = 2
+	DefaultBatch = 8
+)
+
+// Enabled reports whether o selects any relaxation.
+func (o Options) Enabled() bool { return o.Mode != Strict }
+
+// Validate checks o for internal consistency. The per-mode knob of the
+// other mode must be zero — a set-but-ignored knob is a configuration bug
+// the caller should hear about, not a silent no-op.
+func (o Options) Validate() error {
+	switch o.Mode {
+	case Strict:
+		if o.K != 0 || o.Batch != 0 {
+			return errors.New("relax: K and Batch require a relaxation mode (Mode is strict)")
+		}
+	case SampleK:
+		if o.K < 0 {
+			return fmt.Errorf("relax: K must be ≥ 0 (got %d)", o.K)
+		}
+		if o.Batch != 0 {
+			return errors.New("relax: Batch is BatchLocal-only (mode is samplek)")
+		}
+	case BatchLocal:
+		if o.Batch < 0 {
+			return fmt.Errorf("relax: Batch must be ≥ 0 (got %d)", o.Batch)
+		}
+		if o.K != 0 {
+			return errors.New("relax: K is SampleK-only (mode is batchlocal)")
+		}
+	default:
+		return fmt.Errorf("relax: unknown mode %d", int(o.Mode))
+	}
+	return nil
+}
+
+// String renders the options for labels and logs.
+func (o Options) String() string {
+	switch o.Mode {
+	case SampleK:
+		k := o.K
+		if k == 0 {
+			k = DefaultK
+		}
+		return fmt.Sprintf("samplek(k=%d)", k)
+	case BatchLocal:
+		b := o.Batch
+		if b == 0 {
+			b = DefaultBatch
+		}
+		return fmt.Sprintf("batchlocal(batch=%d)", b)
+	default:
+		return "strict"
+	}
+}

@@ -1,0 +1,100 @@
+package relax
+
+// Wire registrations for the relaxation engine's messages, so relaxed
+// heaps run unchanged on the TCP network runtime.
+
+import (
+	"dpq/internal/prio"
+	"dpq/internal/sim"
+	"dpq/internal/wire"
+)
+
+func init() {
+	wire.Register("relax/probe", &probeMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*probeMsg)
+			w.U64(m.Stamp)
+			w.U64(m.Req)
+		},
+		func(r *wire.Reader) sim.Message {
+			return &probeMsg{Stamp: r.U64(), Req: r.U64()}
+		},
+		&probeMsg{Stamp: 7, Req: 3},
+	)
+	wire.Register("relax/probe-reply", &probeReply{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*probeReply)
+			w.U64(m.Stamp)
+			w.U64(m.Req)
+			w.Bool(m.Empty)
+			w.Key(m.Min)
+		},
+		func(r *wire.Reader) sim.Message {
+			return &probeReply{Stamp: r.U64(), Req: r.U64(), Empty: r.Bool(), Min: r.Key()}
+		},
+		&probeReply{Stamp: 9, Req: 3, Min: prio.Key{Prio: 12, ID: 4}},
+		&probeReply{Stamp: 2, Req: 1, Empty: true},
+	)
+	wire.Register("relax/pop", &popMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*popMsg)
+			w.U64(m.Stamp)
+			w.U64(m.Req)
+		},
+		func(r *wire.Reader) sim.Message {
+			return &popMsg{Stamp: r.U64(), Req: r.U64()}
+		},
+		&popMsg{Stamp: 11, Req: 3},
+	)
+	wire.Register("relax/pop-reply", &popReply{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*popReply)
+			w.U64(m.Stamp)
+			w.U64(m.Req)
+			w.Bool(m.OK)
+			if m.OK {
+				w.Element(m.Elem)
+			}
+		},
+		func(r *wire.Reader) sim.Message {
+			m := &popReply{Stamp: r.U64(), Req: r.U64(), OK: r.Bool()}
+			if m.OK {
+				m.Elem = r.Element()
+			}
+			return m
+		},
+		&popReply{Stamp: 13, Req: 3, OK: true, Elem: prio.Element{ID: 8, Prio: 12, Payload: "x"}},
+		&popReply{Stamp: 4, Req: 2},
+	)
+	wire.Register("relax/steal", &stealMsg{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*stealMsg)
+			w.U64(m.Stamp)
+			w.U32(m.Max)
+		},
+		func(r *wire.Reader) sim.Message {
+			return &stealMsg{Stamp: r.U64(), Max: r.U32()}
+		},
+		&stealMsg{Stamp: 5, Max: 8},
+	)
+	wire.Register("relax/steal-reply", &stealReply{},
+		func(w *wire.Writer, msg sim.Message) {
+			m := msg.(*stealReply)
+			w.U64(m.Stamp)
+			w.Len(len(m.Elems))
+			for _, e := range m.Elems {
+				w.Element(e)
+			}
+		},
+		func(r *wire.Reader) sim.Message {
+			m := &stealReply{Stamp: r.U64()}
+			n := r.Len(16) // an element needs ≥ 16 encoded bytes
+			for i := 0; i < n; i++ {
+				m.Elems = append(m.Elems, r.Element())
+			}
+			return m
+		},
+		&stealReply{Stamp: 6, Elems: []prio.Element{{ID: 1, Prio: 2}, {ID: 3, Prio: 4, Payload: "y"}}},
+		&stealReply{Stamp: 1},
+	)
+}

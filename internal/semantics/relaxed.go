@@ -1,0 +1,54 @@
+package semantics
+
+import "dpq/internal/prio"
+
+// CompletedByValue returns t's completed operations sorted by
+// serialization value — the replay order every checker uses. Exported for
+// the rank-error observer (internal/obs), which replays traces the same
+// way but measures rank error instead of judging violations.
+func CompletedByValue(t *Trace) []*Op {
+	return sortedByValue(t.Ops(), &Report{})
+}
+
+// CheckRelaxedValidity verifies the guarantee a *relaxed* heap still
+// makes (internal/relax): replayed in serialization order, every
+// successful DeleteMin returns an element that some Insert introduced
+// earlier in that order, unchanged, and no element is returned twice.
+// ⊥ is always a legal DeleteMin result — a relaxed heap may miss
+// elements parked on unprobed hosts — so emptiness violations cannot
+// occur here; how often ⊥ is returned against a non-empty structure, and
+// how far each returned element sits from the true minimum, are measured
+// by the rank-error observer (internal/obs), not judged by this checker.
+func CheckRelaxedValidity(t *Trace) *Report {
+	rep := &Report{}
+	ops := sortedByValue(t.Ops(), rep)
+	live := map[prio.ElemID]prio.Element{}
+	returned := map[prio.ElemID]bool{}
+	for _, op := range ops {
+		switch op.Kind {
+		case Insert:
+			if _, dup := live[op.Elem.ID]; dup || returned[op.Elem.ID] {
+				rep.addf("element id %d inserted twice", op.Elem.ID)
+				continue
+			}
+			live[op.Elem.ID] = op.Elem
+		case DeleteMin:
+			if op.Result.Nil() {
+				continue
+			}
+			ins, ok := live[op.Result.ID]
+			switch {
+			case returned[op.Result.ID]:
+				rep.addf("Del_%d,%d returned %v a second time", op.Node, op.Index, op.Result)
+			case !ok:
+				rep.addf("Del_%d,%d returned %v, which no prior Insert introduced", op.Node, op.Index, op.Result)
+			case ins != op.Result:
+				rep.addf("Del_%d,%d returned %v but the element was inserted as %v", op.Node, op.Index, op.Result, ins)
+			default:
+				delete(live, op.Result.ID)
+				returned[op.Result.ID] = true
+			}
+		}
+	}
+	return rep
+}

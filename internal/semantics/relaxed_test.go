@@ -1,0 +1,130 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+
+	"dpq/internal/prio"
+)
+
+// mkTrace replays a scripted sequence of (kind, element, value) triples
+// into a Trace.
+type scripted struct {
+	kind  OpKind
+	elem  prio.Element
+	value int64
+}
+
+func mkTrace(steps []scripted) *Trace {
+	t := NewTrace()
+	for _, s := range steps {
+		op := t.Issue(0, s.kind, prio.Element{})
+		if s.kind == Insert {
+			op.Elem = s.elem
+			t.Complete(op, prio.Element{}, s.value)
+		} else {
+			t.Complete(op, s.elem, s.value)
+		}
+	}
+	return t
+}
+
+func el(id, p uint64) prio.Element {
+	return prio.Element{ID: prio.ElemID(id), Prio: prio.Priority(p)}
+}
+
+func TestRelaxedValidityAcceptsOutOfOrderDeliveries(t *testing.T) {
+	// Delivering the *worse* element first violates strict
+	// serializability but is exactly what a relaxed heap may do.
+	tr := mkTrace([]scripted{
+		{Insert, el(1, 5), 1},
+		{Insert, el(2, 9), 2},
+		{DeleteMin, el(2, 9), 3}, // rank error 1: not the minimum
+		{DeleteMin, el(1, 5), 4},
+		{DeleteMin, prio.Element{}, 5}, // ⊥ on empty
+	})
+	if rep := CheckRelaxedValidity(tr); !rep.Ok() {
+		t.Fatalf("out-of-order delivery must be relaxed-valid:\n%s", rep.Error())
+	}
+	if rep := CheckSerializability(tr, ByID); rep.Ok() {
+		t.Fatal("sanity: the same trace must NOT be strictly serializable")
+	}
+}
+
+func TestRelaxedValidityAcceptsSpuriousBottom(t *testing.T) {
+	// ⊥ against a non-empty structure is legal for a relaxed heap (the
+	// probes may miss every element); the observer counts it, the checker
+	// does not judge it.
+	tr := mkTrace([]scripted{
+		{Insert, el(1, 5), 1},
+		{DeleteMin, prio.Element{}, 2},
+	})
+	if rep := CheckRelaxedValidity(tr); !rep.Ok() {
+		t.Fatalf("spurious ⊥ must be relaxed-valid:\n%s", rep.Error())
+	}
+}
+
+func TestRelaxedValidityRejectsConjuredElement(t *testing.T) {
+	tr := mkTrace([]scripted{
+		{Insert, el(1, 5), 1},
+		{DeleteMin, el(2, 9), 2}, // never inserted
+	})
+	rep := CheckRelaxedValidity(tr)
+	if rep.Ok() || !strings.Contains(rep.Error(), "no prior Insert") {
+		t.Fatalf("conjured element must be rejected, got:\n%s", rep.Error())
+	}
+}
+
+func TestRelaxedValidityRejectsDeliveryBeforeInsert(t *testing.T) {
+	// The element exists, but its delete serializes *before* the insert —
+	// the Lamport floor the relaxation engine promises forbids this.
+	tr := mkTrace([]scripted{
+		{DeleteMin, el(1, 5), 1},
+		{Insert, el(1, 5), 2},
+	})
+	if rep := CheckRelaxedValidity(tr); rep.Ok() {
+		t.Fatal("delivery serialized before its insert must be rejected")
+	}
+}
+
+func TestRelaxedValidityRejectsDoubleDelivery(t *testing.T) {
+	tr := mkTrace([]scripted{
+		{Insert, el(1, 5), 1},
+		{DeleteMin, el(1, 5), 2},
+		{DeleteMin, el(1, 5), 3},
+	})
+	rep := CheckRelaxedValidity(tr)
+	if rep.Ok() || !strings.Contains(rep.Error(), "second time") {
+		t.Fatalf("double delivery must be rejected, got:\n%s", rep.Error())
+	}
+}
+
+func TestRelaxedValidityRejectsMutatedElement(t *testing.T) {
+	mut := el(1, 5)
+	mut.Payload = "tampered"
+	tr := mkTrace([]scripted{
+		{Insert, el(1, 5), 1},
+		{DeleteMin, mut, 2},
+	})
+	rep := CheckRelaxedValidity(tr)
+	if rep.Ok() || !strings.Contains(rep.Error(), "inserted as") {
+		t.Fatalf("mutated element must be rejected, got:\n%s", rep.Error())
+	}
+}
+
+func TestStrictTraceIsRelaxedValid(t *testing.T) {
+	// Relaxed validity is strictly weaker than serializability: any
+	// strictly-correct trace passes it.
+	tr := mkTrace([]scripted{
+		{Insert, el(1, 5), 1},
+		{Insert, el(2, 9), 2},
+		{DeleteMin, el(1, 5), 3},
+		{DeleteMin, el(2, 9), 4},
+	})
+	if rep := CheckSerializability(tr, ByID); !rep.Ok() {
+		t.Fatalf("sanity: trace should be serializable:\n%s", rep.Error())
+	}
+	if rep := CheckRelaxedValidity(tr); !rep.Ok() {
+		t.Fatalf("serializable trace must be relaxed-valid:\n%s", rep.Error())
+	}
+}

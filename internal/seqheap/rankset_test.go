@@ -1,0 +1,119 @@
+package seqheap
+
+import (
+	"sort"
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/prio"
+)
+
+// naive is the reference: a sorted slice with linear-scan ranks.
+type naive struct{ keys []prio.Key }
+
+func (n *naive) insert(k prio.Key) {
+	n.keys = append(n.keys, k)
+	sort.Slice(n.keys, func(i, j int) bool { return keyLess(n.keys[i], n.keys[j]) })
+}
+
+func (n *naive) delete(k prio.Key) bool {
+	for i, have := range n.keys {
+		if have == k {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (n *naive) rank(k prio.Key) int {
+	for i, have := range n.keys {
+		if have == k {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func TestRankSetAgainstNaive(t *testing.T) {
+	rnd := hashutil.NewRand(42)
+	rs := NewRankSet()
+	ref := &naive{}
+	live := []prio.Key{}
+	nextID := uint64(1)
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || rnd.Float64() < 0.6 {
+			k := prio.Key{Prio: prio.Priority(rnd.Intn(50) + 1), ID: prio.ElemID(nextID)}
+			nextID++
+			rs.Insert(k)
+			ref.insert(k)
+			live = append(live, k)
+		} else {
+			i := rnd.Intn(len(live))
+			k := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if got, want := rs.Rank(k), ref.rank(k); got != want {
+				t.Fatalf("step %d: Rank(%v) = %d, naive says %d", step, k, got, want)
+			}
+			if !rs.Delete(k) {
+				t.Fatalf("step %d: Delete(%v) reported absent", step, k)
+			}
+			if !ref.delete(k) {
+				t.Fatalf("reference lost %v", k)
+			}
+		}
+		if rs.Len() != len(ref.keys) {
+			t.Fatalf("step %d: Len = %d, want %d", step, rs.Len(), len(ref.keys))
+		}
+	}
+	// Spot-check every remaining rank and the minimum.
+	for _, k := range live {
+		if got, want := rs.Rank(k), ref.rank(k); got != want {
+			t.Fatalf("final Rank(%v) = %d, want %d", k, got, want)
+		}
+	}
+	if len(ref.keys) > 0 {
+		min, ok := rs.Min()
+		if !ok || min != ref.keys[0] {
+			t.Fatalf("Min = %v (ok=%v), want %v", min, ok, ref.keys[0])
+		}
+	}
+}
+
+func TestRankSetShapeIndependentOfInsertionOrder(t *testing.T) {
+	keys := make([]prio.Key, 0, 200)
+	for i := 0; i < 200; i++ {
+		keys = append(keys, prio.Key{Prio: prio.Priority(i % 17), ID: prio.ElemID(i + 1)})
+	}
+	a := NewRankSet()
+	for _, k := range keys {
+		a.Insert(k)
+	}
+	b := NewRankSet()
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Insert(keys[i])
+	}
+	for _, k := range keys {
+		if a.Rank(k) != b.Rank(k) {
+			t.Fatalf("rank of %v differs across insertion orders: %d vs %d", k, a.Rank(k), b.Rank(k))
+		}
+	}
+}
+
+func TestRankSetDeleteAbsent(t *testing.T) {
+	rs := NewRankSet()
+	rs.Insert(prio.Key{Prio: 1, ID: 1})
+	if rs.Delete(prio.Key{Prio: 1, ID: 2}) {
+		t.Fatal("Delete of absent key reported present")
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("Len = %d after failed delete, want 1", rs.Len())
+	}
+}
+
+func TestRankSetEmptyMin(t *testing.T) {
+	rs := NewRankSet()
+	if _, ok := rs.Min(); ok {
+		t.Fatal("Min on empty set reported ok")
+	}
+}

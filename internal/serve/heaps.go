@@ -10,6 +10,7 @@ import (
 	"dpq/internal/ldb"
 	"dpq/internal/obs"
 	"dpq/internal/prio"
+	"dpq/internal/relax"
 	"dpq/internal/seap"
 	"dpq/internal/semantics"
 	"dpq/internal/sim"
@@ -83,3 +84,29 @@ func (q seapHeap) Trace() *semantics.Trace       { return q.h.Trace() }
 func (q seapHeap) Handlers() []sim.Handler       { return q.h.Handlers() }
 func (q seapHeap) Overlay() *ldb.Overlay         { return q.h.Overlay() }
 func (q seapHeap) SetObs(c *obs.Collector)       { q.h.SetObs(c) }
+
+// relaxHeap adapts the relaxed-DeleteMin engine: client priorities map
+// into [1, bound] exactly like seap's, so a relaxed daemon is drop-in
+// comparable with a strict seap one under the same load. Leases, the
+// WAL and redelivery compose untouched — the serving layer only sees
+// completed operations, and relaxation changes which element a delete
+// returns, not the pending-set lifecycle around it.
+type relaxHeap struct {
+	h     *relax.Heap
+	bound uint64
+}
+
+// NewRelaxHeap wraps a relaxation engine with the given priority bound.
+func NewRelaxHeap(h *relax.Heap, bound uint64) ProtocolHeap { return relaxHeap{h: h, bound: bound} }
+
+func (q relaxHeap) Insert(host int, id prio.ElemID, p uint64, payload string) *semantics.Op {
+	return q.h.InjectInsert(host, id, p%q.bound+1, payload)
+}
+func (q relaxHeap) Reinsert(host int, e prio.Element) *semantics.Op {
+	return q.h.InjectInsert(host, e.ID, uint64(e.Prio), e.Payload)
+}
+func (q relaxHeap) Delete(host int) *semantics.Op { return q.h.InjectDelete(host) }
+func (q relaxHeap) Trace() *semantics.Trace       { return q.h.Trace() }
+func (q relaxHeap) Handlers() []sim.Handler       { return q.h.Handlers() }
+func (q relaxHeap) Overlay() *ldb.Overlay         { return q.h.Overlay() }
+func (q relaxHeap) SetObs(c *obs.Collector)       { q.h.SetObs(c) }

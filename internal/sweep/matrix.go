@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"dpq/internal/relax"
 )
 
 // Experiment is a named group of cells. Paired experiments run every cell
@@ -67,7 +69,7 @@ func DefaultMatrix(opt MatrixOptions) []Experiment {
 		}
 	}
 
-	var zipf, contention, phase, burst, engine []Cell
+	var zipf, contention, phase, burst, engine, relaxed []Cell
 	for _, n := range ns {
 		for _, proto := range []string{ProtoSkeap, ProtoSeap, ProtoKSelect} {
 			for _, s := range zipfS {
@@ -100,6 +102,30 @@ func DefaultMatrix(opt MatrixOptions) []Experiment {
 			}
 		}
 	}
+	// The relaxation frontier: for two workload profiles, the strict
+	// baseline next to SampleK (k = 2, 4) and BatchLocal — the throughput
+	// vs rank-error trade E28 tabulates. Seap-only: relax stores raw
+	// priorities, so the arbitrary-priority protocol is the honest
+	// baseline.
+	for _, n := range ns {
+		profiles := []func(*Cell){
+			func(c *Cell) {}, // uniform/steady
+			func(c *Cell) { c.Dist, c.ZipfS, c.Pattern, c.HotFrac = "zipf", 1.2, "hotspot", 0.25 },
+		}
+		for _, shape := range profiles {
+			for _, rx := range []func(*Cell){
+				func(c *Cell) {}, // strict baseline
+				func(c *Cell) { c.Relax, c.RelaxK = "samplek", 2 },
+				func(c *Cell) { c.Relax, c.RelaxK = "samplek", 4 },
+				func(c *Cell) { c.Relax, c.RelaxBatch = "batchlocal", 8 },
+			} {
+				c := base(ProtoSeap, n)
+				shape(&c)
+				rx(&c)
+				relaxed = append(relaxed, c)
+			}
+		}
+	}
 	// The engine pairing runs the heaviest skew cell of each protocol on
 	// both engines; the serial/parallel Metrics must be equal.
 	for _, proto := range []string{ProtoSkeap, ProtoSeap, ProtoKSelect} {
@@ -114,6 +140,7 @@ func DefaultMatrix(opt MatrixOptions) []Experiment {
 		{Name: "phase", Desc: "phase-shifting load: the heavy host set moves mid-run", Cells: phase},
 		{Name: "burst", Desc: "burst/drain cycles: insert-only bursts, delete-only drains", Cells: burst},
 		{Name: "engine", Desc: "serial vs worker-pool engine on the heaviest skew cells", Cells: engine, Pair: true},
+		{Name: "relax", Desc: "relaxed DeleteMin: strict vs SampleK(k=2,4) vs BatchLocal, rank-error judged", Cells: relaxed},
 	}
 }
 
@@ -207,6 +234,18 @@ func setAxis(c *Cell, key, v string) error {
 		c.Workers, err = atoi()
 	case "seed":
 		c.Seed, err = strconv.ParseUint(v, 10, 64)
+	case "relax":
+		// Only the mode name is validated here: the cross product may set
+		// relaxk/relaxbatch in a later axis, so the full knob combination
+		// is checked once per final cell, in RunCell.
+		if _, rerr := relax.ParseMode(v); rerr != nil {
+			return rerr
+		}
+		c.Relax = v
+	case "relaxk":
+		c.RelaxK, err = atoi()
+	case "relaxbatch":
+		c.RelaxBatch, err = atoi()
 	default:
 		return fmt.Errorf("sweep: unknown matrix key %q", key)
 	}

@@ -24,7 +24,9 @@ import (
 	"dpq/internal/kselect"
 	"dpq/internal/ldb"
 	"dpq/internal/mathx"
+	"dpq/internal/obs"
 	"dpq/internal/prio"
+	"dpq/internal/relax"
 	"dpq/internal/seap"
 	"dpq/internal/semantics"
 	"dpq/internal/sim"
@@ -60,6 +62,26 @@ type Cell struct {
 	Bound      uint64  `json:"bound"`  // priority universe |𝒫|
 	Workers    int     `json:"workers"`
 	Seed       uint64  `json:"seed"`
+	// Relax selects a relaxed-DeleteMin engine for the cell ("" or
+	// "strict" = the exact protocol; "samplek" | "batchlocal"). A relaxed
+	// cell is judged on relaxed validity plus its measured rank error, not
+	// on strict oracle order.
+	Relax      string `json:"relax,omitempty"`
+	RelaxK     int    `json:"relaxK,omitempty"`
+	RelaxBatch int    `json:"relaxBatch,omitempty"`
+}
+
+// relaxation maps the cell's relax knobs to validated relax.Options.
+func (c Cell) relaxation() (relax.Options, error) {
+	m, err := relax.ParseMode(c.Relax)
+	if err != nil {
+		return relax.Options{}, err
+	}
+	o := relax.Options{Mode: m, K: c.RelaxK, Batch: c.RelaxBatch}
+	if err := o.Validate(); err != nil {
+		return relax.Options{}, err
+	}
+	return o, nil
 }
 
 // Label is the cell's short human-readable identity for tables and logs.
@@ -73,6 +95,9 @@ func (c Cell) Label() string {
 	}
 	if c.Workers > 1 {
 		s += fmt.Sprintf(" workers=%d", c.Workers)
+	}
+	if o, err := c.relaxation(); err == nil && o.Enabled() {
+		s += " " + o.String()
 	}
 	return s
 }
@@ -126,6 +151,13 @@ type Measured struct {
 	TotalBits      int64   `json:"totalBits"`
 	Ops            int     `json:"ops"` // operations driven through the cell
 	WallNs         int64   `json:"wallNs"`
+	// Rank-error histogram of the cell's deliveries (relaxed cells; strict
+	// cells are exact by construction and omit the fields). See
+	// obs.RankStats.
+	RankMax     int     `json:"rankMax,omitempty"`
+	RankMean    float64 `json:"rankMean,omitempty"`
+	RankP99     int     `json:"rankP99,omitempty"`
+	EmptyMisses int     `json:"emptyMisses,omitempty"`
 }
 
 // Conformance is the oracle-replay outcome of a cell.
@@ -173,6 +205,11 @@ func RunCell(c Cell, tw *Twin) (Result, error) {
 	case ProtoSkeap, ProtoSeap:
 		m, conf, err = runHeapCell(c)
 	case ProtoKSelect:
+		if o, rerr := c.relaxation(); rerr != nil {
+			return Result{}, rerr
+		} else if o.Enabled() {
+			return Result{}, fmt.Errorf("sweep: relaxation applies to heap cells only (got proto %q)", c.Proto)
+		}
 		m, conf, err = runKSelectCell(c)
 	default:
 		return Result{}, fmt.Errorf("sweep: unknown proto %q", c.Proto)
@@ -199,15 +236,46 @@ func runHeapCell(c Cell) (Measured, Conformance, error) {
 	}
 	gen := workload.New(cfg)
 
+	rx, err := c.relaxation()
+	if err != nil {
+		return Measured{}, Conformance{}, err
+	}
+
 	var (
 		eng     *sim.SyncEngine
 		done    func() bool
 		batches func() int
 		inject  func(op workload.Op)
 		check   func() *semantics.Report
+		rank    func() obs.RankStats
 	)
-	switch c.Proto {
-	case ProtoSkeap:
+	switch {
+	case rx.Enabled():
+		// A relaxed cell runs the relaxation engine over per-host heaps.
+		// It is judged on relaxed validity + measured rank error — NOT on
+		// strict oracle order, which a relaxed delivery stream legitimately
+		// violates (it would read as a spurious DIVERGED).
+		h := relax.New(relax.Config{N: c.N, Seed: c.Seed + 1,
+			Mode: rx.Mode, K: rx.K, Batch: rx.Batch, PrioBound: c.Bound})
+		eng = h.NewSyncEngine()
+		done = h.Done
+		batches = func() int { return 1 }
+		inject = func(op workload.Op) {
+			if op.Kind == workload.OpInsert {
+				p := op.Prio
+				if c.Proto == ProtoSkeap {
+					// Same constant-class fold as the strict Skeap cells,
+					// shifted back to the 1-based raw priorities relax stores.
+					p = (op.Prio-1)%skeapP + 1
+				}
+				h.InjectInsert(op.Host, op.ID, p, "")
+			} else {
+				h.InjectDelete(op.Host)
+			}
+		}
+		check = func() *semantics.Report { return semantics.CheckRelaxedValidity(h.Trace()) }
+		rank = func() obs.RankStats { return obs.TraceRankError(h.Trace()) }
+	case c.Proto == ProtoSkeap:
 		h := skeap.New(skeap.Config{N: c.N, P: skeapP, Seed: c.Seed + 1})
 		eng = h.NewSyncEngine()
 		done = h.Done
@@ -222,7 +290,7 @@ func runHeapCell(c Cell) (Measured, Conformance, error) {
 			}
 		}
 		check = func() *semantics.Report { return semantics.CheckAll(h.Trace(), semantics.FIFO) }
-	case ProtoSeap:
+	case c.Proto == ProtoSeap:
 		h := seap.New(seap.Config{N: c.N, PrioBound: c.Bound, Seed: c.Seed + 1})
 		eng = h.NewSyncEngine()
 		done = h.Done
@@ -256,6 +324,10 @@ func runHeapCell(c Cell) (Measured, Conformance, error) {
 
 	met := eng.Metrics()
 	m := measure(met, batches(), ops, wall)
+	if rank != nil {
+		st := rank()
+		m.RankMax, m.RankMean, m.RankP99, m.EmptyMisses = st.Max, st.Mean, st.P99, st.EmptyMisses
+	}
 	conf := conformance(check())
 	return m, conf, nil
 }

@@ -128,6 +128,95 @@ func TestParseMatrix(t *testing.T) {
 	}
 }
 
+// TestRelaxedCells: a relaxed cell must drain, satisfy relaxed validity,
+// record the rank-error histogram, and be judged on the rank envelope —
+// not the strict cost envelopes or the strict oracle order.
+func TestRelaxedCells(t *testing.T) {
+	for _, rx := range []struct {
+		mode     string
+		k, batch int
+	}{
+		{"samplek", 2, 0}, {"samplek", 4, 0}, {"batchlocal", 0, 4},
+	} {
+		c := quickCell(ProtoSeap)
+		c.Relax, c.RelaxK, c.RelaxBatch = rx.mode, rx.k, rx.batch
+		t.Run(c.Label(), func(t *testing.T) {
+			if !strings.Contains(c.Label(), rx.mode) {
+				t.Fatalf("label %q missing relaxation", c.Label())
+			}
+			r, err := RunCell(c, DefaultTwin())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Conform.OK {
+				t.Fatalf("relaxed validity failed: %s", r.Conform.Detail)
+			}
+			if r.Verdict != VerdictPass {
+				t.Fatalf("verdict %s, diverged: %v", r.Verdict, r.Diverged)
+			}
+			if r.Measured.RankMean == 0 && r.Measured.RankMax == 0 && r.Measured.Ops > 0 {
+				// A tiny cell can be exact by luck, but deletes must have
+				// been measured.
+				if r.Measured.Ops == 0 {
+					t.Fatalf("cell did no work: %+v", r.Measured)
+				}
+			}
+			// Rank-judged only: a twin with absurdly tight cost envelopes
+			// must still pass a relaxed cell (its rounds are not bounded by
+			// the strict theorems), while a tight rank envelope must trip
+			// SampleK.
+			tight := &Twin{Coeffs: map[string]Coeffs{
+				c.Proto:         {},
+				KeyRelaxSampleK: {RankA: 0, RankB: 0.001},
+			}}
+			env, div := tight.Check(c, r.Measured)
+			if rx.mode == "samplek" {
+				if r.Measured.RankMean > 0 && len(div) == 0 {
+					t.Fatalf("tight rank envelope %+v not tripped by mean %.2f", env, r.Measured.RankMean)
+				}
+				for _, d := range div {
+					if !strings.Contains(d, "rank") {
+						t.Fatalf("relaxed cell diverged on a cost envelope: %q", d)
+					}
+				}
+			} else if len(div) != 0 {
+				t.Fatalf("batchlocal cell must not be envelope-judged, got %v", div)
+			}
+		})
+	}
+
+	// Cross-knob validation surfaces as a RunCell error.
+	bad := quickCell(ProtoSeap)
+	bad.Relax, bad.RelaxBatch = "samplek", 8
+	if _, err := RunCell(bad, DefaultTwin()); err == nil {
+		t.Fatal("samplek cell with a Batch knob accepted")
+	}
+	// Relaxation is heap-cell-only.
+	sel := quickCell(ProtoKSelect)
+	sel.Relax = "samplek"
+	if _, err := RunCell(sel, DefaultTwin()); err == nil {
+		t.Fatal("kselect cell with relaxation accepted")
+	}
+}
+
+// TestParseMatrixRelaxAxes: the relax/relaxk/relaxbatch axes expand and
+// reject unknown modes.
+func TestParseMatrixRelaxAxes(t *testing.T) {
+	e, err := ParseMatrix("proto=seap;n=8;relax=strict,samplek;relaxk=2", MatrixOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(e.Cells))
+	}
+	if _, err := ParseMatrix("proto=seap;n=8;relax=wild", MatrixOptions{}); err == nil {
+		t.Fatal("unknown relax mode accepted")
+	}
+	if _, err := ParseMatrix("proto=seap;n=8;relaxbatch=abc", MatrixOptions{}); err == nil {
+		t.Fatal("non-numeric relaxbatch accepted")
+	}
+}
+
 // TestCalibrateCovers: refitted coefficients must cover every measured
 // cell they were fitted from.
 func TestCalibrateCovers(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	_ "dpq/internal/dht"
 	_ "dpq/internal/kselect"
 	_ "dpq/internal/ldb"
+	_ "dpq/internal/relax"
 	_ "dpq/internal/seap"
 )
 
@@ -32,6 +33,9 @@ var wantKinds = []string{
 	"sort/sample-root", "sort/seek", "sort/arrive", "sort/copy", "sort/vector",
 	"kselect/sample-params", "kselect/pos-share", "kselect/elem",
 	"seap/val-share", "seap/cycle", "seap/assign-params",
+	"skeap/reset",
+	"relax/probe", "relax/probe-reply", "relax/pop", "relax/pop-reply",
+	"relax/steal", "relax/steal-reply",
 }
 
 func TestRegistryCoversAllProtocols(t *testing.T) {
