@@ -511,16 +511,16 @@ func BenchmarkEndToEndSort(b *testing.B) {
 		for j := 0; j < 64; j++ {
 			v := rnd.Uint64n(1<<20) + 1
 			vals = append(vals, v)
-			pq.Insert(j%8, v, "")
+			pq.At(j % 8).Insert(v, "")
 		}
-		if !pq.Run(0) {
-			b.Fatal("insert run incomplete")
+		if _, err := pq.Drain(); err != nil {
+			b.Fatal(err)
 		}
 		for j := 0; j < 64; j++ {
-			pq.DeleteMin(j % 8)
+			pq.At(j % 8).DeleteMin()
 		}
-		if !pq.Run(0) {
-			b.Fatal("drain run incomplete")
+		if _, err := pq.Drain(); err != nil {
+			b.Fatal(err)
 		}
 		sort.Slice(vals, func(x, y int) bool { return vals[x] < vals[y] })
 		res := pq.Results()

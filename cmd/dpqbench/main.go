@@ -10,7 +10,10 @@
 // Results are written as `dpq-bench/1` JSON (committed as BENCH_5.json
 // and, for the GOMAXPROCS=4 serial-vs-parallel pairing, BENCH_6.json;
 // BENCH_9.json adds the -relax dimension: the seap workload served by
-// the relaxation engine, strict vs SampleK(k=2,4) vs BatchLocal).
+// the relaxation engine, strict vs SampleK(k=2,4) vs BatchLocal;
+// BENCH_10.json adds the -scale dimension: large-n skeap with a bounded
+// workload, tracking memory bytes/node — the quantity that decides how
+// big a simulation fits in a memory budget).
 // With -baseline the run compares itself against a previous result file
 // and fails when any matching case allocates >2x per round or loses more
 // than 25% rounds/sec — the CI bench-smoke job uses this to keep the hot
@@ -57,6 +60,11 @@ type Case struct {
 	NsPerActivation float64 `json:"nsPerActivation"`
 	AllocsPerRound  float64 `json:"allocsPerRound"`
 	AllocKBPerRound float64 `json:"allocKBPerRound"`
+	// Memory footprint per virtual node after the run (GC'd): the engine's
+	// own buffers, and the whole process heap. The -scale cases exist to
+	// track these; -baseline gates on the heap number.
+	EngineBytesPerNode float64 `json:"engineBytesPerNode,omitempty"`
+	HeapBytesPerNode   float64 `json:"heapBytesPerNode,omitempty"`
 }
 
 // File is the dpq-bench/1 result schema.
@@ -163,6 +171,35 @@ func prepRelax(n, opsPerNode, workers int, seed uint64, mode relax.Mode, k, batc
 	}
 }
 
+// prepSkeapScale is the -scale workload: a bounded total operation count
+// (independent of n) on a large skeap, so the case measures the engine's
+// per-node costs — construction, activation sweeps, arena recycling,
+// bytes/node — rather than workload volume. Mirrors harness experiment
+// E29.
+func prepSkeapScale(n, totalOps, workers int, seed uint64) batch {
+	h := skeap.New(skeap.Config{N: n, P: 8, Seed: seed})
+	h.SetAutoRepeat(false)
+	rnd := hashutil.NewRand(seed + 1)
+	id := prio.ElemID(1)
+	for i := 0; i < totalOps; i++ {
+		host := rnd.Intn(n)
+		if rnd.Bool(0.6) {
+			h.InjectInsert(host, id, rnd.Intn(8), "")
+			id++
+		} else {
+			h.InjectDelete(host)
+		}
+	}
+	eng := h.NewSyncEngine()
+	eng.SetParallel(workers)
+	return batch{
+		eng:   eng,
+		start: func() { h.StartIteration(eng.Context(h.Overlay().Anchor)) },
+		done:  h.Done,
+		virt:  h.Overlay().NumVirtual(),
+	}
+}
+
 func prepKSelect(n, workers int, seed uint64) batch {
 	ov := ldb.New(n, hashutil.New(seed))
 	sel := kselect.New(ov, hashutil.New(seed+1))
@@ -213,6 +250,9 @@ func run(proto, engine string, n int, b batch) Case {
 		c.AllocsPerRound = float64(after.Mallocs-before.Mallocs) / float64(c.Rounds)
 		c.AllocKBPerRound = float64(after.TotalAlloc-before.TotalAlloc) / 1024 / float64(c.Rounds)
 	}
+	ms := b.eng.MemStats(true)
+	c.EngineBytesPerNode = ms.EngineBytesPerNode()
+	c.HeapBytesPerNode = ms.HeapBytesPerNode()
 	return c
 }
 
@@ -262,6 +302,14 @@ func checkBaseline(path string, cur []Case, speedTol float64) int {
 				c.Proto, c.N, c.Engine, c.RoundsPerSec, b.RoundsPerSec, int(speedTol*100))
 			bad++
 		}
+		// The bytes/node gate is hardware-independent (unlike rounds/s):
+		// 1.5x headroom absorbs allocator and Go-version noise while
+		// catching any real per-node state regression.
+		if b.HeapBytesPerNode > 0 && c.HeapBytesPerNode > 1.5*b.HeapBytesPerNode {
+			fmt.Fprintf(os.Stderr, "dpqbench: REGRESSION %s n=%d (%s): %.0f heap B/node, baseline %.0f (>1.5x)\n",
+				c.Proto, c.N, c.Engine, c.HeapBytesPerNode, b.HeapBytesPerNode)
+			bad++
+		}
 	}
 	if matched == 0 {
 		fmt.Fprintln(os.Stderr, "dpqbench: baseline has no cases matching this run")
@@ -279,6 +327,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for the parallel cases (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "deterministic workload seed")
 	relaxDim := flag.Bool("relax", false, "add relaxed-DeleteMin cases (the seap workload served by SampleK k=2,4 and BatchLocal) next to the strict protocols")
+	scaleDim := flag.Bool("scale", false, "add large-n skeap cases with a bounded workload (n=65536; n=1048576 too without -quick), tracking bytes/node")
 	flag.Parse()
 
 	sizes := []int{256, 1024, 4096}
@@ -336,6 +385,18 @@ func main() {
 			}
 		}
 	}
+	if *scaleDim {
+		scaleSizes := []int{65536}
+		if !*quick {
+			scaleSizes = append(scaleSizes, 1048576)
+		}
+		const scaleOps = 4096
+		for _, n := range scaleSizes {
+			fmt.Fprintf(os.Stderr, "dpqbench: skeap-scale n=%d workers=%d\n", n, parW)
+			b := prepSkeapScale(n, scaleOps, parW, *seed)
+			out.Cases = append(out.Cases, run("skeap-scale", "parallel", n, b))
+		}
+	}
 
 	enc, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
@@ -351,8 +412,8 @@ func main() {
 	}
 
 	for _, c := range out.Cases {
-		fmt.Fprintf(os.Stderr, "  %-8s n=%-5d %-8s rounds=%-6d %9.0f rounds/s %7.0f ns/activation %8.1f allocs/round\n",
-			c.Proto, c.N, c.Engine, c.Rounds, c.RoundsPerSec, c.NsPerActivation, c.AllocsPerRound)
+		fmt.Fprintf(os.Stderr, "  %-8s n=%-7d %-8s rounds=%-6d %9.0f rounds/s %7.0f ns/activation %8.1f allocs/round %6.0f heapB/node\n",
+			c.Proto, c.N, c.Engine, c.Rounds, c.RoundsPerSec, c.NsPerActivation, c.AllocsPerRound, c.HeapBytesPerNode)
 	}
 
 	if *baseline != "" {

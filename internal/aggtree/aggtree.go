@@ -123,9 +123,17 @@ func (m *DownMsg) Bits() int { return 16 + 64 + m.V.Bits() }
 // Runner executes registered Protos at one virtual node. Protocol handlers
 // delegate StartMsg/UpMsg/DownMsg to it.
 type Runner struct {
-	ov     *ldb.Overlay
-	protos map[Tag]*Proto
-	states map[key]*state
+	ov *ldb.Overlay
+	// protos is a tiny linear-scan table rather than a map: every virtual
+	// node registers a handful of tags at most, and one Runner exists per
+	// node, so map headers would dominate the idle footprint at large n.
+	protos []tagProto
+	// states is likewise a linear-scan table: a node has at most a couple
+	// of live instances, and unlike a map the slice's footprint shrinks
+	// back to a header once instances complete — at million-node scale a
+	// per-node map that has ever been touched would dominate steady-state
+	// memory.
+	states []instState
 	// floors suppress instances below a per-tag sequence floor: after a
 	// partial-failure reset every message of an aborted instance — late
 	// starts queued at a crashed peer, stale ups, stale downs — must be
@@ -135,10 +143,34 @@ type Runner struct {
 	dropped int64
 }
 
+type tagProto struct {
+	tag Tag
+	p   *Proto
+}
+
+type instState struct {
+	k  key
+	st *state
+}
+
 // NewRunner creates a Runner for the virtual node whose VInfo the handler
-// passes on every call.
+// passes on every call. The states and floors maps are allocated lazily on
+// first write: most nodes of a large simulation never anchor an instance
+// or see a reset.
 func NewRunner(ov *ldb.Overlay) *Runner {
-	return &Runner{ov: ov, protos: make(map[Tag]*Proto), states: make(map[key]*state), floors: make(map[Tag]uint64)}
+	return &Runner{ov: ov}
+}
+
+// NewRunners bulk-allocates the Runners of n virtual nodes in one backing
+// array — one allocation instead of n at construction, which matters when
+// the simulation has millions of nodes. Callers take &rs[i] per node; the
+// returned slice must not be reallocated afterwards.
+func NewRunners(ov *ldb.Overlay, n int) []Runner {
+	rs := make([]Runner, n)
+	for i := range rs {
+		rs[i].ov = ov
+	}
+	return rs
 }
 
 // AbortBelow abandons every instance of tag with seq < floor and suppresses
@@ -150,12 +182,18 @@ func (r *Runner) AbortBelow(tag Tag, floor uint64) {
 	if floor <= r.floors[tag] {
 		return
 	}
+	if r.floors == nil {
+		r.floors = make(map[Tag]uint64)
+	}
 	r.floors[tag] = floor
-	for k := range r.states {
-		if k.tag == tag && k.seq < floor {
-			delete(r.states, k)
+	kept := r.states[:0]
+	for _, is := range r.states {
+		if !(is.k.tag == tag && is.k.seq < floor) {
+			kept = append(kept, is)
 		}
 	}
+	clear(r.states[len(kept):])
+	r.states = kept
 }
 
 // Floor returns the current suppression floor for tag (0 = none).
@@ -176,10 +214,20 @@ func (r *Runner) below(tag Tag, seq uint64) bool {
 // Register binds tag to proto on this node. All nodes must register the
 // same protos (they are the publicly known protocol description).
 func (r *Runner) Register(tag Tag, p *Proto) {
-	if _, dup := r.protos[tag]; dup {
+	if r.lookup(tag) != nil {
 		panic(fmt.Sprintf("aggtree: duplicate tag %d", tag))
 	}
-	r.protos[tag] = p
+	r.protos = append(r.protos, tagProto{tag: tag, p: p})
+}
+
+// lookup returns the proto registered for tag, or nil.
+func (r *Runner) lookup(tag Tag) *Proto {
+	for i := range r.protos {
+		if r.protos[i].tag == tag {
+			return r.protos[i].p
+		}
+	}
+	return nil
 }
 
 // Start initiates instance (tag, seq) from the anchor. It must be called
@@ -197,7 +245,7 @@ func (r *Runner) Start(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq uint64, p
 func (r *Runner) Handle(ctx *sim.Context, self *ldb.VInfo, from sim.NodeID, msg sim.Message) bool {
 	switch m := msg.(type) {
 	case *StartMsg:
-		if _, ok := r.protos[m.Tag]; !ok {
+		if r.lookup(m.Tag) == nil {
 			return false
 		}
 		if r.below(m.Tag, m.Seq) {
@@ -205,7 +253,7 @@ func (r *Runner) Handle(ctx *sim.Context, self *ldb.VInfo, from sim.NodeID, msg 
 		}
 		r.begin(ctx, self, m.Tag, m.Seq, m.Params)
 	case *UpMsg:
-		if _, ok := r.protos[m.Tag]; !ok {
+		if r.lookup(m.Tag) == nil {
 			return false
 		}
 		if r.below(m.Tag, m.Seq) {
@@ -215,13 +263,13 @@ func (r *Runner) Handle(ctx *sim.Context, self *ldb.VInfo, from sim.NodeID, msg 
 		st.kids = append(st.kids, KidValue{From: from, V: m.V})
 		r.maybeCombine(ctx, self, m.Tag, m.Seq, st)
 	case *DownMsg:
-		if _, ok := r.protos[m.Tag]; !ok {
+		if r.lookup(m.Tag) == nil {
 			return false
 		}
 		if r.below(m.Tag, m.Seq) {
 			return true
 		}
-		if st, ok := r.states[key{m.Tag, m.Seq}]; !ok || !st.begun {
+		if st := r.findState(key{m.Tag, m.Seq}); st == nil || !st.begun {
 			// An assignment for an instance this node never began: a peer's
 			// reliable transport retransmitted a pre-crash frame into a
 			// restarted process. Without gather state it cannot be split,
@@ -229,7 +277,7 @@ func (r *Runner) Handle(ctx *sim.Context, self *ldb.VInfo, from sim.NodeID, msg 
 			// it (and any stale kid-value stub) rather than corrupt state.
 			// In one incarnation this cannot happen: the parent's StartMsg
 			// precedes its DownMsg on the same FIFO channel.
-			delete(r.states, key{m.Tag, m.Seq})
+			r.dropState(key{m.Tag, m.Seq})
 			r.dropped++
 			return true
 		}
@@ -241,8 +289,8 @@ func (r *Runner) Handle(ctx *sim.Context, self *ldb.VInfo, from sim.NodeID, msg 
 }
 
 func (r *Runner) proto(tag Tag) *Proto {
-	p, ok := r.protos[tag]
-	if !ok {
+	p := r.lookup(tag)
+	if p == nil {
 		panic(fmt.Sprintf("aggtree: unknown tag %d", tag))
 	}
 	return p
@@ -250,12 +298,33 @@ func (r *Runner) proto(tag Tag) *Proto {
 
 func (r *Runner) state(tag Tag, seq uint64) *state {
 	k := key{tag, seq}
-	st, ok := r.states[k]
-	if !ok {
-		st = &state{}
-		r.states[k] = st
+	if st := r.findState(k); st != nil {
+		return st
 	}
+	st := &state{}
+	r.states = append(r.states, instState{k: k, st: st})
 	return st
+}
+
+// findState returns the live state for k, or nil.
+func (r *Runner) findState(k key) *state {
+	for i := range r.states {
+		if r.states[i].k == k {
+			return r.states[i].st
+		}
+	}
+	return nil
+}
+
+// dropState removes the state for k, preserving the order of the rest.
+func (r *Runner) dropState(k key) {
+	for i := range r.states {
+		if r.states[i].k == k {
+			r.states = append(r.states[:i], r.states[i+1:]...)
+			clear(r.states[len(r.states):cap(r.states)])
+			return
+		}
+	}
 }
 
 func (r *Runner) begin(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq uint64, params Value) {
@@ -284,7 +353,7 @@ func (r *Runner) maybeCombine(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq ui
 	if self.Parent == sim.None {
 		down := p.AtRoot(ctx, self, seq, st.params, combined)
 		if down == nil {
-			delete(r.states, key{tag, seq})
+			r.dropState(key{tag, seq})
 			return
 		}
 		r.scatter(ctx, self, tag, seq, down)
@@ -292,7 +361,7 @@ func (r *Runner) maybeCombine(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq ui
 	}
 	ctx.Send(self.Parent, &UpMsg{Tag: tag, Seq: seq, V: combined})
 	if p.GatherOnly {
-		delete(r.states, key{tag, seq})
+		r.dropState(key{tag, seq})
 	}
 }
 
@@ -314,5 +383,5 @@ func (r *Runner) scatter(ctx *sim.Context, self *ldb.VInfo, tag Tag, seq uint64,
 	if p.OnOwn != nil {
 		p.OnOwn(ctx, self, seq, st.params, ownPart)
 	}
-	delete(r.states, key{tag, seq})
+	r.dropState(key{tag, seq})
 }

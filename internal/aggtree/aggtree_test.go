@@ -33,7 +33,7 @@ func buildNetwork(n int, seed uint64, register func(r *Runner)) (*ldb.Overlay, *
 		handlers[i] = nodes[i]
 	}
 	groups, group := ov.Group()
-	eng := sim.NewSync(handlers, 1, groups, group)
+	eng := sim.Build(sim.Spec{Handlers: handlers, Seed: 1, Groups: groups, Group: group}).(*sim.SyncEngine)
 	return ov, eng, nodes
 }
 
@@ -153,7 +153,7 @@ func TestGatherScatterDecomposition(t *testing.T) {
 		handlers[i] = nodes[i]
 	}
 	groups, group := ov.Group()
-	eng := sim.NewSync(handlers, 1, groups, group)
+	eng := sim.Build(sim.Spec{Handlers: handlers, Seed: 1, Groups: groups, Group: group}).(*sim.SyncEngine)
 	nodes[ov.Anchor].r.Start(eng.Context(ov.Anchor), ov.Info(ov.Anchor), 2, 0, nil)
 	ok := eng.RunUntil(func() bool { return received == 3*n }, 10000)
 	if !ok {
@@ -196,7 +196,7 @@ func TestSequentialInstances(t *testing.T) {
 		handlers[i] = nodes[i]
 	}
 	groups, group := ov.Group()
-	eng := sim.NewSync(handlers, 1, groups, group)
+	eng := sim.Build(sim.Spec{Handlers: handlers, Seed: 1, Groups: groups, Group: group}).(*sim.SyncEngine)
 	for seq := uint64(0); seq < 3; seq++ {
 		done = false
 		nodes[ov.Anchor].r.Start(eng.Context(ov.Anchor), ov.Info(ov.Anchor), 1, seq, nil)

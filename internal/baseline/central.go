@@ -98,7 +98,7 @@ func (c *CentralHeap) Handlers() []sim.Handler {
 // NewSyncEngine wires the heap into a synchronous engine (identity
 // grouping: each process is its own congestion group).
 func (c *CentralHeap) NewSyncEngine(seed uint64) *sim.SyncEngine {
-	return sim.NewSync(c.Handlers(), seed, 0, nil)
+	return sim.Build(sim.Spec{Handlers: c.Handlers(), Seed: seed}).(*sim.SyncEngine)
 }
 
 // InjectInsert buffers an Insert at the given process.

@@ -101,7 +101,7 @@ func (s *Selector) Handlers() []sim.Handler {
 // NewSyncEngine wires the selector into a synchronous engine.
 func (s *Selector) NewSyncEngine(seed uint64) *sim.SyncEngine {
 	groups, group := s.ov.Group()
-	return sim.NewSync(s.Handlers(), seed, groups, group)
+	return sim.Build(sim.Spec{Handlers: s.Handlers(), Seed: seed, Groups: groups, Group: group}).(*sim.SyncEngine)
 }
 
 // Start begins the selection of rank k from the anchor's context.

@@ -199,38 +199,10 @@ func (pq *PQ) deleteMin(host int) {
 	pq.be.InjectDelete(host)
 }
 
-// Insert issues Insert(e) at the given host. Priorities are 1-based
-// (1 = most prioritized). It returns the element's unique id.
-//
-// Deprecated: use At(host).Insert(priority, payload) (or InsertID) with
-// Drain.
-func (pq *PQ) Insert(host int, priority uint64, payload string) prio.ElemID {
-	return pq.insert(host, priority, payload)
-}
-
-// DeleteMin issues DeleteMin() at the given host; the outcome appears in
-// the next Drain's deliveries.
-//
-// Deprecated: use At(host).DeleteMin() with Drain.
-func (pq *PQ) DeleteMin(host int) {
-	pq.deleteMin(host)
-}
-
 func (pq *PQ) checkHost(host int) {
 	if host < 0 || host >= pq.nodes {
 		panic(fmt.Sprintf("core: host %d out of range [0,%d)", host, pq.nodes))
 	}
-}
-
-// Run drives the simulated network until every issued operation completed
-// or the round budget is exhausted; it reports completion. A zero budget
-// picks a generous default.
-//
-// Deprecated: use Drain, which also returns the batch's deliveries and
-// surfaces engine errors.
-func (pq *PQ) Run(maxRounds int) bool {
-	ok, err := pq.runBatch(maxRounds)
-	return ok && err == nil
 }
 
 func (pq *PQ) done() bool { return pq.be.Done() }

@@ -13,17 +13,17 @@ func TestSkeapFacadeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pq.Insert(0, 2, "mid")
-	pq.Insert(1, 1, "hi")
-	pq.Insert(2, 3, "low")
-	if !pq.Run(0) {
-		t.Fatal("run incomplete")
+	pq.At(0).Insert(2, "mid")
+	pq.At(1).Insert(1, "hi")
+	pq.At(2).Insert(3, "low")
+	if _, err := pq.Drain(); err != nil {
+		t.Fatal(err)
 	}
-	pq.DeleteMin(3)
-	pq.DeleteMin(4)
-	pq.DeleteMin(5)
-	if !pq.Run(0) {
-		t.Fatal("run incomplete")
+	pq.At(3).DeleteMin()
+	pq.At(4).DeleteMin()
+	pq.At(5).DeleteMin()
+	if _, err := pq.Drain(); err != nil {
+		t.Fatal(err)
 	}
 	res := pq.Results()
 	if len(res) != 3 {
@@ -48,14 +48,14 @@ func TestSeapFacadeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pq.Insert(0, 50000, "low")
-	pq.Insert(1, 3, "hi")
-	if !pq.Run(0) {
-		t.Fatal("run incomplete")
+	pq.At(0).Insert(50000, "low")
+	pq.At(1).Insert(3, "hi")
+	if _, err := pq.Drain(); err != nil {
+		t.Fatal(err)
 	}
-	pq.DeleteMin(2)
-	if !pq.Run(0) {
-		t.Fatal("run incomplete")
+	pq.At(2).DeleteMin()
+	if _, err := pq.Drain(); err != nil {
+		t.Fatal(err)
 	}
 	res := pq.Results()
 	if len(res) != 1 || !res[0].Found || res[0].Payload != "hi" || res[0].Priority != 3 {
@@ -71,9 +71,9 @@ func TestEmptyHeapDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pq.DeleteMin(0)
-	if !pq.Run(0) {
-		t.Fatal("run incomplete")
+	pq.At(0).DeleteMin()
+	if _, err := pq.Drain(); err != nil {
+		t.Fatal(err)
 	}
 	res := pq.Results()
 	if len(res) != 1 || res[0].Found {
@@ -97,7 +97,7 @@ func TestHostRangeChecked(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	pq.Insert(5, 1, "")
+	pq.At(5).Insert(1, "")
 }
 
 func TestRandomMixedVerifies(t *testing.T) {
@@ -109,13 +109,13 @@ func TestRandomMixedVerifies(t *testing.T) {
 		rnd := hashutil.NewRand(6)
 		for i := 0; i < 50; i++ {
 			if rnd.Bool(0.6) {
-				pq.Insert(rnd.Intn(6), rnd.Uint64n(4)+1, "")
+				pq.At(rnd.Intn(6)).Insert(rnd.Uint64n(4)+1, "")
 			} else {
-				pq.DeleteMin(rnd.Intn(6))
+				pq.At(rnd.Intn(6)).DeleteMin()
 			}
 		}
-		if !pq.Run(0) {
-			t.Fatalf("%v: run incomplete", proto)
+		if _, err := pq.Drain(); err != nil {
+			t.Fatalf("%v: %v", proto, err)
 		}
 		if err := pq.Verify(); err != nil {
 			t.Fatalf("%v: %v", proto, err)
@@ -152,13 +152,13 @@ func TestSelectValidation(t *testing.T) {
 func TestResultsSerializationOrder(t *testing.T) {
 	pq, _ := New(Skeap, Options{Nodes: 4, Priorities: 2, Seed: 9})
 	for i := 0; i < 6; i++ {
-		pq.Insert(i%4, uint64(i%2)+1, "")
+		pq.At(i%4).Insert(uint64(i%2)+1, "")
 	}
-	pq.Run(0)
+	pq.Drain()
 	for i := 0; i < 6; i++ {
-		pq.DeleteMin(i % 4)
+		pq.At(i % 4).DeleteMin()
 	}
-	pq.Run(0)
+	pq.Drain()
 	res := pq.Results()
 	// Priority-1 elements must all precede priority-2 elements.
 	seenTwo := false
@@ -177,11 +177,11 @@ func TestMaxHeapFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pq.Insert(0, 1, "low")
-	pq.Insert(1, 3, "high")
-	pq.Run(0)
-	pq.DeleteMin(2)
-	pq.Run(0)
+	pq.At(0).Insert(1, "low")
+	pq.At(1).Insert(3, "high")
+	pq.Drain()
+	pq.At(2).DeleteMin()
+	pq.Drain()
 	res := pq.Results()
 	if len(res) != 1 || res[0].Payload != "high" {
 		t.Fatalf("max-heap facade returned %+v", res)
@@ -203,11 +203,11 @@ func TestSeqConsistentFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Local order at host 0: Delete (⊥), Insert, Delete (own element).
-	pq.DeleteMin(0)
-	pq.Insert(0, 9, "mine")
-	pq.DeleteMin(0)
-	if !pq.Run(0) {
-		t.Fatal("run incomplete")
+	pq.At(0).DeleteMin()
+	pq.At(0).Insert(9, "mine")
+	pq.At(0).DeleteMin()
+	if _, err := pq.Drain(); err != nil {
+		t.Fatal(err)
 	}
 	res := pq.Results()
 	if len(res) != 2 || res[0].Found || !res[1].Found {

@@ -79,7 +79,7 @@ func (c *Counter) Handlers() []sim.Handler {
 // NewSyncEngine wires the counter into a synchronous engine.
 func (c *Counter) NewSyncEngine(seed uint64) *sim.SyncEngine {
 	groups, group := c.ov.Group()
-	return sim.NewSync(c.Handlers(), seed, groups, group)
+	return sim.Build(sim.Spec{Handlers: c.Handlers(), Seed: seed, Groups: groups, Group: group}).(*sim.SyncEngine)
 }
 
 // Increment requests a fetch-and-increment at the given process; done is

@@ -87,15 +87,23 @@ type DHT struct {
 	aborted map[uint64]bool
 }
 
-// New creates the DHT component of one virtual node.
+// New creates the DHT component of one virtual node. The per-node maps are
+// allocated lazily on first write: at million-node scale most virtual nodes
+// never store an element or issue a request, and four empty map headers per
+// node would dominate the idle footprint.
 func New(ov *ldb.Overlay) *DHT {
-	return &DHT{
-		ov:      ov,
-		store:   make(map[uint64][]prio.Element),
-		pending: make(map[uint64][]waiter),
-		onReply: make(map[uint64]func(prio.Element, bool)),
-		aborted: make(map[uint64]bool),
+	return &DHT{ov: ov}
+}
+
+// NewAll bulk-allocates the DHT components of n virtual nodes in one
+// backing array (callers take &ds[i] per node). One allocation instead of
+// n at construction; the returned slice must not be reallocated.
+func NewAll(ov *ldb.Overlay, n int) []DHT {
+	ds := make([]DHT, n)
+	for i := range ds {
+		ds[i].ov = ov
 	}
+	return ds
 }
 
 // StoreSize returns the number of elements stored at this node (fairness
@@ -133,13 +141,16 @@ func sortByKey(es []prio.Element) {
 // changes move key ranges to different responsible nodes.
 func (d *DHT) Dump() map[uint64][]prio.Element {
 	out := d.store
-	d.store = make(map[uint64][]prio.Element)
+	d.store = nil
 	return out
 }
 
 // Absorb stores elements under key without routing (membership-change
 // migration; the receiving node is the key's new responsible node).
 func (d *DHT) Absorb(key uint64, elems []prio.Element) {
+	if d.store == nil {
+		d.store = make(map[uint64][]prio.Element)
+	}
 	d.store[key] = append(d.store[key], elems...)
 }
 
@@ -180,7 +191,7 @@ func (d *DHT) Put(ctx *sim.Context, self *ldb.VInfo, key uint64, e prio.Element,
 	if onAck != nil {
 		d.nextReq++
 		m.AckTo, m.ReqID = self.ID, d.nextReq
-		d.onReply[m.ReqID] = func(prio.Element, bool) { onAck() }
+		d.setReply(m.ReqID, func(prio.Element, bool) { onAck() })
 	}
 	d.dispatch(ctx, self, key, m)
 }
@@ -192,7 +203,7 @@ func (d *DHT) Put(ctx *sim.Context, self *ldb.VInfo, key uint64, e prio.Element,
 func (d *DHT) Get(ctx *sim.Context, self *ldb.VInfo, key uint64, cb func(e prio.Element, found bool)) uint64 {
 	d.nextReq++
 	m := &GetMsg{Key: key, ReplyTo: self.ID, ReqID: d.nextReq}
-	d.onReply[m.ReqID] = cb
+	d.setReply(m.ReqID, cb)
 	d.dispatch(ctx, self, key, m)
 	return m.ReqID
 }
@@ -207,7 +218,18 @@ func (d *DHT) Abort(reqID uint64) {
 		return
 	}
 	delete(d.onReply, reqID)
+	if d.aborted == nil {
+		d.aborted = make(map[uint64]bool)
+	}
 	d.aborted[reqID] = true
+}
+
+// setReply registers a reply callback, allocating the table on first use.
+func (d *DHT) setReply(reqID uint64, cb func(prio.Element, bool)) {
+	if d.onReply == nil {
+		d.onReply = make(map[uint64]func(prio.Element, bool))
+	}
+	d.onReply[reqID] = cb
 }
 
 func (d *DHT) dispatch(ctx *sim.Context, self *ldb.VInfo, key uint64, payload sim.Message) {
@@ -262,6 +284,9 @@ func (d *DHT) deliver(ctx *sim.Context, payload sim.Message) {
 			}
 			ctx.Send(w.replyTo, &ReplyMsg{ReqID: w.reqID, Elem: m.Elem, Found: true})
 		} else {
+			if d.store == nil {
+				d.store = make(map[uint64][]prio.Element)
+			}
 			d.store[m.Key] = append(d.store[m.Key], m.Elem)
 		}
 		if m.AckTo != sim.None {
@@ -276,6 +301,9 @@ func (d *DHT) deliver(ctx *sim.Context, payload sim.Message) {
 			}
 			ctx.Send(m.ReplyTo, &ReplyMsg{ReqID: m.ReqID, Elem: e, Found: true})
 		} else {
+			if d.pending == nil {
+				d.pending = make(map[uint64][]waiter)
+			}
 			d.pending[m.Key] = append(d.pending[m.Key], waiter{replyTo: m.ReplyTo, reqID: m.ReqID})
 		}
 	default:

@@ -42,7 +42,7 @@ func newDHTNet(n int, seed uint64) (*ldb.Overlay, *sim.SyncEngine, []*dhtNode) {
 		handlers[i] = nodes[i]
 	}
 	groups, group := ov.Group()
-	eng := sim.NewSync(handlers, seed, groups, group)
+	eng := sim.Build(sim.Spec{Handlers: handlers, Seed: seed, Groups: groups, Group: group}).(*sim.SyncEngine)
 	return ov, eng, nodes
 }
 

@@ -1,4 +1,4 @@
-// Package harness runs the reproduction experiments E-F2 and E1–E28 of
+// Package harness runs the reproduction experiments E-F2 and E1–E29 of
 // DESIGN.md and renders their tables: for every quantitative claim of the
 // paper it measures the corresponding quantity on the simulator and
 // reports the observed scaling next to the claim. cmd/benchall uses it to
@@ -57,6 +57,7 @@ type Sizes struct {
 	LambdaSweep []int // injection rates
 	Repeats     int   // repetitions for w.h.p.-style claims
 	AsyncRuns   int   // adversarial schedules in E14
+	ScaleSweep  []int // host counts for the large-scale experiment (E29)
 }
 
 // Quick returns CI-sized experiments (a few seconds).
@@ -66,6 +67,7 @@ func Quick() Sizes {
 		LambdaSweep: []int{1, 4, 16},
 		Repeats:     3,
 		AsyncRuns:   5,
+		ScaleSweep:  []int{4096, 65536},
 	}
 }
 
@@ -76,6 +78,7 @@ func Full() Sizes {
 		LambdaSweep: []int{1, 2, 4, 8, 16, 32, 64},
 		Repeats:     5,
 		AsyncRuns:   25,
+		ScaleSweep:  []int{4096, 65536, 1048576},
 	}
 }
 
@@ -121,6 +124,7 @@ func Registry() []Experiment {
 		{"E26", "sweep: skew/contention envelopes", SweepEnvelopes},
 		{"E27", "sweep: burst/phase conformance", SweepConformance},
 		{"E28", "relax: throughput vs rank error", RelaxFrontier},
+		{"E29", "million-node scale", MillionScale},
 	}
 }
 

@@ -119,3 +119,18 @@ func (r *Rand) Perm(n int) []int {
 
 // Fork derives an independent PRNG stream from r, e.g. one per node.
 func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }
+
+// ForkSeedAt returns the seed of the i-th Fork of a fresh NewRand(seed)
+// root, without materializing the root or the i−1 earlier forks. A Fork
+// consumes exactly one Uint64, and Uint64 advances the SplitMix64 state by
+// a fixed increment, so fork i's seed is a pure function of (seed, i):
+//
+//	ForkSeedAt(seed, i) == NewRand(seed).Fork()…  (i+1 times, last seed)
+//
+// This lets an engine with millions of nodes derive any node's PRNG stream
+// on demand in O(1) instead of storing a chain of forks.
+func ForkSeedAt(seed uint64, i uint64) uint64 {
+	root := SplitMix64(seed ^ 0x2545f4914f6cdd1d) // NewRand(seed).state
+	// The i-th Uint64 output is finalize(root + (i+1)·γ) = SplitMix64(root + i·γ).
+	return SplitMix64(root + i*0x9e3779b97f4a7c15)
+}

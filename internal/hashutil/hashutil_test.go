@@ -159,3 +159,15 @@ func TestUint64nRange(t *testing.T) {
 		}
 	}
 }
+
+func TestForkSeedAt(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 1 << 63} {
+		root := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			want := root.Uint64() // the seed Fork i would consume
+			if got := ForkSeedAt(seed, uint64(i)); got != want {
+				t.Fatalf("seed %d fork %d: ForkSeedAt %x, sequential chain %x", seed, i, got, want)
+			}
+		}
+	}
+}

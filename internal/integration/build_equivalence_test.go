@@ -1,0 +1,135 @@
+// Spec-construction equivalence: an engine built through the unified
+// sim.Build(Spec) entry point must be observationally identical to one
+// built through the legacy per-protocol constructors — byte-identical
+// dpq-trace/1 output and equal Metrics — across protocols, worker counts,
+// and seeds. The legacy constructors are deprecation-noted shims over
+// Build, and this test is the contract that keeps them honest: any drift
+// between the shim defaults and an explicit Spec shows up as a trace diff.
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dpq/internal/hashutil"
+	"dpq/internal/obs"
+	"dpq/internal/prio"
+	"dpq/internal/seap"
+	"dpq/internal/sim"
+	"dpq/internal/skeap"
+)
+
+// runSpecBuilt mirrors runTraced — same protocols, same injected workload —
+// but wires the heap into an engine built from an explicit sim.Spec instead
+// of the protocol's NewSyncEngine helper, reproducing the helper's
+// documented wiring (engine seed is the heap seed + 1, congestion groups
+// come from the overlay, Workers selects the worker pool).
+func runSpecBuilt(t *testing.T, proto string, workers int, seed uint64) ([]byte, sim.Metrics) {
+	t.Helper()
+	const n = 16
+	const opsPerNode = 3
+	var (
+		eng   *sim.SyncEngine
+		start func()
+		done  func() bool
+	)
+	switch proto {
+	case "skeap":
+		h := skeap.New(skeap.Config{N: n, P: 4, Seed: seed})
+		h.SetAutoRepeat(false)
+		rnd := hashutil.NewRand(seed + 1)
+		id := prio.ElemID(1)
+		for host := 0; host < n; host++ {
+			for i := 0; i < opsPerNode; i++ {
+				if rnd.Bool(0.6) {
+					h.InjectInsert(host, id, rnd.Intn(4), "")
+					id++
+				} else {
+					h.InjectDelete(host)
+				}
+			}
+		}
+		groups, group := h.Overlay().Group()
+		eng = sim.Build(sim.Spec{
+			Kind:     sim.KindSync,
+			Handlers: h.Handlers(),
+			Seed:     seed + 1,
+			Groups:   groups,
+			Group:    group,
+			Workers:  workers,
+		}).(*sim.SyncEngine)
+		start = func() { h.StartIteration(eng.Context(h.Overlay().Anchor)) }
+		done = h.Done
+	case "seap":
+		const bound = 16 * n * n
+		h := seap.New(seap.Config{N: n, PrioBound: bound, Seed: seed})
+		h.SetAutoRepeat(false)
+		rnd := hashutil.NewRand(seed + 1)
+		id := prio.ElemID(1)
+		for host := 0; host < n; host++ {
+			for i := 0; i < opsPerNode; i++ {
+				if rnd.Bool(0.6) {
+					h.InjectInsert(host, id, rnd.Uint64n(bound)+1, "")
+					id++
+				} else {
+					h.InjectDelete(host)
+				}
+			}
+		}
+		groups, group := h.Overlay().Group()
+		eng = sim.Build(sim.Spec{
+			Kind:     sim.KindSync,
+			Handlers: h.Handlers(),
+			Seed:     seed + 1,
+			Groups:   groups,
+			Group:    group,
+			Workers:  workers,
+		}).(*sim.SyncEngine)
+		start = func() { h.StartCycle(eng.Context(h.Overlay().Anchor)) }
+		done = h.Done
+	default:
+		t.Fatalf("unknown proto %q", proto)
+	}
+
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf)
+	eng.SetBatchObserver(tw.BatchObserver())
+	start()
+	if !eng.RunUntil(done, maxRounds(n)) {
+		t.Fatalf("%s workers=%d seed=%d did not complete", proto, workers, seed)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("trace flush: %v", err)
+	}
+	return buf.Bytes(), *eng.Metrics()
+}
+
+// TestBuildEquivalence: the Spec path and the legacy-constructor path must
+// be byte-identical, for both the serial and the worker-pool engine,
+// across three seeds. runTraced (the legacy path, which calls
+// SetParallel after construction) and runSpecBuilt (the Spec path, which
+// sets Workers in the Spec) inject the same workload, so any difference
+// comes from construction.
+func TestBuildEquivalence(t *testing.T) {
+	for _, proto := range []string{"skeap", "seap"} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			for _, workers := range []int{1, 2} {
+				t.Run(fmt.Sprintf("%s/seed%d/workers%d", proto, seed, workers), func(t *testing.T) {
+					legacyTrace, legacyMet := runTraced(t, proto, workers, seed)
+					specTrace, specMet := runSpecBuilt(t, proto, workers, seed)
+					if len(bytes.TrimSpace(legacyTrace)) == 0 || legacyMet.Messages == 0 {
+						t.Fatal("legacy run produced no trace/messages")
+					}
+					if !bytes.Equal(legacyTrace, specTrace) {
+						t.Fatalf("trace diverges: %s", firstTraceDiff(legacyTrace, specTrace))
+					}
+					if !reflect.DeepEqual(legacyMet, specMet) {
+						t.Fatalf("metrics diverge:\n  legacy: %+v\n  spec:   %+v", legacyMet, specMet)
+					}
+				})
+			}
+		}
+	}
+}

@@ -216,18 +216,24 @@ func TestFacadeMixedProtocolsSideBySide(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		sk.Insert(i%4, uint64(i%2)+1, "")
-		se.Insert(i%4, uint64(i*37+1), "")
+		sk.At(i % 4).Insert(uint64(i%2)+1, "")
+		se.At(i % 4).Insert(uint64(i*37+1), "")
 	}
-	if !sk.Run(0) || !se.Run(0) {
-		t.Fatal("facade runs incomplete")
+	if _, err := sk.Drain(); err != nil {
+		t.Fatalf("skeap batch: %v", err)
+	}
+	if _, err := se.Drain(); err != nil {
+		t.Fatalf("seap batch: %v", err)
 	}
 	for i := 0; i < 10; i++ {
-		sk.DeleteMin(i % 4)
-		se.DeleteMin(i % 4)
+		sk.At(i % 4).DeleteMin()
+		se.At(i % 4).DeleteMin()
 	}
-	if !sk.Run(0) || !se.Run(0) {
-		t.Fatal("facade drains incomplete")
+	if _, err := sk.Drain(); err != nil {
+		t.Fatalf("skeap drain: %v", err)
+	}
+	if _, err := se.Drain(); err != nil {
+		t.Fatalf("seap drain: %v", err)
 	}
 	if err := sk.Verify(); err != nil {
 		t.Fatalf("skeap facade: %v", err)

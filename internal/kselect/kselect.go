@@ -120,9 +120,16 @@ type Selector struct {
 // per virtual node with Load before Start.
 func New(ov *ldb.Overlay, hasher hashutil.Hasher) *Selector {
 	s := &Selector{ov: ov, hasher: hasher}
-	s.nodes = make([]*Node, ov.NumVirtual())
+	nv := ov.NumVirtual()
+	s.nodes = make([]*Node, nv)
+	// Flat backing arrays for nodes and runners: two allocations instead
+	// of 2·nv — a per-node footprint saving at large n.
+	arena := make([]Node, nv)
+	runners := aggtree.NewRunners(ov, nv)
 	for i := range s.nodes {
-		n := &Node{sel: s, runner: aggtree.NewRunner(ov)}
+		n := &arena[i]
+		n.sel = s
+		n.runner = &runners[i]
 		n.register()
 		s.nodes[i] = n
 	}
@@ -153,8 +160,10 @@ func (s *Selector) LoadUniform(m int, prioBound uint64, seed uint64) []prio.Elem
 // Handlers returns the per-virtual-node sim handlers.
 func (s *Selector) Handlers() []sim.Handler {
 	hs := make([]sim.Handler, len(s.nodes))
+	flat := make([]selHandler, len(s.nodes))
 	for i, n := range s.nodes {
-		hs[i] = &selHandler{n: n, id: sim.NodeID(i)}
+		flat[i] = selHandler{n: n, id: sim.NodeID(i)}
+		hs[i] = &flat[i]
 	}
 	return hs
 }
@@ -162,13 +171,13 @@ func (s *Selector) Handlers() []sim.Handler {
 // NewSyncEngine wires the selector into a synchronous engine.
 func (s *Selector) NewSyncEngine(seed uint64) *sim.SyncEngine {
 	groups, group := s.ov.Group()
-	return sim.NewSync(s.Handlers(), seed, groups, group)
+	return sim.Build(sim.Spec{Handlers: s.Handlers(), Seed: seed, Groups: groups, Group: group}).(*sim.SyncEngine)
 }
 
 // NewAsyncEngine wires the selector into the asynchronous engine.
 func (s *Selector) NewAsyncEngine(seed uint64, maxDelay float64) *sim.AsyncEngine {
 	groups, group := s.ov.Group()
-	return sim.NewAsync(s.Handlers(), seed, maxDelay, groups, group)
+	return sim.Build(sim.Spec{Kind: sim.KindAsync, Handlers: s.Handlers(), Seed: seed, MaxDelay: maxDelay, Groups: groups, Group: group}).(*sim.AsyncEngine)
 }
 
 // OnDone, when set, is invoked in the anchor's context as soon as the

@@ -68,7 +68,7 @@ func TestRoutingAsyncEngine(t *testing.T) {
 		handlers[i] = &asyncRouteNode{ov: ov, delivered: delivered}
 	}
 	groups, group := ov.Group()
-	eng := sim.NewAsync(handlers, 111, 4.0, groups, group)
+	eng := sim.Build(sim.Spec{Kind: sim.KindAsync, Handlers: handlers, Seed: 111, MaxDelay: 4.0, Groups: groups, Group: group}).(*sim.AsyncEngine)
 	rnd := hashutil.NewRand(113)
 	targets := map[int]float64{}
 	const msgs = 25

@@ -82,7 +82,7 @@ func RunBatch(ov *Overlay, joins []uint64, leaves []int, seed uint64) JoinLeaveR
 		handlers[i] = &dynNode{ov: ov, done: &done}
 	}
 	groups, group := ov.Group()
-	eng := sim.NewSync(handlers, seed, groups, group)
+	eng := sim.Build(sim.Spec{Handlers: handlers, Seed: seed, Groups: groups, Group: group}).(*sim.SyncEngine)
 	rnd := hashutil.NewRand(seed)
 
 	// Inject joins: each newcomer contacts a random bootstrap host, whose

@@ -76,6 +76,10 @@ type Overlay struct {
 	hasher hashutil.Hasher
 	order  []sim.NodeID
 	labels []float64 // labels in cycle order, parallel to order
+	// kids is the flat backing array for every VInfo.Children slice: one
+	// allocation for the whole tree instead of one per parent, rebuilt by
+	// buildTree. Children views into it are read-only by convention.
+	kids []sim.NodeID
 }
 
 // VID returns the virtual node id of (host, kind).
@@ -226,15 +230,35 @@ func (ov *Overlay) buildTree() {
 			}
 		}
 	}
+	// Derive children as the inverse relation with a counting sort into one
+	// flat backing array (ov.kids): count per parent, carve per-parent
+	// subslices, then scatter in ascending node-id order — which leaves each
+	// Children slice sorted, since VInfo.ID equals the index.
+	total := 0
+	for i := range ov.V {
+		if ov.V[i].Parent != sim.None {
+			total++
+		}
+	}
+	if cap(ov.kids) < total {
+		ov.kids = make([]sim.NodeID, total)
+	}
+	ov.kids = ov.kids[:total]
+	counts := make([]int, len(ov.V))
+	for i := range ov.V {
+		if p := ov.V[i].Parent; p != sim.None {
+			counts[p]++
+		}
+	}
+	off := 0
+	for i := range ov.V {
+		ov.V[i].Children = ov.kids[off : off : off+counts[i]]
+		off += counts[i]
+	}
 	for i := range ov.V {
 		if p := ov.V[i].Parent; p != sim.None {
 			ov.V[p].Children = append(ov.V[p].Children, ov.V[i].ID)
 		}
-	}
-	for i := range ov.V {
-		sort.Slice(ov.V[i].Children, func(a, b int) bool {
-			return ov.V[i].Children[a] < ov.V[i].Children[b]
-		})
 	}
 }
 

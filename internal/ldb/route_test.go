@@ -42,7 +42,7 @@ func routeOnce(t *testing.T, ov *Overlay, src sim.NodeID, target float64, tag in
 		handlers[i] = &routeNode{ov: ov, delivered: &deliveries}
 	}
 	groups, group := ov.Group()
-	eng := sim.NewSync(handlers, 1, groups, group)
+	eng := sim.Build(sim.Spec{Handlers: handlers, Seed: 1, Groups: groups, Group: group}).(*sim.SyncEngine)
 	m := NewRoute(ov.N, target, &payload{tag: tag})
 	if Forward(eng.Context(src), ov.Info(src), m) {
 		deliveries = append(deliveries, delivery{at: src, tag: tag, path: m.Path})

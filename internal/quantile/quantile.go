@@ -102,7 +102,7 @@ func (e *Estimator) Handlers() []sim.Handler {
 // NewSyncEngine wires the estimator into a synchronous engine.
 func (e *Estimator) NewSyncEngine(seed uint64) *sim.SyncEngine {
 	groups, group := e.ov.Group()
-	return sim.NewSync(e.Handlers(), seed, groups, group)
+	return sim.Build(sim.Spec{Handlers: e.Handlers(), Seed: seed, Groups: groups, Group: group}).(*sim.SyncEngine)
 }
 
 // Start estimates the φ-quantile (φ ∈ (0,1]) from the anchor's context.

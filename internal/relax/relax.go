@@ -141,13 +141,16 @@ func New(cfg Config) *Heap {
 		trace: semantics.NewTrace(),
 	}
 	h.nodes = make([]*node, cfg.N)
+	// Flat backing array for the per-host state — one allocation instead
+	// of N — with the reqs map left nil until a SampleK delete touches the
+	// host (a per-node footprint saving at large N).
+	arena := make([]node, cfg.N)
 	for i := range h.nodes {
-		h.nodes[i] = &node{
-			heap:  h,
-			host:  i,
-			local: seqheap.New(16),
-			reqs:  map[uint64]*delReq{},
-		}
+		nd := &arena[i]
+		nd.heap = h
+		nd.host = i
+		nd.local = seqheap.New(0)
+		h.nodes[i] = nd
 	}
 	return h
 }
@@ -173,9 +176,12 @@ func (h *Heap) SetObs(c *obs.Collector) { h.col = c }
 // each middle node, inert handlers at the tree-only left/right nodes.
 func (h *Heap) Handlers() []sim.Handler {
 	hs := make([]sim.Handler, h.ov.NumVirtual())
+	flat := make([]nodeHandler, h.ov.N)
 	for i := range hs {
 		if ldb.KindOf(sim.NodeID(i)) == ldb.Middle {
-			hs[i] = &nodeHandler{nd: h.nodes[ldb.HostOf(sim.NodeID(i))]}
+			host := ldb.HostOf(sim.NodeID(i))
+			flat[host] = nodeHandler{nd: h.nodes[host]}
+			hs[i] = &flat[host]
 		} else {
 			hs[i] = inertHandler{}
 		}
@@ -183,23 +189,28 @@ func (h *Heap) Handlers() []sim.Handler {
 	return hs
 }
 
+// spec is the common part of every engine the heap wires itself into.
+func (h *Heap) spec(kind sim.EngineKind) sim.Spec {
+	groups, group := h.ov.Group()
+	return sim.Spec{Kind: kind, Handlers: h.Handlers(), Seed: h.cfg.Seed + 1, Groups: groups, Group: group}
+}
+
 // NewSyncEngine wires the heap into a synchronous engine with per-host
 // congestion grouping.
 func (h *Heap) NewSyncEngine() *sim.SyncEngine {
-	groups, group := h.ov.Group()
-	return sim.NewSync(h.Handlers(), h.cfg.Seed+1, groups, group)
+	return sim.Build(h.spec(sim.KindSync)).(*sim.SyncEngine)
 }
 
 // NewAsyncEngine wires the heap into the seeded asynchronous engine.
 func (h *Heap) NewAsyncEngine(maxDelay float64) *sim.AsyncEngine {
-	groups, group := h.ov.Group()
-	return sim.NewAsync(h.Handlers(), h.cfg.Seed+1, maxDelay, groups, group)
+	spec := h.spec(sim.KindAsync)
+	spec.MaxDelay = maxDelay
+	return sim.Build(spec).(*sim.AsyncEngine)
 }
 
 // NewConcEngine wires the heap into the goroutine-backed engine.
 func (h *Heap) NewConcEngine() *sim.ConcEngine {
-	groups, group := h.ov.Group()
-	return sim.NewConc(h.Handlers(), h.cfg.Seed+1, groups, group)
+	return sim.Build(h.spec(sim.KindConc)).(*sim.ConcEngine)
 }
 
 // InjectInsert buffers Insert(e) at host. p is the 1-based raw priority
@@ -297,6 +308,9 @@ func (nd *node) activate(ctx *sim.Context) {
 		case SampleK:
 			nd.nextReq++
 			d := &delReq{op: po.op, id: nd.nextReq}
+			if nd.reqs == nil {
+				nd.reqs = map[uint64]*delReq{}
+			}
 			nd.reqs[d.id] = d
 			nd.queued = append(nd.queued, d)
 		case BatchLocal:

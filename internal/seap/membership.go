@@ -21,12 +21,9 @@ func (h *Heap) AddHost(eng *sim.SyncEngine, id uint64) int {
 	host := h.ov.AddHost(id)
 	for k := 0; k < 3; k++ {
 		n := &Node{
-			heap:      h,
-			runner:    aggtree.NewRunner(h.ov),
-			store:     dht.New(h.ov),
-			insSnap:   make(map[uint64][]pendingOp),
-			delSnap:   make(map[uint64][]pendingOp),
-			assignBuf: make(map[uint64][]prio.Element),
+			heap:   h,
+			runner: aggtree.NewRunner(h.ov),
+			store:  dht.New(h.ov),
 		}
 		n.register()
 		h.nodes = append(h.nodes, n)

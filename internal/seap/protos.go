@@ -114,7 +114,14 @@ func (n *Node) insCountProto() *aggtree.Proto {
 				n.insBuf = nil
 			}
 			n.mu.Unlock()
-			n.insSnap[seq] = snap
+			// Empty snapshots are not stored: OnOwn reads a missing entry
+			// as nil, and idle nodes never allocate the map.
+			if len(snap) > 0 {
+				if n.insSnap == nil {
+					n.insSnap = make(map[uint64][]pendingOp)
+				}
+				n.insSnap[seq] = snap
+			}
 			n.insCycle = uint64(params.(cycleVal))
 			n.outPuts += len(snap)
 			return aggtree.IntVal(len(snap))
@@ -194,7 +201,12 @@ func (n *Node) delCountProto() *aggtree.Proto {
 				n.delBuf = nil
 			}
 			n.mu.Unlock()
-			n.delSnap[seq] = snap
+			if len(snap) > 0 {
+				if n.delSnap == nil {
+					n.delSnap = make(map[uint64][]pendingOp)
+				}
+				n.delSnap[seq] = snap
+			}
 			return aggtree.IntVal(len(snap))
 		},
 		Combine: sumCombine,
@@ -282,7 +294,12 @@ func (n *Node) assignProto() *aggtree.Proto {
 		Own: func(ctx *sim.Context, self *ldb.VInfo, seq uint64, params aggtree.Value) aggtree.Value {
 			p := params.(*assignParams)
 			taken := n.store.TakeLeq(p.Threshold)
-			n.assignBuf[seq] = taken
+			if len(taken) > 0 {
+				if n.assignBuf == nil {
+					n.assignBuf = make(map[uint64][]prio.Element)
+				}
+				n.assignBuf[seq] = taken
+			}
 			return aggtree.IntVal(len(taken))
 		},
 		Combine: sumCombine,

@@ -161,16 +161,19 @@ func New(cfg Config) *Heap {
 	h.ov = ldb.New(cfg.N, h.hasher)
 	h.selector = kselect.New(h.ov, hashutil.New(cfg.Seed^seapSalt()))
 	h.selector.SetOnDone(h.onSelectDone)
-	h.nodes = make([]*Node, h.ov.NumVirtual())
+	nv := h.ov.NumVirtual()
+	h.nodes = make([]*Node, nv)
+	// Flat backing arrays for per-node state (see skeap.New): three
+	// allocations instead of 3·nv, with the per-node snapshot maps left
+	// nil until a cycle touches the node.
+	arena := make([]Node, nv)
+	runners := aggtree.NewRunners(h.ov, nv)
+	stores := dht.NewAll(h.ov, nv)
 	for i := range h.nodes {
-		n := &Node{
-			heap:      h,
-			runner:    aggtree.NewRunner(h.ov),
-			store:     dht.New(h.ov),
-			insSnap:   make(map[uint64][]pendingOp),
-			delSnap:   make(map[uint64][]pendingOp),
-			assignBuf: make(map[uint64][]prio.Element),
-		}
+		n := &arena[i]
+		n.heap = h
+		n.runner = &runners[i]
+		n.store = &stores[i]
 		n.register()
 		h.nodes[i] = n
 	}
@@ -208,28 +211,35 @@ func (h *Heap) SetObs(c *obs.Collector) {
 // Handlers returns the per-virtual-node sim handlers.
 func (h *Heap) Handlers() []sim.Handler {
 	hs := make([]sim.Handler, len(h.nodes))
+	flat := make([]nodeHandler, len(h.nodes))
 	for i, n := range h.nodes {
-		hs[i] = &nodeHandler{n: n, id: sim.NodeID(i)}
+		flat[i] = nodeHandler{n: n, id: sim.NodeID(i)}
+		hs[i] = &flat[i]
 	}
 	return hs
 }
 
+// spec is the common part of every engine the heap wires itself into.
+func (h *Heap) spec(kind sim.EngineKind) sim.Spec {
+	groups, group := h.ov.Group()
+	return sim.Spec{Kind: kind, Handlers: h.Handlers(), Seed: h.cfg.Seed + 1, Groups: groups, Group: group}
+}
+
 // NewSyncEngine wires the heap into a synchronous engine.
 func (h *Heap) NewSyncEngine() *sim.SyncEngine {
-	groups, group := h.ov.Group()
-	return sim.NewSync(h.Handlers(), h.cfg.Seed+1, groups, group)
+	return sim.Build(h.spec(sim.KindSync)).(*sim.SyncEngine)
 }
 
 // NewAsyncEngine wires the heap into the asynchronous engine.
 func (h *Heap) NewAsyncEngine(maxDelay float64) *sim.AsyncEngine {
-	groups, group := h.ov.Group()
-	return sim.NewAsync(h.Handlers(), h.cfg.Seed+1, maxDelay, groups, group)
+	spec := h.spec(sim.KindAsync)
+	spec.MaxDelay = maxDelay
+	return sim.Build(spec).(*sim.AsyncEngine)
 }
 
 // NewConcEngine wires the heap into the goroutine-backed engine.
 func (h *Heap) NewConcEngine() *sim.ConcEngine {
-	groups, group := h.ov.Group()
-	return sim.NewConc(h.Handlers(), h.cfg.Seed+1, groups, group)
+	return sim.Build(h.spec(sim.KindConc)).(*sim.ConcEngine)
 }
 
 // NewFaultyAsyncEngine wires the heap into an asynchronous engine governed
@@ -239,11 +249,14 @@ func (h *Heap) NewConcEngine() *sim.ConcEngine {
 // default): manual StartCycle sends bypass the transports and would not
 // survive a drop. The transports are returned for overhead stats.
 func (h *Heap) NewFaultyAsyncEngine(maxDelay float64, plan *sim.FaultPlan) (*sim.AsyncEngine, []*sim.ReliableTransport) {
-	groups, group := h.ov.Group()
-	handlers, transports := sim.WrapAllReliable(h.Handlers(), sim.DefaultTransportConfig())
-	eng := sim.NewAsync(handlers, h.cfg.Seed+1, maxDelay, groups, group)
-	eng.SetFaultPlan(plan)
-	return eng, transports
+	spec := h.spec(sim.KindAsync)
+	spec.MaxDelay = maxDelay
+	spec.Faults = plan
+	spec.Reliable = true
+	spec.Transport = sim.DefaultTransportConfig()
+	var transports []*sim.ReliableTransport
+	spec.OnTransports = func(ts []*sim.ReliableTransport) { transports = ts }
+	return sim.Build(spec).(*sim.AsyncEngine), transports
 }
 
 // InjectInsert buffers Insert(e) at host's middle virtual node. The

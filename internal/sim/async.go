@@ -20,7 +20,11 @@ import "dpq/internal/hashutil"
 // replayable trace of every injected fault.
 type AsyncEngine struct {
 	handlers []Handler
-	contexts []*Context
+	// contexts/rands are flat per-node value arrays (contexts[i].rand
+	// points at rands[i]); see the SyncEngine layout notes. Context
+	// pointers are invalidated by AddHandler.
+	contexts []Context
+	rands    []hashutil.Rand
 	group    func(NodeID) int
 	nGrp     int
 
@@ -62,7 +66,15 @@ func eventLess(a, b event) bool {
 // delivery delay of each message (delays are uniform in (0, maxDelay]);
 // any positive value preserves the "arbitrary finite delay" model while
 // keeping runs finite.
+//
+// Deprecated: use Build with a Spec{Kind: KindAsync, ...}; this
+// constructor is a thin shim kept for compatibility.
 func NewAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, group func(NodeID) int) *AsyncEngine {
+	return newAsync(handlers, seed, maxDelay, groups, group)
+}
+
+// newAsync is the real constructor behind Build.
+func newAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, group func(NodeID) int) *AsyncEngine {
 	n := len(handlers)
 	if group == nil {
 		groups = n
@@ -70,7 +82,8 @@ func NewAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, gro
 	}
 	e := &AsyncEngine{
 		handlers: handlers,
-		contexts: make([]*Context, n),
+		contexts: make([]Context, n),
+		rands:    make([]hashutil.Rand, n),
 		group:    group,
 		nGrp:     groups,
 		events:   newMinHeap(eventLess),
@@ -81,7 +94,11 @@ func NewAsync(handlers []Handler, seed uint64, maxDelay float64, groups int, gro
 	}
 	e.metrics.Deliveries = make([]int64, groups)
 	for i := range handlers {
-		e.contexts[i] = &Context{id: NodeID(i), rand: e.rand.Fork(), engine: e}
+		// The engine PRNG interleaves fork draws with activation jitter, so
+		// the chain must stay sequential (unlike the sync engine's O(1)
+		// ForkSeedAt derivation); only the storage is flattened.
+		e.rands[i] = *e.rand.Fork()
+		e.contexts[i] = Context{id: NodeID(i), rand: &e.rands[i], engine: e}
 		e.scheduleActivation(NodeID(i))
 	}
 	return e
@@ -104,11 +121,17 @@ func (e *AsyncEngine) SetStrictAccounting(on bool) { e.strict = on }
 
 // AddHandler grows the network by one node (dynamic membership), growing
 // the congestion-group accounting alongside, and schedules the new node's
-// periodic activations. It returns the new node's id.
+// periodic activations. It returns the new node's id. Growth re-points the
+// flat context array: *Context pointers obtained before AddHandler must be
+// re-fetched.
 func (e *AsyncEngine) AddHandler(h Handler, seed uint64) NodeID {
 	id := NodeID(len(e.handlers))
 	e.handlers = append(e.handlers, h)
-	e.contexts = append(e.contexts, &Context{id: id, rand: hashutil.NewRand(hashutil.Mix2(seed, uint64(id))), engine: e})
+	e.rands = append(e.rands, *hashutil.NewRand(hashutil.Mix2(seed, uint64(id))))
+	e.contexts = append(e.contexts, Context{id: id, engine: e})
+	for i := range e.contexts {
+		e.contexts[i].rand = &e.rands[i]
+	}
 	if g := e.group(id); g >= e.nGrp {
 		e.nGrp = g + 1
 	}
@@ -188,7 +211,7 @@ func (e *AsyncEngine) RunUntil(done func() bool, maxEvents int) bool {
 			if e.observer != nil {
 				e.observer(Delivery{Round: e.window, Time: e.now, From: ev.from, To: ev.node, Group: g, Bits: bits, Msg: ev.msg})
 			}
-			e.handlers[ev.node].HandleMessage(e.contexts[ev.node], ev.from, ev.msg)
+			e.handlers[ev.node].HandleMessage(&e.contexts[ev.node], ev.from, ev.msg)
 		} else {
 			if e.faults != nil {
 				e.faults.decideActivation(ev.seq, ev.node, e.now)
@@ -197,7 +220,7 @@ func (e *AsyncEngine) RunUntil(done func() bool, maxEvents int) bool {
 					continue
 				}
 			}
-			e.handlers[ev.node].Activate(e.contexts[ev.node])
+			e.handlers[ev.node].Activate(&e.contexts[ev.node])
 			e.scheduleActivation(ev.node)
 		}
 	}
@@ -231,5 +254,6 @@ func (e *AsyncEngine) noteWindow(g int) {
 // synchronous round); exact round accounting needs the SyncEngine.
 func (e *AsyncEngine) Metrics() *Metrics { return &e.metrics }
 
-// Context returns node id's context, for injecting initial actions.
-func (e *AsyncEngine) Context(id NodeID) *Context { return e.contexts[id] }
+// Context returns node id's context, for injecting initial actions. The
+// pointer is into a flat array: it is valid until the next AddHandler.
+func (e *AsyncEngine) Context(id NodeID) *Context { return &e.contexts[id] }

@@ -1,0 +1,169 @@
+package sim
+
+// Unified engine construction. Historically every engine family had its
+// own constructor signature (NewSync, NewAsync, NewConc, plus per-protocol
+// NewFaultyAsyncEngine wrappers) and the cross-cutting options — worker
+// count, fault plans, reliable transports, observers — were bolted on with
+// post-construction setters in caller-specific order. Build takes one
+// options struct covering every axis and returns the engine behind the
+// Engine interface; the old constructors remain as thin deprecated shims.
+
+// EngineKind selects the engine family a Spec builds.
+type EngineKind uint8
+
+const (
+	// KindSync is the synchronous round engine (SyncEngine) — the model the
+	// paper's performance theorems are stated in. Default.
+	KindSync EngineKind = iota
+	// KindAsync is the seeded asynchronous engine (AsyncEngine).
+	KindAsync
+	// KindConc is the goroutine-backed concurrent engine (ConcEngine).
+	KindConc
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case KindSync:
+		return "sync"
+	case KindAsync:
+		return "async"
+	case KindConc:
+		return "conc"
+	}
+	return "unknown"
+}
+
+// Spec describes an engine to Build. Zero values mean "default": identity
+// congestion grouping, serial stepping, fault-free, no observers.
+type Spec struct {
+	Kind     EngineKind
+	Handlers []Handler
+	Seed     uint64
+
+	// Groups/Group define congestion grouping (node → real process).
+	// Leave Group nil for the identity mapping.
+	Groups int
+	Group  func(NodeID) int
+
+	// Workers configures the synchronous engine's stepping mode: 0 or 1 is
+	// serial, >1 a worker pool of that size, <0 GOMAXPROCS workers.
+	// KindSync only.
+	Workers int
+
+	// MaxDelay bounds the asynchronous engine's random delivery delay
+	// (uniform in (0, MaxDelay]); 0 defaults to 1.0. KindAsync only.
+	MaxDelay float64
+
+	// Faults installs a fault plan consulted on every send and activation.
+	// KindAsync only.
+	Faults *FaultPlan
+
+	// Reliable wraps every handler in a ReliableTransport (seq/ack/retry/
+	// dedup) before construction — required for protocols to survive a
+	// fault plan that drops or duplicates. Transport configures the wrap
+	// (zero value = DefaultTransportConfig); OnTransports, when set,
+	// receives the per-node transports for stats access.
+	Reliable     bool
+	Transport    TransportConfig
+	OnTransports func([]*ReliableTransport)
+
+	// Observer/BatchObserver are delivery observers (see SetObserver and
+	// SetBatchObserver). BatchObserver is KindSync only.
+	Observer      func(Delivery)
+	BatchObserver func([]Delivery)
+
+	// Strict overrides the strict-accounting default (panic on an
+	// out-of-range congestion group under `go test`). Leave nil for the
+	// default.
+	Strict *bool
+}
+
+// Engine is the construction-time face common to all engine families.
+// Kind-specific control (SyncEngine.Step/RunUntil/SetParallel,
+// AsyncEngine.RunUntil, ConcEngine.Run) stays on the concrete types —
+// assert the result of Build when the kind is statically known.
+type Engine interface {
+	Context(id NodeID) *Context
+	Metrics() *Metrics
+	AddHandler(h Handler, seed uint64) NodeID
+	SetObserver(func(Delivery))
+	SetStrictAccounting(bool)
+}
+
+var (
+	_ Engine = (*SyncEngine)(nil)
+	_ Engine = (*AsyncEngine)(nil)
+	_ Engine = (*ConcEngine)(nil)
+)
+
+// Build constructs the engine a Spec describes. Options that do not apply
+// to the requested kind (Workers on an async engine, Faults on a sync one)
+// are rejected with a panic: a Spec is written by the programmer, and a
+// silently ignored field would misreport what an experiment measured.
+func Build(spec Spec) Engine {
+	handlers := spec.Handlers
+	var transports []*ReliableTransport
+	if spec.Reliable {
+		handlers, transports = WrapAllReliable(handlers, spec.Transport)
+	}
+	var eng Engine
+	switch spec.Kind {
+	case KindSync:
+		if spec.Faults != nil {
+			panic("sim: Spec.Faults requires KindAsync")
+		}
+		if spec.MaxDelay != 0 {
+			panic("sim: Spec.MaxDelay requires KindAsync")
+		}
+		e := newSync(handlers, spec.Seed, spec.Groups, spec.Group)
+		if spec.Workers > 1 || spec.Workers < 0 {
+			e.SetParallel(spec.Workers)
+		}
+		if spec.BatchObserver != nil {
+			e.SetBatchObserver(spec.BatchObserver)
+		}
+		eng = e
+	case KindAsync:
+		if spec.Workers != 0 {
+			panic("sim: Spec.Workers requires KindSync")
+		}
+		if spec.BatchObserver != nil {
+			panic("sim: Spec.BatchObserver requires KindSync")
+		}
+		maxDelay := spec.MaxDelay
+		if maxDelay == 0 {
+			maxDelay = 1.0
+		}
+		e := newAsync(handlers, spec.Seed, maxDelay, spec.Groups, spec.Group)
+		if spec.Faults != nil {
+			e.SetFaultPlan(spec.Faults)
+		}
+		eng = e
+	case KindConc:
+		if spec.Workers != 0 {
+			panic("sim: Spec.Workers requires KindSync")
+		}
+		if spec.Faults != nil {
+			panic("sim: Spec.Faults requires KindAsync")
+		}
+		if spec.MaxDelay != 0 {
+			panic("sim: Spec.MaxDelay requires KindAsync")
+		}
+		if spec.BatchObserver != nil {
+			panic("sim: Spec.BatchObserver requires KindSync")
+		}
+		eng = newConc(handlers, spec.Seed, spec.Groups, spec.Group)
+	default:
+		panic("sim: unknown engine kind")
+	}
+	if spec.Observer != nil {
+		eng.SetObserver(spec.Observer)
+	}
+	if spec.Strict != nil {
+		eng.SetStrictAccounting(*spec.Strict)
+	}
+	if spec.OnTransports != nil {
+		spec.OnTransports(transports)
+	}
+	return eng
+}

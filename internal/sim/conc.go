@@ -20,7 +20,12 @@ import (
 // state safely from the driving goroutine.
 type ConcEngine struct {
 	handlers []Handler
-	contexts []*Context
+	// contexts/rands are flat per-node value arrays (contexts[i].rand
+	// points at rands[i]); each element is touched only by its node's
+	// goroutine once Run starts, and AddHandler (which may move the
+	// arrays) panics after Run.
+	contexts []Context
+	rands    []hashutil.Rand
 	locks    []sync.Mutex
 	inboxes  []chan envelope
 	group    func(NodeID) int
@@ -38,7 +43,15 @@ type ConcEngine struct {
 }
 
 // NewConc creates a goroutine-backed engine over the handlers.
+//
+// Deprecated: use Build with a Spec{Kind: KindConc, ...}; this constructor
+// is a thin shim kept for compatibility.
 func NewConc(handlers []Handler, seed uint64, groups int, group func(NodeID) int) *ConcEngine {
+	return Build(Spec{Kind: KindConc, Handlers: handlers, Seed: seed, Groups: groups, Group: group}).(*ConcEngine)
+}
+
+// newConc is the real constructor behind Build.
+func newConc(handlers []Handler, seed uint64, groups int, group func(NodeID) int) *ConcEngine {
 	n := len(handlers)
 	if group == nil {
 		groups = n
@@ -46,7 +59,8 @@ func NewConc(handlers []Handler, seed uint64, groups int, group func(NodeID) int
 	}
 	e := &ConcEngine{
 		handlers: handlers,
-		contexts: make([]*Context, n),
+		contexts: make([]Context, n),
+		rands:    make([]hashutil.Rand, n),
 		locks:    make([]sync.Mutex, n),
 		inboxes:  make([]chan envelope, n),
 		group:    group,
@@ -58,7 +72,8 @@ func NewConc(handlers []Handler, seed uint64, groups int, group func(NodeID) int
 	for i := range handlers {
 		// Forked PRNG streams must not share state across goroutines:
 		// derive one independent stream per node up front.
-		e.contexts[i] = &Context{id: NodeID(i), rand: hashutil.NewRand(hashutil.Mix2(seed, uint64(i))), engine: e}
+		e.rands[i] = *hashutil.NewRand(hashutil.Mix2(seed, uint64(i)))
+		e.contexts[i] = Context{id: NodeID(i), rand: &e.rands[i], engine: e}
 		e.inboxes[i] = make(chan envelope, 4096)
 	}
 	return e
@@ -94,7 +109,11 @@ func (e *ConcEngine) AddHandler(h Handler, seed uint64) NodeID {
 	}
 	id := NodeID(len(e.handlers))
 	e.handlers = append(e.handlers, h)
-	e.contexts = append(e.contexts, &Context{id: id, rand: hashutil.NewRand(hashutil.Mix2(seed, uint64(id))), engine: e})
+	e.rands = append(e.rands, *hashutil.NewRand(hashutil.Mix2(seed, uint64(id))))
+	e.contexts = append(e.contexts, Context{id: id, engine: e})
+	for i := range e.contexts {
+		e.contexts[i].rand = &e.rands[i]
+	}
 	e.locks = append(e.locks, sync.Mutex{})
 	e.inboxes = append(e.inboxes, make(chan envelope, 4096))
 	if g := e.group(id); g >= e.nGrp {
@@ -141,14 +160,14 @@ func (e *ConcEngine) nodeLoop(i int) {
 			}
 			e.mu.Unlock()
 			e.locks[i].Lock()
-			e.handlers[i].HandleMessage(e.contexts[i], env.from, env.msg)
-			e.handlers[i].Activate(e.contexts[i])
+			e.handlers[i].HandleMessage(&e.contexts[i], env.from, env.msg)
+			e.handlers[i].Activate(&e.contexts[i])
 			e.locks[i].Unlock()
 			e.inflight.Add(-1)
 		case <-idle.C:
 			// Periodic activation, as in the asynchronous model.
 			e.locks[i].Lock()
-			e.handlers[i].Activate(e.contexts[i])
+			e.handlers[i].Activate(&e.contexts[i])
 			e.locks[i].Unlock()
 		}
 	}
@@ -182,7 +201,7 @@ func (e *ConcEngine) Run(done func() bool, timeout time.Duration) bool {
 
 // Context returns node id's context, for injecting initial actions before
 // Run starts the goroutines.
-func (e *ConcEngine) Context(id NodeID) *Context { return e.contexts[id] }
+func (e *ConcEngine) Context(id NodeID) *Context { return &e.contexts[id] }
 
 // Metrics returns the accumulated cost measures (rounds/congestion are not
 // populated in the concurrent model).

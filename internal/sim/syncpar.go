@@ -21,39 +21,44 @@ import (
 // ConcEngine's model; cross-node shared state such as the semantics trace
 // is internally synchronized and order-insensitive), so running nodes on
 // different workers cannot change any node's outcome. The only
-// order-sensitive effects are the append order of next-round inboxes, the
-// observer stream and the metrics fold; all three are buffered per node
+// order-sensitive effects are the append order of the next round's pending
+// arena, the observer stream and the metrics fold; all three are buffered
 // during the round and replayed in exactly the serial engine's order
 // afterwards: deliveries and handler sends for node 0,1,…,n−1, then
 // activation sends for node 0,1,…,n−1.
 //
-// Pooling rules: every per-node and per-worker buffer is owned by exactly
-// one goroutine for the duration of the round and reused across rounds
-// (allocation-free steady state). Group functions must be pure — they are
-// called concurrently.
+// Pooling rules: each worker appends sends and observations to arenas it
+// owns exclusively for the round; a flat per-node record (nodeRec) maps
+// every node to the ranges it produced, so the merge can walk nodes in
+// serial order regardless of which worker ran them. All arenas and the
+// record table are reused across rounds (allocation-free steady state
+// apart from the per-round worker goroutines). Group functions must be
+// pure — they are called concurrently.
 
-// nodeOutbox buffers one node's sends and observed deliveries for the
-// round. It implements the internal engine interface so the node's Context
-// can be pointed at it for the duration of the node's turn.
-type nodeOutbox struct {
-	n        int // network size snapshot, for the send bounds check
-	deliver  []envelope
-	activate []envelope
-	cur      *[]envelope // bucket currently receiving sends
-	obs      []Delivery
+// nodeRec records where one node's round effects live: the node ran on
+// worker w, its deliver-phase sends are pws[w].sends[sendLo:actLo], its
+// activation sends pws[w].sends[actLo:sendHi] and its observations
+// pws[w].obs[obsLo:obsHi].
+type nodeRec struct {
+	w      int32
+	sendLo int32
+	actLo  int32
+	sendHi int32
+	obsLo  int32
+	obsHi  int32
 }
 
-func (o *nodeOutbox) send(from, to NodeID, msg Message) {
-	if int(to) < 0 || int(to) >= o.n {
-		panic("sim: send to unknown node")
-	}
-	*o.cur = append(*o.cur, envelope{from: from, to: to, msg: msg})
-}
-
-// parWorker accumulates one worker's share of the round's metrics; the
-// fields are merged commutatively after the join, so the totals equal the
-// serial engine's regardless of how nodes were scheduled.
+// parWorker is one worker's round-local state: a send arena and an
+// observation arena appended to by the nodes it runs, plus its share of
+// the round's metrics. The metric fields are merged commutatively after
+// the join, so the totals equal the serial engine's regardless of how
+// nodes were scheduled. parWorker implements the internal engine
+// interface: a running node's Context is pointed at its worker for the
+// duration of the node's turn.
 type parWorker struct {
+	n          int // network size snapshot, for the send bounds check
+	sends      []envelope
+	obs        []Delivery
 	messages   int64
 	totalBits  int64
 	maxBits    int
@@ -61,6 +66,13 @@ type parWorker struct {
 	deliveries []int64
 	roundLoad  []int
 	panicVal   any
+}
+
+func (pw *parWorker) send(from, to NodeID, msg Message) {
+	if int(to) < 0 || int(to) >= pw.n {
+		panic("sim: send to unknown node")
+	}
+	pw.sends = append(pw.sends, envelope{from: from, to: to, msg: msg})
 }
 
 // SetParallel switches the engine to parallel stepping with the given
@@ -90,8 +102,10 @@ func (e *SyncEngine) Workers() int {
 // counter cold.
 const parChunk = 8
 
-// stepParallel is Step's worker-pool body. The inbox/next swap already
-// happened in Step.
+// stepParallel is Step's worker-pool body. The round's inbox was already
+// sealed (seal in Step), so e.box/e.start are read-only for the round.
+// Per-round buffers are sized here from the current node and group counts,
+// so AddHandler between rounds — including after SetParallel — is safe.
 func (e *SyncEngine) stepParallel() int {
 	n := len(e.handlers)
 	workers := e.workers
@@ -100,9 +114,10 @@ func (e *SyncEngine) stepParallel() int {
 	}
 	e.ensureRoundLoad()
 	e.obsBuf = e.obsBuf[:0]
-	for len(e.outs) < n {
-		e.outs = append(e.outs, nodeOutbox{})
+	if cap(e.recs) < n {
+		e.recs = make([]nodeRec, n)
 	}
+	e.recs = e.recs[:n]
 	for len(e.pws) < workers {
 		e.pws = append(e.pws, parWorker{})
 	}
@@ -110,6 +125,11 @@ func (e *SyncEngine) stepParallel() int {
 	round := e.metrics.Rounds
 	for w := 0; w < workers; w++ {
 		pw := &e.pws[w]
+		pw.n = n
+		clear(pw.sends) // release last round's message references
+		pw.sends = pw.sends[:0]
+		clear(pw.obs)
+		pw.obs = pw.obs[:0]
 		pw.messages, pw.totalBits, pw.maxBits, pw.dropped, pw.panicVal = 0, 0, 0, 0, nil
 		if cap(pw.deliveries) < e.nGrp {
 			pw.deliveries = make([]int64, e.nGrp)
@@ -117,17 +137,15 @@ func (e *SyncEngine) stepParallel() int {
 		}
 		pw.deliveries = pw.deliveries[:e.nGrp]
 		pw.roundLoad = pw.roundLoad[:e.nGrp]
-		for g := range pw.deliveries {
-			pw.deliveries[g] = 0
-			pw.roundLoad[g] = 0
-		}
+		clear(pw.deliveries)
+		clear(pw.roundLoad)
 	}
 
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(pw *parWorker) {
+		go func(w int32, pw *parWorker) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -144,10 +162,10 @@ func (e *SyncEngine) stepParallel() int {
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					e.runNodePar(NodeID(i), pw, round, wantObs)
+					e.runNodePar(NodeID(i), pw, w, round, wantObs)
 				}
 			}
-		}(&e.pws[w])
+		}(int32(w), &e.pws[w])
 	}
 	wg.Wait()
 	for w := 0; w < workers; w++ {
@@ -157,7 +175,7 @@ func (e *SyncEngine) stepParallel() int {
 	}
 
 	// Deterministic merge: fold worker metrics (commutative), then replay
-	// the buffered observer stream and outboxes in serial node order.
+	// the buffered observer stream and send arenas in serial node order.
 	delivered := 0
 	for w := 0; w < workers; w++ {
 		pw := &e.pws[w]
@@ -175,7 +193,8 @@ func (e *SyncEngine) stepParallel() int {
 	}
 	if wantObs {
 		for i := 0; i < n; i++ {
-			for _, d := range e.outs[i].obs {
+			r := &e.recs[i]
+			for _, d := range e.pws[r.w].obs[r.obsLo:r.obsHi] {
 				if e.observer != nil {
 					e.observer(d)
 				}
@@ -186,13 +205,17 @@ func (e *SyncEngine) stepParallel() int {
 		}
 	}
 	for i := 0; i < n; i++ {
-		for _, env := range e.outs[i].deliver {
-			e.next[env.to] = append(e.next[env.to], env)
+		r := &e.recs[i]
+		for _, env := range e.pws[r.w].sends[r.sendLo:r.actLo] {
+			e.pend = append(e.pend, env)
+			e.cnt[env.to]++
 		}
 	}
 	for i := 0; i < n; i++ {
-		for _, env := range e.outs[i].activate {
-			e.next[env.to] = append(e.next[env.to], env)
+		r := &e.recs[i]
+		for _, env := range e.pws[r.w].sends[r.actLo:r.sendHi] {
+			e.pend = append(e.pend, env)
+			e.cnt[env.to]++
 		}
 	}
 	e.finishRound()
@@ -200,47 +223,50 @@ func (e *SyncEngine) stepParallel() int {
 }
 
 // runNodePar executes one node's round on the calling worker: drain the
-// sealed inbox, then activate, buffering sends and observations into the
-// node's outbox.
-func (e *SyncEngine) runNodePar(id NodeID, pw *parWorker, round int, wantObs bool) {
+// sealed inbox range, then activate, appending sends and observations to
+// the worker's arenas and recording the ranges in the node's record.
+func (e *SyncEngine) runNodePar(id NodeID, pw *parWorker, w int32, round int, wantObs bool) {
 	i := int(id)
-	o := &e.outs[i]
-	o.n = len(e.handlers)
-	o.deliver = o.deliver[:0]
-	o.activate = o.activate[:0]
-	o.obs = o.obs[:0]
-	ctx := e.contexts[i]
-	ctx.engine = o
+	rec := &e.recs[i]
+	rec.w = w
+	rec.sendLo = int32(len(pw.sends))
+	rec.obsLo = int32(len(pw.obs))
+	ctx := &e.contexts[i]
+	ctx.engine = pw
 	// Restore the context's engine binding before the worker moves on, so
 	// driver-side sends between rounds (workload injection) behave exactly
 	// as in serial mode.
-	defer func() { ctx.engine = e }()
+	defer func() {
+		rec.sendHi = int32(len(pw.sends))
+		rec.obsHi = int32(len(pw.obs))
+		ctx.engine = e
+	}()
 
-	box := e.inbox[i]
-	e.inbox[i] = box[:0]
-	g := e.group(id)
-	o.cur = &o.deliver
-	for _, env := range box {
-		bits := env.msg.Bits()
-		pw.messages++
-		pw.totalBits += int64(bits)
-		if bits > pw.maxBits {
-			pw.maxBits = bits
+	box := e.box[e.start[i]:e.start[i+1]]
+	if len(box) > 0 {
+		g := e.group(id)
+		for _, env := range box {
+			bits := env.msg.Bits()
+			pw.messages++
+			pw.totalBits += int64(bits)
+			if bits > pw.maxBits {
+				pw.maxBits = bits
+			}
+			switch {
+			case g >= 0 && g < len(pw.deliveries):
+				pw.deliveries[g]++
+				pw.roundLoad[g]++
+			case e.strict:
+				panic(fmt.Sprintf("sim: delivery to out-of-range congestion group %d (have %d groups); AddHandler must grow Deliveries", g, len(pw.deliveries)))
+			default:
+				pw.dropped++
+			}
+			if wantObs {
+				pw.obs = append(pw.obs, Delivery{Round: round, From: env.from, To: id, Group: g, Bits: bits, Msg: env.msg})
+			}
+			e.handlers[i].HandleMessage(ctx, env.from, env.msg)
 		}
-		switch {
-		case g >= 0 && g < len(pw.deliveries):
-			pw.deliveries[g]++
-			pw.roundLoad[g]++
-		case e.strict:
-			panic(fmt.Sprintf("sim: delivery to out-of-range congestion group %d (have %d groups); AddHandler must grow Deliveries", g, len(pw.deliveries)))
-		default:
-			pw.dropped++
-		}
-		if wantObs {
-			o.obs = append(o.obs, Delivery{Round: round, From: env.from, To: id, Group: g, Bits: bits, Msg: env.msg})
-		}
-		e.handlers[i].HandleMessage(ctx, env.from, env.msg)
 	}
-	o.cur = &o.activate
+	rec.actLo = int32(len(pw.sends))
 	e.handlers[i].Activate(ctx)
 }

@@ -184,8 +184,11 @@ func SumTransportStats(ts []*ReliableTransport) TransportStats {
 // builds the shadow context handed to the inner handler.
 func (t *ReliableTransport) bind(ctx *Context) {
 	if t.shadow == nil {
-		t.shadow = &Context{id: ctx.id, rand: ctx.rand, engine: t}
+		t.shadow = &Context{id: ctx.id, engine: t}
 	}
+	// The engine stores PRNG state in a flat array that can move on
+	// AddHandler; re-point the shadow at the current slot on every upcall.
+	t.shadow.rand = ctx.rand
 	t.outer = ctx
 }
 

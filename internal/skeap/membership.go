@@ -32,11 +32,9 @@ func (h *Heap) AddHost(eng *sim.SyncEngine, id uint64) int {
 	// Three fresh virtual nodes join the simulation.
 	for k := 0; k < 3; k++ {
 		n := &Node{
-			heap:        h,
-			runner:      aggtree.NewRunner(h.ov),
-			store:       dht.New(h.ov),
-			snapshots:   make(map[uint64][]slot),
-			pendingGets: make(map[uint64]pendingGet),
+			heap:   h,
+			runner: aggtree.NewRunner(h.ov),
+			store:  dht.New(h.ov),
 		}
 		n.runner.Register(tagBatch, n.batchProto())
 		h.nodes = append(h.nodes, n)

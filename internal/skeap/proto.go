@@ -95,7 +95,16 @@ func (n *Node) snapshot(seq uint64) *batch.Batch {
 		}
 		slots = append(slots, s)
 	}
-	n.snapshots[seq] = slots
+	// Nothing buffered → nothing to remember: apply treats a missing
+	// snapshot as empty, and skipping the write keeps idle nodes from
+	// ever allocating the map (most nodes of a large simulation contribute
+	// no operations to a given batch).
+	if len(slots) > 0 {
+		if n.snapshots == nil {
+			n.snapshots = make(map[uint64][]slot)
+		}
+		n.snapshots[seq] = slots
+	}
 	return b
 }
 
@@ -143,6 +152,9 @@ func (n *Node) apply(ctx *sim.Context, self *ldb.VInfo, seq uint64, asn *batch.A
 				delete(n.pendingGets, reqID)
 				n.heap.trace.Complete(po.op, e, value)
 			})
+			if n.pendingGets == nil {
+				n.pendingGets = make(map[uint64]pendingGet)
+			}
 			n.pendingGets[reqID] = pendingGet{op: po, seq: seq}
 		} else {
 			// The heap was empty at this point of the serialization:

@@ -154,15 +154,20 @@ func New(cfg Config) *Heap {
 		autoRepeat: true,
 	}
 	h.ov = ldb.New(cfg.N, h.hasher)
-	h.nodes = make([]*Node, h.ov.NumVirtual())
+	nv := h.ov.NumVirtual()
+	h.nodes = make([]*Node, nv)
+	// Per-node state comes out of three flat backing arrays (nodes,
+	// runners, DHT shards) — three allocations instead of 3·nv — and the
+	// snapshots/pendingGets maps stay nil until a batch actually touches a
+	// node. Both are per-node footprint savings that matter at large n.
+	arena := make([]Node, nv)
+	runners := aggtree.NewRunners(h.ov, nv)
+	stores := dht.NewAll(h.ov, nv)
 	for i := range h.nodes {
-		n := &Node{
-			heap:        h,
-			runner:      aggtree.NewRunner(h.ov),
-			store:       dht.New(h.ov),
-			snapshots:   make(map[uint64][]slot),
-			pendingGets: make(map[uint64]pendingGet),
-		}
+		n := &arena[i]
+		n.heap = h
+		n.runner = &runners[i]
+		n.store = &stores[i]
 		if sim.NodeID(i) == h.ov.Anchor {
 			n.anchorState = batch.NewAnchorState(cfg.P)
 			n.anchorState.SetLIFO(cfg.LIFO)
@@ -196,29 +201,36 @@ func (h *Heap) SetObs(c *obs.Collector) { h.col = c }
 // Handlers returns the per-virtual-node sim handlers.
 func (h *Heap) Handlers() []sim.Handler {
 	hs := make([]sim.Handler, len(h.nodes))
+	flat := make([]nodeHandler, len(h.nodes))
 	for i, n := range h.nodes {
-		hs[i] = &nodeHandler{n: n, id: sim.NodeID(i)}
+		flat[i] = nodeHandler{n: n, id: sim.NodeID(i)}
+		hs[i] = &flat[i]
 	}
 	return hs
+}
+
+// spec is the common part of every engine the heap wires itself into.
+func (h *Heap) spec(kind sim.EngineKind) sim.Spec {
+	groups, group := h.ov.Group()
+	return sim.Spec{Kind: kind, Handlers: h.Handlers(), Seed: h.cfg.Seed + 1, Groups: groups, Group: group}
 }
 
 // NewSyncEngine wires the heap into a synchronous engine with per-host
 // congestion grouping.
 func (h *Heap) NewSyncEngine() *sim.SyncEngine {
-	groups, group := h.ov.Group()
-	return sim.NewSync(h.Handlers(), h.cfg.Seed+1, groups, group)
+	return sim.Build(h.spec(sim.KindSync)).(*sim.SyncEngine)
 }
 
 // NewAsyncEngine wires the heap into the seeded asynchronous engine.
 func (h *Heap) NewAsyncEngine(maxDelay float64) *sim.AsyncEngine {
-	groups, group := h.ov.Group()
-	return sim.NewAsync(h.Handlers(), h.cfg.Seed+1, maxDelay, groups, group)
+	spec := h.spec(sim.KindAsync)
+	spec.MaxDelay = maxDelay
+	return sim.Build(spec).(*sim.AsyncEngine)
 }
 
 // NewConcEngine wires the heap into the goroutine-backed engine.
 func (h *Heap) NewConcEngine() *sim.ConcEngine {
-	groups, group := h.ov.Group()
-	return sim.NewConc(h.Handlers(), h.cfg.Seed+1, groups, group)
+	return sim.Build(h.spec(sim.KindConc)).(*sim.ConcEngine)
 }
 
 // NewFaultyAsyncEngine wires the heap into an asynchronous engine governed
@@ -228,11 +240,14 @@ func (h *Heap) NewConcEngine() *sim.ConcEngine {
 // default): manual StartIteration sends bypass the transports and would
 // not survive a drop. The transports are returned for overhead stats.
 func (h *Heap) NewFaultyAsyncEngine(maxDelay float64, plan *sim.FaultPlan) (*sim.AsyncEngine, []*sim.ReliableTransport) {
-	groups, group := h.ov.Group()
-	handlers, transports := sim.WrapAllReliable(h.Handlers(), sim.DefaultTransportConfig())
-	eng := sim.NewAsync(handlers, h.cfg.Seed+1, maxDelay, groups, group)
-	eng.SetFaultPlan(plan)
-	return eng, transports
+	spec := h.spec(sim.KindAsync)
+	spec.MaxDelay = maxDelay
+	spec.Faults = plan
+	spec.Reliable = true
+	spec.Transport = sim.DefaultTransportConfig()
+	var transports []*sim.ReliableTransport
+	spec.OnTransports = func(ts []*sim.ReliableTransport) { transports = ts }
+	return sim.Build(spec).(*sim.AsyncEngine), transports
 }
 
 // InjectInsert buffers Insert(e) at host's middle virtual node. p is the
